@@ -1,0 +1,36 @@
+//! # ff-adversary — lower-bound adversaries and model separation
+//!
+//! The impossibility side of the *Functional Faults* reproduction
+//! (Sheffi & Petrank, SPAA 2020):
+//!
+//! * [`reduced`] — Theorem 18's environment (unbounded overriding faults,
+//!   all objects faulty) with exhaustive and randomized violation search,
+//!   plus the literal *reduced model* (one process's CASes always fault).
+//! * [`covering`] — Theorem 19's covering adversary: a protocol-agnostic
+//!   constructive attack that breaks **any** consensus protocol using `f`
+//!   CAS objects once `f + 2` processes participate, with at most one
+//!   fault per object.
+//! * [`data_fault`] — the Afek-style data-fault adversary whose trivial
+//!   "wipe" attack breaks what bounded overriding faults cannot: the
+//!   functional-vs-data model separation of Section 4.
+//! * [`search`] — `(f, t, n)` safety probing and the consensus-number
+//!   scan placing bounded-fault CAS sets at level `f + 1` of Herlihy's
+//!   hierarchy (Section 5.2).
+//! * [`witness`] — human-readable rendering of violating executions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod covering;
+pub mod data_fault;
+pub mod reduced;
+pub mod register_protocol;
+pub mod search;
+pub mod witness;
+
+pub use covering::{covering_attack, CoveringReport};
+pub use data_fault::{wipe_attack, DataFaultReport};
+pub use reduced::{find_violation_randomized, find_violation_unbounded, reduced_model_run};
+pub use register_protocol::AnnounceRaceMachine;
+pub use search::{consensus_number_scan, probe_staged, SafetyVerdict};
+pub use witness::{render_witness, summarize_violations};

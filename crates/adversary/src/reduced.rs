@@ -1,0 +1,169 @@
+//! The reduced model of Theorem 18 and explorer-based violation search
+//! for the unbounded-faults lower bound.
+//!
+//! Theorem 18: for `n > 2`, no `(f, ∞, n)`-tolerant consensus exists from
+//! `f` CAS objects (plus any number of read/write registers). The proof
+//! works in a *reduced model* where one designated process's CAS
+//! executions are always faulty. Mechanically, we go further: the
+//! exhaustive explorer searches **all** fault patterns within the
+//! unbounded budget, so for any concrete protocol using only faulty
+//! objects it either finds a violating execution (the theorem's
+//! prediction) or proves the configuration safe.
+
+use ff_sim::{
+    explore, run, ExploreReport, ExplorerConfig, FaultPlan, GreedyFault, Heap, Process,
+    ProcessBoundFault, RunConfig, RunReport, SeededRandom,
+};
+use ff_spec::{Bound, ProcessId};
+
+/// Exhaustively search for a consensus violation of `processes` over
+/// `objects` CAS cells, **all** of which may fault unboundedly (the
+/// Theorem 18 environment).
+pub fn find_violation_unbounded(
+    processes: Vec<Box<dyn Process>>,
+    objects: usize,
+    config: ExplorerConfig,
+) -> ExploreReport {
+    let plan = FaultPlan::overriding(objects, Bound::Unbounded);
+    let state = ff_sim::SimState::new(processes, Heap::new(objects, 0), plan);
+    explore(state, config)
+}
+
+/// Run one execution in the literal reduced model: `culprit`'s CAS
+/// executions always fault (the objects being unboundedly faulty), all
+/// other processes' CASes are correct, under a seeded random schedule.
+pub fn reduced_model_run(
+    processes: Vec<Box<dyn Process>>,
+    objects: usize,
+    culprit: ProcessId,
+    seed: u64,
+) -> RunReport {
+    let plan = FaultPlan::overriding(objects, Bound::Unbounded);
+    let mut oracle = ProcessBoundFault::new(plan.clone(), culprit);
+    run(
+        processes,
+        Heap::new(objects, 0),
+        &plan,
+        &mut SeededRandom::new(seed),
+        &mut oracle,
+        RunConfig::default(),
+    )
+}
+
+/// Randomized violation search: greedy faults under many seeded random
+/// schedules. Returns the first violating run, for configurations too
+/// large to explore exhaustively.
+pub fn find_violation_randomized(
+    mut make_processes: impl FnMut() -> Vec<Box<dyn Process>>,
+    objects: usize,
+    plan: &FaultPlan,
+    seeds: std::ops::Range<u64>,
+) -> Option<(u64, RunReport)> {
+    for seed in seeds {
+        let mut oracle = GreedyFault::new(plan.clone());
+        let report = run(
+            make_processes(),
+            Heap::new(objects, 0),
+            plan,
+            &mut SeededRandom::new(seed),
+            &mut oracle,
+            RunConfig {
+                step_limit: 1_000_000,
+                record_trace: true,
+            },
+        );
+        let verdict = ff_spec::check_consensus(&report.outcomes, None);
+        if !verdict.ok() {
+            return Some((seed, report));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_consensus::{cascades, one_shots};
+    use ff_spec::{check_consensus, Input};
+
+    #[test]
+    fn theorem18_f1_n3_violation_exists() {
+        // One object, all faulty (unbounded), three one-shot processes:
+        // the explorer finds the violating execution Theorem 18 predicts.
+        let report = find_violation_unbounded(
+            one_shots(&[Input(10), Input(20), Input(30)]),
+            1,
+            ExplorerConfig::default(),
+        );
+        assert!(report.violation.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn theorem18_cascade_with_f_objects_only() {
+        // Figure 2's protocol run with f objects instead of f + 1 (so no
+        // reliable object remains): CascadeMachine with parameter f - 1
+        // sweeps exactly f objects. f = 2, n = 3: violation exists.
+        let report = find_violation_unbounded(
+            cascades(&[Input(10), Input(20), Input(30)], 1),
+            2,
+            ExplorerConfig::default(),
+        );
+        assert!(report.violation.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn theorem4_boundary_two_processes_safe() {
+        // The same environment with n = 2 is SAFE (Theorem 4): the lower
+        // bound genuinely needs n > 2.
+        let report = find_violation_unbounded(
+            one_shots(&[Input(10), Input(20)]),
+            1,
+            ExplorerConfig::default(),
+        );
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn reduced_model_run_is_replayable() {
+        let a = reduced_model_run(
+            one_shots(&[Input(1), Input(2), Input(3)]),
+            1,
+            ProcessId(0),
+            7,
+        );
+        let b = reduced_model_run(
+            one_shots(&[Input(1), Input(2), Input(3)]),
+            1,
+            ProcessId(0),
+            7,
+        );
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn randomized_search_finds_oneshot_break() {
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let hit = find_violation_randomized(
+            || one_shots(&[Input(1), Input(2), Input(3)]),
+            1,
+            &plan,
+            0..200,
+        );
+        let (seed, report) = hit.expect("some seed must break the one-shot");
+        let verdict = check_consensus(&report.outcomes, None);
+        assert!(!verdict.ok(), "seed {seed} reported a non-violation");
+    }
+
+    #[test]
+    fn randomized_search_respects_safe_configs() {
+        // Figure 2 with its full f + 1 objects: no seed breaks it.
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let hit = find_violation_randomized(
+            || cascades(&[Input(1), Input(2), Input(3)], 1),
+            2,
+            &plan,
+            0..100,
+        );
+        assert!(hit.is_none());
+    }
+}

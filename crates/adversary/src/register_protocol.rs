@@ -1,0 +1,187 @@
+//! A register-augmented consensus attempt, matching Theorem 18's full
+//! statement: the impossibility holds for protocols using `f` CAS objects
+//! **and an unbounded number of read/write registers**.
+//!
+//! The machine implements the natural "announce then race" protocol:
+//! each process first *writes its input to its own register* (announce),
+//! then *reads* every other announcement, then runs the one-shot CAS
+//! race on `O_0`, adopting the winner. Registers are reliable here — the
+//! theorem says they do not help: with the CAS object faulty and
+//! unboundedly overriding, the explorer still finds a violation for
+//! `n > 2`, while `n = 2` remains safe (Theorem 4 carries over).
+
+use ff_sim::{Op, OpResult, Process, RegId, Status};
+use ff_spec::{Input, ObjectId, BOTTOM};
+
+/// Phases of the announce-then-race protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Write own input to register `self.id`.
+    Announce,
+    /// Read register `i` (sweeping all `n` registers).
+    Gather { i: usize },
+    /// CAS the input into `O_0`.
+    Race,
+}
+
+/// The announce-then-race machine for process `id` of `n`.
+#[derive(Clone, Debug)]
+pub struct AnnounceRaceMachine {
+    id: usize,
+    n: usize,
+    input: Input,
+    phase: Phase,
+    /// Announcements observed (0 where not yet written).
+    seen: Vec<u64>,
+    status: Status,
+}
+
+impl AnnounceRaceMachine {
+    /// Machine for process `id` (of `n`) with the given input.
+    pub fn new(id: usize, n: usize, input: Input) -> Self {
+        assert!(id < n);
+        AnnounceRaceMachine {
+            id,
+            n,
+            input,
+            phase: Phase::Announce,
+            seen: vec![0; n],
+            status: Status::Running,
+        }
+    }
+
+    /// Build the full set of `n` machines (process `i` gets `inputs[i]`).
+    pub fn all(inputs: &[Input]) -> Vec<Box<dyn Process>> {
+        let n = inputs.len();
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Box::new(AnnounceRaceMachine::new(i, n, v)) as Box<dyn Process>)
+            .collect()
+    }
+}
+
+impl Process for AnnounceRaceMachine {
+    fn next_op(&self) -> Op {
+        match self.phase {
+            Phase::Announce => Op::Write(RegId(self.id), self.input.to_word()),
+            Phase::Gather { i } => Op::Read(RegId(i)),
+            Phase::Race => Op::Cas {
+                obj: ObjectId(0),
+                exp: BOTTOM,
+                new: self.input.to_word(),
+            },
+        }
+    }
+
+    fn apply(&mut self, result: OpResult) -> Status {
+        match self.phase {
+            Phase::Announce => {
+                debug_assert_eq!(result, OpResult::Write);
+                self.phase = Phase::Gather { i: 0 };
+            }
+            Phase::Gather { i } => {
+                if let OpResult::Read(v) = result {
+                    self.seen[i] = v;
+                }
+                if i + 1 < self.n {
+                    self.phase = Phase::Gather { i: i + 1 };
+                } else {
+                    self.phase = Phase::Race;
+                }
+            }
+            Phase::Race => {
+                let old = result.cas_old();
+                let decided = Input::from_word(old).unwrap_or(self.input);
+                self.status = Status::Decided(decided);
+            }
+        }
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn input(&self) -> Input {
+        self.input
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        let mut v = vec![
+            self.id as u64,
+            self.input.0 as u64,
+            match self.phase {
+                Phase::Announce => 0,
+                Phase::Gather { i } => 1 + i as u64,
+                Phase::Race => 1 + self.n as u64,
+            },
+            self.status.word(),
+        ];
+        v.extend_from_slice(&self.seen);
+        v
+    }
+
+    fn box_clone(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+    use ff_spec::Bound;
+
+    fn inputs(n: usize) -> Vec<Input> {
+        (0..n as u32).map(|i| Input(10 * (i + 1))).collect()
+    }
+
+    #[test]
+    fn fault_free_register_protocol_is_correct() {
+        let n = 3;
+        let state = SimState::new(
+            AnnounceRaceMachine::all(&inputs(n)),
+            Heap::new(1, n),
+            FaultPlan::none(),
+        );
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn registers_do_not_evade_theorem18() {
+        // One faulty CAS object + reliable registers, n = 3: still broken.
+        let n = 3;
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(AnnounceRaceMachine::all(&inputs(n)), Heap::new(1, n), plan);
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.violation.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn registers_keep_theorem4_for_two_processes() {
+        let n = 2;
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(AnnounceRaceMachine::all(&inputs(n)), Heap::new(1, n), plan);
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn machine_gathers_announcements() {
+        let mut m = AnnounceRaceMachine::new(0, 2, Input(5));
+        assert_eq!(m.next_op(), Op::Write(RegId(0), 5));
+        m.apply(OpResult::Write);
+        assert_eq!(m.next_op(), Op::Read(RegId(0)));
+        m.apply(OpResult::Read(5));
+        assert_eq!(m.next_op(), Op::Read(RegId(1)));
+        m.apply(OpResult::Read(7));
+        assert_eq!(m.seen, vec![5, 7]);
+        assert!(matches!(m.next_op(), Op::Cas { .. }));
+        assert_eq!(
+            m.apply(OpResult::Cas { old: BOTTOM }),
+            Status::Decided(Input(5))
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Safety probing across `(f, t, n)` configurations — the machinery
+//! behind the consensus-hierarchy experiment (Section 5.2 / E6).
+//!
+//! Combining Theorems 6 and 19, a set of `f` CAS objects with a bounded
+//! number of overriding faults each has consensus number exactly `f + 1`:
+//! safe for `n ≤ f + 1` (verified exhaustively or by stress) and violated
+//! for `n ≥ f + 2` (exhibited by the covering attack). This populates
+//! every level of Herlihy's hierarchy with a faulty object.
+
+use crate::covering::covering_attack;
+use ff_consensus::staged_machines;
+use ff_sim::{explore, ExplorerConfig, FaultPlan, GreedyFault, Heap, RunConfig, SeededRandom};
+use ff_spec::{check_consensus, Bound, Input};
+
+/// The verdict of probing one configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyVerdict {
+    /// Exhaustively explored: no violation, no cycle.
+    VerifiedExhaustive,
+    /// Stress-tested across seeds: no violation found (not a proof).
+    NoViolationFound {
+        /// Number of randomized trials executed.
+        trials: u64,
+    },
+    /// A violating execution was found/constructed.
+    Violated,
+    /// Exploration hit its resource caps without a verdict.
+    Inconclusive,
+}
+
+impl SafetyVerdict {
+    /// `true` for the two "safe" verdicts.
+    pub fn safe(&self) -> bool {
+        matches!(
+            self,
+            SafetyVerdict::VerifiedExhaustive | SafetyVerdict::NoViolationFound { .. }
+        )
+    }
+}
+
+/// Probe the staged protocol (Figure 3) with `f` objects — all faulty
+/// with at most `t` overriding faults each — and `n` processes.
+///
+/// * `n ≤ f + 1`: exhaustive exploration when the state space fits under
+///   `config`, randomized stress otherwise.
+/// * `n ≥ f + 2`: the covering attack constructs the violation directly.
+pub fn probe_staged(f: u64, t: u64, n: usize, config: ExplorerConfig) -> SafetyVerdict {
+    let inputs: Vec<Input> = (0..n as u32).map(|i| Input(100 + i)).collect();
+    if n as u64 >= f + 2 {
+        let report = covering_attack(staged_machines(&inputs, f, t), f as usize);
+        return if report.violated() {
+            SafetyVerdict::Violated
+        } else {
+            SafetyVerdict::Inconclusive
+        };
+    }
+
+    let plan = FaultPlan::overriding(f as usize, Bound::Finite(t));
+    let state = ff_sim::SimState::new(
+        staged_machines(&inputs, f, t),
+        Heap::new(f as usize, 0),
+        plan.clone(),
+    );
+    let report = explore(state, config);
+    if report.violation.is_some() {
+        return SafetyVerdict::Violated;
+    }
+    if report.verified() {
+        return SafetyVerdict::VerifiedExhaustive;
+    }
+
+    // Too big to enumerate: fall back to randomized stress.
+    let trials = 200u64;
+    for seed in 0..trials {
+        let mut oracle = GreedyFault::new(plan.clone());
+        let run = ff_sim::run(
+            staged_machines(&inputs, f, t),
+            Heap::new(f as usize, 0),
+            &plan,
+            &mut SeededRandom::new(seed),
+            &mut oracle,
+            RunConfig {
+                step_limit: 1_000_000,
+                record_trace: false,
+            },
+        );
+        if !check_consensus(&run.outcomes, None).ok() {
+            return SafetyVerdict::Violated;
+        }
+    }
+    SafetyVerdict::NoViolationFound { trials }
+}
+
+/// Probe `n = 2 ..= n_max` for fixed `(f, t)`, returning the measured
+/// safety boundary — the empirical consensus number is the largest safe
+/// `n`.
+pub fn consensus_number_scan(
+    f: u64,
+    t: u64,
+    n_max: usize,
+    config: ExplorerConfig,
+) -> Vec<(usize, SafetyVerdict)> {
+    (2..=n_max)
+        .map(|n| (n, probe_staged(f, t, n, config)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ExplorerConfig {
+        ExplorerConfig {
+            max_states: 300_000,
+            max_depth: 10_000,
+            stop_at_first_violation: true,
+        }
+    }
+
+    #[test]
+    fn hierarchy_level_f1() {
+        // f = 1, t = 1: consensus number 2.
+        let scan = consensus_number_scan(1, 1, 3, small_config());
+        assert_eq!(scan.len(), 2);
+        assert!(scan[0].1.safe(), "n = 2 must be safe: {scan:?}");
+        assert_eq!(scan[1].1, SafetyVerdict::Violated, "n = 3 must break");
+    }
+
+    #[test]
+    fn hierarchy_level_f2() {
+        // f = 2, t = 1: consensus number 3.
+        let scan = consensus_number_scan(2, 1, 4, small_config());
+        assert!(scan[0].1.safe(), "n = 2: {scan:?}");
+        assert!(scan[1].1.safe(), "n = 3: {scan:?}");
+        assert_eq!(scan[2].1, SafetyVerdict::Violated, "n = 4 must break");
+    }
+
+    #[test]
+    fn exhaustive_at_smallest_size() {
+        assert_eq!(
+            probe_staged(1, 1, 2, small_config()),
+            SafetyVerdict::VerifiedExhaustive
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Human-readable rendering of violation witnesses.
+
+use ff_sim::{FaultPlan, Heap, Process, Witness};
+use ff_spec::ConsensusViolation;
+
+/// Render a witness as a report: the violated properties, the outcomes,
+//  and the full replayed step trace.
+pub fn render_witness(
+    witness: &Witness,
+    processes: Vec<Box<dyn Process>>,
+    heap: Heap,
+    plan: &FaultPlan,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "violated properties:");
+    for v in &witness.violations {
+        let _ = writeln!(out, "  - {v}");
+    }
+    let _ = writeln!(out, "outcomes:");
+    for o in &witness.outcomes {
+        match o.decision {
+            Some(d) => {
+                let _ = writeln!(out, "  {} input {} → decided {}", o.process, o.input, d);
+            }
+            None => {
+                let _ = writeln!(out, "  {} input {} → (undecided)", o.process, o.input);
+            }
+        }
+    }
+    let replay = witness.replay(processes, heap, plan);
+    let _ = writeln!(out, "execution ({} steps):", replay.total_steps);
+    out.push_str(&replay.trace.render());
+    out
+}
+
+/// One-line summary of a violation list.
+pub fn summarize_violations(violations: &[ConsensusViolation]) -> String {
+    violations
+        .iter()
+        .map(|v| match v {
+            ConsensusViolation::Validity { .. } => "validity",
+            ConsensusViolation::Consistency { .. } => "consistency",
+            ConsensusViolation::WaitFreedom { .. } => "wait-freedom",
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduced::find_violation_unbounded;
+    use ff_consensus::one_shots;
+    use ff_sim::ExplorerConfig;
+    use ff_spec::{Bound, Input};
+
+    #[test]
+    fn witness_renders_with_trace_and_outcomes() {
+        let inputs = [Input(10), Input(20), Input(30)];
+        let report = find_violation_unbounded(one_shots(&inputs), 1, ExplorerConfig::default());
+        let witness = report.violation.expect("violation must exist");
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let text = render_witness(&witness, one_shots(&inputs), Heap::new(1, 0), &plan);
+        assert!(text.contains("violated properties"), "{text}");
+        assert!(text.contains("consistency"), "{text}");
+        assert!(text.contains("CAS(O0"), "{text}");
+        assert!(text.contains("DECIDES"), "{text}");
+    }
+
+    #[test]
+    fn summary_lists_kinds() {
+        let inputs = [Input(10), Input(20), Input(30)];
+        let report = find_violation_unbounded(one_shots(&inputs), 1, ExplorerConfig::default());
+        let witness = report.violation.unwrap();
+        let s = summarize_violations(&witness.violations);
+        assert!(s.contains("consistency"), "{s}");
+    }
+}

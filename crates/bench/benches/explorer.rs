@@ -1,0 +1,63 @@
+//! B4 — model-checker throughput: states explored per configuration.
+//!
+//! Expected shape: state counts (and hence time) grow combinatorially
+//! with the number of processes and with fault branching; the exact-key
+//! memoization keeps small configurations tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_consensus::{cascades, one_shots, staged_machines};
+use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+use ff_spec::{Bound, Input};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> Vec<Input> {
+    (0..n as u32).map(Input).collect()
+}
+
+fn config() -> ExplorerConfig {
+    ExplorerConfig {
+        max_states: 2_000_000,
+        max_depth: 100_000,
+        stop_at_first_violation: false,
+    }
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_explorer");
+    group.sample_size(10);
+
+    for n in [2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("one_shot_unbounded_faults", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let plan = FaultPlan::overriding(1, Bound::Unbounded);
+                    let state = SimState::new(one_shots(&inputs(n)), Heap::new(1, 0), plan);
+                    black_box(explore(state, config()))
+                })
+            },
+        );
+    }
+
+    group.bench_function("cascade_f1_n3_unbounded", |b| {
+        b.iter(|| {
+            let plan = FaultPlan::overriding(1, Bound::Unbounded);
+            let state = SimState::new(cascades(&inputs(3), 1), Heap::new(2, 0), plan);
+            black_box(explore(state, config()))
+        })
+    });
+
+    group.bench_function("staged_f1_t1_n2_bounded", |b| {
+        b.iter(|| {
+            let plan = FaultPlan::overriding(1, Bound::Finite(1));
+            let state = SimState::new(staged_machines(&inputs(2), 1, 1), Heap::new(1, 0), plan);
+            black_box(explore(state, config()))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

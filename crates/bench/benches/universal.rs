@@ -1,0 +1,53 @@
+//! B5 — universal-construction throughput vs consensus-cell type.
+//!
+//! Expected shape: reliable < robust in per-op cost (the robust cell
+//! sweeps f + 1 objects instead of 1); fault rate adds little on top
+//! (an overriding fault is still a single atomic operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_universal::{CellFactory, Counter, Handle, ReliableCells, RobustCells, UniversalLog};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_counter_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_universal_counter");
+    let ops = 50u64;
+
+    type FactoryMaker = Box<dyn Fn() -> Arc<dyn CellFactory>>;
+    let cases: Vec<(&str, FactoryMaker)> = vec![
+        ("reliable", Box::new(|| Arc::new(ReliableCells))),
+        (
+            "robust_f1_rate0.0",
+            Box::new(|| Arc::new(RobustCells::new(1, 0.0, 3))),
+        ),
+        (
+            "robust_f1_rate0.5",
+            Box::new(|| Arc::new(RobustCells::new(1, 0.5, 3))),
+        ),
+        (
+            "robust_f2_rate0.5",
+            Box::new(|| Arc::new(RobustCells::new(2, 0.5, 3))),
+        ),
+    ];
+
+    for (label, make) in cases {
+        group.bench_with_input(BenchmarkId::new("adds", label), &ops, |b, &ops| {
+            b.iter_batched(
+                || {
+                    let log = Arc::new(UniversalLog::new(make()));
+                    Handle::new(log, 0, Counter::default())
+                },
+                |mut handle| {
+                    for _ in 0..ops {
+                        black_box(handle.invoke(Counter::add_op(1)));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counter_ops);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin report            # all experiments
+//! cargo run --release -p ff-bench --bin report -- e3      # one experiment
+//! cargo run --release -p ff-bench --bin report -- list    # list ids
+//! cargo run --release -p ff-bench --bin report -- all --json out.json
+//! ```
+
+use ff_workload::{find, registry, to_json, ExperimentResult};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => selectors.push(other.to_string()),
+        }
+    }
+
+    if selectors.iter().any(|s| s == "list") {
+        for e in registry() {
+            println!("{:4}  {}", e.id(), e.title());
+        }
+        return;
+    }
+
+    let experiments: Vec<Box<dyn ff_workload::Experiment>> =
+        if selectors.is_empty() || selectors.iter().any(|s| s == "all") {
+            registry()
+        } else {
+            selectors
+                .iter()
+                .map(|s| {
+                    find(s).unwrap_or_else(|| {
+                        eprintln!("unknown experiment id: {s} (try `report list`)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        };
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    let mut all_pass = true;
+    for e in experiments {
+        eprintln!("running {} …", e.id());
+        let result = e.run();
+        println!("{}", result.render());
+        all_pass &= result.pass;
+        results.push(result);
+    }
+
+    println!(
+        "\n==== {} experiment(s): {} ====",
+        results.len(),
+        if all_pass {
+            "ALL PASS"
+        } else {
+            "FAILURES PRESENT"
+        }
+    );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&results)).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Lock-free per-object operation and fault counters.
+
+use ff_spec::ObjectId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one ensemble, indexed by object.
+#[derive(Debug)]
+pub struct EnsembleStats {
+    ops: Vec<AtomicU64>,
+    attempted: Vec<AtomicU64>,
+    observable: Vec<AtomicU64>,
+}
+
+/// A point-in-time view of one object's counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ObjectStats {
+    /// Total CAS invocations.
+    pub ops: u64,
+    /// Invocations on which the policy attempted a fault (budget granted).
+    pub attempted_faults: u64,
+    /// Attempts that produced an *observable* fault (a record violating
+    /// the standard postconditions — what Definition 1 counts).
+    pub observable_faults: u64,
+}
+
+impl EnsembleStats {
+    /// Zeroed counters for `num_objects` objects.
+    pub fn new(num_objects: usize) -> Self {
+        let make = || (0..num_objects).map(|_| AtomicU64::new(0)).collect();
+        EnsembleStats {
+            ops: make(),
+            attempted: make(),
+            observable: make(),
+        }
+    }
+
+    /// Count one operation on `obj` and return its 0-based per-object
+    /// operation index (used by fault policies).
+    pub fn record_op(&self, obj: ObjectId) -> u64 {
+        self.ops[obj.0].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Count a granted fault attempt.
+    pub fn record_attempt(&self, obj: ObjectId) {
+        self.attempted[obj.0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an observable fault.
+    pub fn record_observable(&self, obj: ObjectId) {
+        self.observable[obj.0].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Undo a previously recorded attempt that turned out harmless.
+    pub fn unrecord_attempt(&self, obj: ObjectId) {
+        self.attempted[obj.0].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot one object's counters.
+    pub fn object(&self, obj: ObjectId) -> ObjectStats {
+        ObjectStats {
+            ops: self.ops[obj.0].load(Ordering::Relaxed),
+            attempted_faults: self.attempted[obj.0].load(Ordering::Relaxed),
+            observable_faults: self.observable[obj.0].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot all objects.
+    pub fn all(&self) -> Vec<ObjectStats> {
+        (0..self.ops.len())
+            .map(|i| self.object(ObjectId(i)))
+            .collect()
+    }
+
+    /// Total observable faults across the ensemble.
+    pub fn total_observable(&self) -> u64 {
+        self.observable
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of objects with at least one observable fault — the
+    /// Definition 2 faulty-object count for this execution.
+    pub fn faulty_object_count(&self) -> u64 {
+        self.observable
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) > 0)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_indices_are_sequential_per_object() {
+        let s = EnsembleStats::new(2);
+        assert_eq!(s.record_op(ObjectId(0)), 0);
+        assert_eq!(s.record_op(ObjectId(0)), 1);
+        assert_eq!(s.record_op(ObjectId(1)), 0, "objects count independently");
+    }
+
+    #[test]
+    fn fault_counters() {
+        let s = EnsembleStats::new(1);
+        s.record_op(ObjectId(0));
+        s.record_attempt(ObjectId(0));
+        s.record_observable(ObjectId(0));
+        let o = s.object(ObjectId(0));
+        assert_eq!(
+            o,
+            ObjectStats {
+                ops: 1,
+                attempted_faults: 1,
+                observable_faults: 1
+            }
+        );
+        assert_eq!(s.total_observable(), 1);
+        assert_eq!(s.faulty_object_count(), 1);
+    }
+
+    #[test]
+    fn unrecord_attempt_rolls_back() {
+        let s = EnsembleStats::new(1);
+        s.record_attempt(ObjectId(0));
+        s.unrecord_attempt(ObjectId(0));
+        assert_eq!(s.object(ObjectId(0)).attempted_faults, 0);
+    }
+
+    #[test]
+    fn all_snapshots_every_object() {
+        let s = EnsembleStats::new(3);
+        s.record_op(ObjectId(2));
+        let v = s.all();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2].ops, 1);
+        assert_eq!(v[0].ops, 0);
+    }
+}

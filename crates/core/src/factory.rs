@@ -1,0 +1,179 @@
+//! Construction selection: which of the paper's protocols fits a desired
+//! `(f, t, n)` tolerance, and with how many CAS objects.
+//!
+//! The decision procedure mirrors Section 4's case analysis:
+//!
+//! * no faults → Herlihy's single object;
+//! * `n ≤ 2` → Figure 1 (one object, any number of overriding faults);
+//! * `t` unbounded, or more than `f + 1` processes → Figure 2
+//!   (`f + 1` objects, one guaranteed reliable);
+//! * `t` bounded and `n ≤ f + 1` → Figure 3 (`f` objects, all possibly
+//!   faulty — the resource-saving case that beats the data-fault bound).
+
+use crate::cascade::CascadeConsensus;
+use crate::herlihy::HerlihyConsensus;
+use crate::protocol::Consensus;
+use crate::staged::StagedConsensus;
+use crate::two_process::TwoProcessConsensus;
+use ff_cas::CasEnsemble;
+use ff_spec::{Bound, Tolerance};
+use std::sync::Arc;
+
+/// Which construction to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// Herlihy's single reliable CAS (Section 2).
+    Herlihy,
+    /// Figure 1: one object, two processes.
+    TwoProcess,
+    /// Figure 2: `f + 1` objects.
+    Cascade,
+    /// Figure 3: `f` objects, bounded faults.
+    Staged,
+}
+
+/// A construction recommendation for a requested tolerance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Recommendation {
+    /// The chosen construction.
+    pub kind: ProtocolKind,
+    /// CAS objects it needs.
+    pub objects: usize,
+    /// The tolerance it guarantees (at least the requested one).
+    pub tolerance: Tolerance,
+}
+
+/// Choose a construction guaranteeing `(f, t, n)`-tolerant consensus
+/// against overriding faults.
+pub fn recommend(f: u64, t: Bound, n: Bound) -> Recommendation {
+    if f == 0 {
+        return Recommendation {
+            kind: ProtocolKind::Herlihy,
+            objects: 1,
+            tolerance: Tolerance::new(0, 0, Bound::Unbounded),
+        };
+    }
+    if n <= Bound::Finite(2) {
+        // Theorem 4: one (possibly faulty) object suffices for n = 2.
+        return Recommendation {
+            kind: ProtocolKind::TwoProcess,
+            objects: 1,
+            tolerance: Tolerance::new(f, Bound::Unbounded, 2),
+        };
+    }
+    match t {
+        Bound::Finite(t_val) if t_val >= 1 && n <= Bound::Finite(f + 1) => {
+            // Theorem 6: f objects suffice when n ≤ f + 1.
+            Recommendation {
+                kind: ProtocolKind::Staged,
+                objects: f as usize,
+                tolerance: Tolerance::new(f, t_val, f + 1),
+            }
+        }
+        _ => {
+            // Theorem 5: f + 1 objects for unbounded t or larger n —
+            // optimal by Theorems 18/19.
+            Recommendation {
+                kind: ProtocolKind::Cascade,
+                objects: (f + 1) as usize,
+                tolerance: Tolerance::f_tolerant(f),
+            }
+        }
+    }
+}
+
+/// Instantiate a recommendation over an ensemble (which must have exactly
+/// `rec.objects` objects). `f`/`t` must be the values the recommendation
+/// was computed from.
+pub fn build<E: CasEnsemble + 'static>(
+    rec: Recommendation,
+    ensemble: Arc<E>,
+    f: u64,
+    t: Bound,
+) -> Arc<dyn Consensus> {
+    match rec.kind {
+        ProtocolKind::Herlihy => Arc::new(HerlihyConsensus::new(ensemble)),
+        ProtocolKind::TwoProcess => Arc::new(TwoProcessConsensus::new(ensemble)),
+        ProtocolKind::Cascade => Arc::new(CascadeConsensus::new(ensemble, f as usize)),
+        ProtocolKind::Staged => {
+            let t = t.finite().expect("staged recommendation implies finite t");
+            Arc::new(StagedConsensus::new(ensemble, f, t))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_cas::AtomicCasArray;
+    use ff_spec::Input;
+
+    #[test]
+    fn no_faults_herlihy() {
+        let r = recommend(0, Bound::Finite(0), Bound::Unbounded);
+        assert_eq!(r.kind, ProtocolKind::Herlihy);
+        assert_eq!(r.objects, 1);
+    }
+
+    #[test]
+    fn two_processes_one_object() {
+        let r = recommend(5, Bound::Unbounded, Bound::Finite(2));
+        assert_eq!(r.kind, ProtocolKind::TwoProcess);
+        assert_eq!(r.objects, 1);
+    }
+
+    #[test]
+    fn unbounded_t_cascade() {
+        let r = recommend(3, Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(r.kind, ProtocolKind::Cascade);
+        assert_eq!(r.objects, 4);
+    }
+
+    #[test]
+    fn bounded_t_few_processes_staged() {
+        let r = recommend(3, Bound::Finite(2), Bound::Finite(4));
+        assert_eq!(r.kind, ProtocolKind::Staged);
+        assert_eq!(r.objects, 3, "saves one object vs the cascade");
+    }
+
+    #[test]
+    fn bounded_t_many_processes_cascade() {
+        // n > f + 1: Theorem 19 forbids f objects; fall back to f + 1.
+        let r = recommend(3, Bound::Finite(2), Bound::Finite(5));
+        assert_eq!(r.kind, ProtocolKind::Cascade);
+        assert_eq!(r.objects, 4);
+    }
+
+    #[test]
+    fn recommendations_meet_requests() {
+        for f in 0..4u64 {
+            for t in [Bound::Finite(1), Bound::Finite(3), Bound::Unbounded] {
+                for n in [Bound::Finite(2), Bound::Finite(f + 1), Bound::Unbounded] {
+                    let requested = Tolerance { f, t, n };
+                    let r = recommend(f, t, n);
+                    assert!(
+                        requested.subsumed_by(&r.tolerance),
+                        "request {requested} not covered by {:?}",
+                        r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_constructs_each_kind() {
+        for (f, t, n) in [
+            (0, Bound::Finite(0), Bound::Unbounded),
+            (2, Bound::Unbounded, Bound::Finite(2)),
+            (2, Bound::Unbounded, Bound::Unbounded),
+            (2, Bound::Finite(1), Bound::Finite(3)),
+        ] {
+            let rec = recommend(f, t, n);
+            let ensemble = Arc::new(AtomicCasArray::new(rec.objects));
+            let protocol = build(rec, ensemble, f, t);
+            assert_eq!(protocol.objects_used(), rec.objects);
+            assert_eq!(protocol.decide(Input(9)), Input(9));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! A second primitive under functional faults — the future-work probe
+//! the paper's conclusion asks for ("examine other widely used functions
+//! with natural faults").
+//!
+//! Test-and-set over a binary cell, expressed in this model as
+//! `CAS(O_0, ⊥, 1)` (win iff the old value was `⊥`), combined with
+//! announce registers, solves consensus for two processes. Two measured
+//! observations fall out of the model checker:
+//!
+//! * **TAS is structurally immune to the overriding fault.** The only
+//!   value ever written is `1`; an overriding write of `1` over `1`
+//!   leaves the cell unchanged and returns the correct old value, so it
+//!   satisfies the standard postconditions — per Definition 1 it is not
+//!   a fault at all. The explorer confirms: zero fault opportunities
+//!   exist, and the protocol verifies even under an unbounded plan.
+//! * **TAS is vulnerable to the silent fault**, which drops the winning
+//!   set: a second caller also "wins" and the two deciders split.
+//!
+//! The contrast shows the functional-fault lens doing work beyond the
+//! paper's CAS case study: which deviations matter depends on how the
+//! *usage pattern* exercises the operation's postconditions.
+
+use ff_sim::{Op, OpResult, Process, RegId, Status};
+use ff_spec::{Input, ObjectId, BOTTOM};
+
+/// Word written into the TAS cell by a winner.
+const SET: u64 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Write own input to register `id`.
+    Announce,
+    /// `TAS(O_0)` — i.e. `CAS(O_0, ⊥, 1)`.
+    Race,
+    /// Lost: read the other process's announcement.
+    ReadWinner,
+}
+
+/// Two-process consensus from one test-and-set cell plus two announce
+/// registers.
+#[derive(Clone, Debug)]
+pub struct TasConsensusMachine {
+    id: usize,
+    input: Input,
+    phase: Phase,
+    status: Status,
+}
+
+impl TasConsensusMachine {
+    /// Machine for process `id ∈ {0, 1}`.
+    pub fn new(id: usize, input: Input) -> Self {
+        assert!(id < 2, "test-and-set solves consensus for two processes");
+        TasConsensusMachine {
+            id,
+            input,
+            phase: Phase::Announce,
+            status: Status::Running,
+        }
+    }
+
+    /// The two machines for inputs `(a, b)`.
+    pub fn pair(a: Input, b: Input) -> Vec<Box<dyn Process>> {
+        vec![
+            Box::new(TasConsensusMachine::new(0, a)),
+            Box::new(TasConsensusMachine::new(1, b)),
+        ]
+    }
+}
+
+impl Process for TasConsensusMachine {
+    fn next_op(&self) -> Op {
+        match self.phase {
+            Phase::Announce => Op::Write(RegId(self.id), self.input.to_word()),
+            Phase::Race => Op::Cas {
+                obj: ObjectId(0),
+                exp: BOTTOM,
+                new: SET,
+            },
+            Phase::ReadWinner => Op::Read(RegId(1 - self.id)),
+        }
+    }
+
+    fn apply(&mut self, result: OpResult) -> Status {
+        match self.phase {
+            Phase::Announce => {
+                self.phase = Phase::Race;
+            }
+            Phase::Race => {
+                if result.cas_old() == BOTTOM {
+                    // Won the TAS: our own input is the decision.
+                    self.status = Status::Decided(self.input);
+                } else {
+                    self.phase = Phase::ReadWinner;
+                }
+            }
+            Phase::ReadWinner => {
+                if let OpResult::Read(v) = result {
+                    let winner = Input::from_word(v).expect("the winner announced before racing");
+                    self.status = Status::Decided(winner);
+                }
+            }
+        }
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn input(&self) -> Input {
+        self.input
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        vec![
+            self.id as u64,
+            self.input.0 as u64,
+            match self.phase {
+                Phase::Announce => 0,
+                Phase::Race => 1,
+                Phase::ReadWinner => 2,
+            },
+            self.status.word(),
+        ]
+    }
+
+    fn box_clone(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+    use ff_spec::Bound;
+
+    fn state(plan: FaultPlan) -> SimState {
+        SimState::new(
+            TasConsensusMachine::pair(Input(10), Input(20)),
+            Heap::new(1, 2),
+            plan,
+        )
+    }
+
+    #[test]
+    fn fault_free_tas_consensus_verifies() {
+        let report = explore(state(FaultPlan::none()), ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn tas_is_immune_to_unbounded_overriding_faults() {
+        // The overriding plan offers ZERO observable opportunities: the
+        // only written value is 1, so overriding 1 over 1 (or the
+        // legitimate ⊥ → 1) satisfies the standard postconditions.
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let report = explore(state(plan), ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn tas_breaks_under_one_silent_fault() {
+        // The silent fault drops the winning set: both processes win and
+        // decide their own inputs.
+        let plan = FaultPlan::silent(1, Bound::Finite(1));
+        let report = explore(state(plan), ExplorerConfig::default());
+        assert!(report.violation.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn machine_loser_adopts_winner() {
+        let mut loser = TasConsensusMachine::new(1, Input(20));
+        loser.apply(OpResult::Write);
+        assert_eq!(
+            loser.next_op(),
+            Op::Cas {
+                obj: ObjectId(0),
+                exp: BOTTOM,
+                new: SET
+            }
+        );
+        loser.apply(OpResult::Cas { old: SET }); // lost
+        assert_eq!(loser.next_op(), Op::Read(RegId(0)));
+        assert_eq!(loser.apply(OpResult::Read(10)), Status::Decided(Input(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two processes")]
+    fn three_process_tas_rejected() {
+        let _ = TasConsensusMachine::new(2, Input(1));
+    }
+}

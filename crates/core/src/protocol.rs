@@ -1,0 +1,54 @@
+//! The blocking consensus-protocol interface for native execution.
+
+use ff_spec::{Input, Tolerance};
+
+/// A wait-free consensus protocol over a CAS ensemble.
+///
+/// `decide` may be called once per participating process (from any
+/// thread); every call returns the single agreed value, which is some
+/// caller's input — provided the execution stays within the protocol's
+/// documented [`Consensus::tolerance`].
+pub trait Consensus: Send + Sync {
+    /// Run this process's consensus protocol with input `val` and return
+    /// the decided value.
+    fn decide(&self, val: Input) -> Input;
+
+    /// The `(f, t, n)`-tolerance this construction guarantees.
+    fn tolerance(&self) -> Tolerance;
+
+    /// Number of CAS objects the construction uses.
+    fn objects_used(&self) -> usize;
+
+    /// A short human-readable name (for reports and tables).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_spec::Bound;
+
+    struct Fixed;
+    impl Consensus for Fixed {
+        fn decide(&self, _val: Input) -> Input {
+            Input(7)
+        }
+        fn tolerance(&self) -> Tolerance {
+            Tolerance::new(0, 0, Bound::Unbounded)
+        }
+        fn objects_used(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let c: Box<dyn Consensus> = Box::new(Fixed);
+        assert_eq!(c.decide(Input(1)), Input(7));
+        assert_eq!(c.objects_used(), 0);
+        assert_eq!(c.name(), "fixed");
+    }
+}

@@ -1,0 +1,156 @@
+//! Native-thread execution harness: spawn one OS thread per process, run
+//! `decide`, collect outcomes with a deadline.
+//!
+//! Threads are detached rather than joined so that nonresponsive faults
+//! (whose CAS never returns, Section 3.4) show up as missing outcomes —
+//! an operational wait-freedom violation — instead of hanging the
+//! harness.
+
+use crate::protocol::Consensus;
+use ff_cas::set_thread_process_id;
+use ff_spec::{check_consensus, ConsensusVerdict, Input, Outcome, ProcessId};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The result of one native execution.
+#[derive(Clone, Debug)]
+pub struct NativeRunReport {
+    /// Per-process outcomes (missing decisions are `None`).
+    pub outcomes: Vec<Outcome>,
+    /// The consensus verdict over the outcomes.
+    pub verdict: ConsensusVerdict,
+    /// Wall-clock time from first spawn to last collection.
+    pub elapsed: Duration,
+}
+
+impl NativeRunReport {
+    /// `true` iff the execution satisfied consensus.
+    pub fn ok(&self) -> bool {
+        self.verdict.ok()
+    }
+}
+
+/// Run `protocol.decide` concurrently with the given inputs, one thread
+/// per process, collecting decisions until `timeout`.
+pub fn run_native(
+    protocol: Arc<dyn Consensus>,
+    inputs: &[Input],
+    timeout: Duration,
+) -> NativeRunReport {
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel::<(usize, Input)>();
+
+    for (i, &input) in inputs.iter().enumerate() {
+        let protocol = Arc::clone(&protocol);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            set_thread_process_id(ProcessId(i));
+            let decision = protocol.decide(input);
+            let _ = tx.send((i, decision));
+        });
+    }
+    drop(tx);
+
+    let mut decisions: Vec<Option<Input>> = vec![None; inputs.len()];
+    let deadline = start + timeout;
+    let mut collected = 0;
+    while collected < inputs.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok((i, d)) => {
+                decisions[i] = Some(d);
+                collected += 1;
+            }
+            Err(_) => break, // timeout or all senders dropped (panicked)
+        }
+    }
+
+    let outcomes: Vec<Outcome> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &input)| Outcome {
+            process: ProcessId(i),
+            input,
+            decision: decisions[i],
+            steps: 0,
+        })
+        .collect();
+    let verdict = check_consensus(&outcomes, None);
+    NativeRunReport {
+        outcomes,
+        verdict,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::CascadeConsensus;
+    use crate::herlihy::HerlihyConsensus;
+    use ff_cas::{AlwaysPolicy, AtomicCasArray, CasEnsemble, FaultyCasArray};
+    use ff_spec::{Bound, FaultKind, ObjectId};
+
+    #[test]
+    fn herlihy_native_run_agrees() {
+        let protocol: Arc<dyn Consensus> =
+            Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1))));
+        let inputs: Vec<Input> = (0..6).map(Input).collect();
+        let report = run_native(protocol, &inputs, Duration::from_secs(5));
+        assert!(report.ok(), "{:?}", report.verdict.violations);
+        assert!(report.verdict.agreed.is_some());
+    }
+
+    #[test]
+    fn cascade_native_run_under_faults() {
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(3)
+                .faulty_first(2)
+                .per_object(Bound::Unbounded)
+                .policy(AlwaysPolicy)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(CascadeConsensus::new(ensemble, 2));
+        let inputs: Vec<Input> = (10..15).map(Input).collect();
+        let report = run_native(protocol, &inputs, Duration::from_secs(5));
+        assert!(report.ok(), "{:?}", report.verdict.violations);
+    }
+
+    #[test]
+    fn nonresponsive_fault_shows_as_missing_outcome() {
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(1)
+                .kind(FaultKind::Nonresponsive)
+                .faulty_first(1)
+                .per_object(Bound::Finite(1))
+                .policy(AlwaysPolicy)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(HerlihyConsensus::new(Arc::clone(&ensemble)));
+        let inputs: Vec<Input> = (0..3).map(Input).collect();
+        let report = run_native(protocol, &inputs, Duration::from_millis(500));
+        // Exactly one process hung (budget t = 1); the others decided.
+        let missing = report
+            .outcomes
+            .iter()
+            .filter(|o| o.decision.is_none())
+            .count();
+        assert_eq!(missing, 1, "{:?}", report.outcomes);
+        assert!(!report.ok());
+        // Unblock check: the budget is spent, so a fresh CAS responds.
+        let _ = ensemble.cas(ObjectId(0), ff_spec::BOTTOM, 1);
+    }
+
+    #[test]
+    fn zero_processes_trivially_ok() {
+        let protocol: Arc<dyn Consensus> =
+            Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1))));
+        let report = run_native(protocol, &[], Duration::from_millis(100));
+        assert!(report.ok());
+        assert!(report.outcomes.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! `⟨value, stage⟩` packing for the staged protocol (Figure 3).
+//!
+//! The paper's model gives each CAS *object* a single value, so the staged
+//! protocol's pairs must fit one machine word for the native path to stay
+//! a genuine single-word CAS. Layout: stage in bits 63..32, value in bits
+//! 31..0. `⊥` is the all-ones word; stages are capped below `u32::MAX` so
+//! no packed pair collides with it.
+
+use ff_spec::{Input, Word, BOTTOM};
+
+/// Maximum representable stage.
+pub const MAX_STAGE: u32 = u32::MAX - 1;
+
+/// A `⟨value, stage⟩` pair as stored in the staged protocol's cells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StageValue {
+    /// The carried decision estimate.
+    pub val: Input,
+    /// The stage it was written in.
+    pub stage: u32,
+}
+
+impl StageValue {
+    /// Construct, checking the stage cap.
+    pub fn new(val: Input, stage: u32) -> Self {
+        assert!(stage <= MAX_STAGE, "stage {stage} exceeds MAX_STAGE");
+        StageValue { val, stage }
+    }
+
+    /// Pack into a word (never collides with `⊥`).
+    #[inline]
+    pub fn pack(self) -> Word {
+        ((self.stage as Word) << 32) | self.val.0 as Word
+    }
+
+    /// Unpack a word; `None` for `⊥`.
+    #[inline]
+    pub fn unpack(w: Word) -> Option<Self> {
+        if w == BOTTOM {
+            return None;
+        }
+        Some(StageValue {
+            val: Input((w & 0xFFFF_FFFF) as u32),
+            stage: (w >> 32) as u32,
+        })
+    }
+
+    /// The stage of a cell word, with `⊥` reading as "before every stage"
+    /// (−1): the comparison `old.stage ≥ s` in Figure 3 line 8 is then
+    /// false for `⊥`, which is the reading under which the protocol's
+    /// retry path (line 15) handles not-yet-written objects.
+    #[inline]
+    pub fn stage_of(w: Word) -> i64 {
+        match Self::unpack(w) {
+            None => -1,
+            Some(sv) => sv.stage as i64,
+        }
+    }
+}
+
+impl std::fmt::Display for StageValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.val, self.stage)
+    }
+}
+
+/// Figure 3's stage bound: `maxStage = t · (4f + f²)` (Theorem 6). The
+/// paper notes an earlier cutoff might work; this is the proven one.
+pub fn max_stage(f: u64, t: u64) -> u32 {
+    let ms = t
+        .checked_mul(4 * f + f * f)
+        .expect("maxStage overflows u64");
+    u32::try_from(ms).expect("maxStage exceeds representable stages")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trip() {
+        for (v, s) in [(0u32, 0u32), (7, 3), (u32::MAX, 0), (0, MAX_STAGE)] {
+            let sv = StageValue::new(Input(v), s);
+            assert_eq!(StageValue::unpack(sv.pack()), Some(sv));
+        }
+    }
+
+    #[test]
+    fn bottom_is_not_a_pair() {
+        assert_eq!(StageValue::unpack(BOTTOM), None);
+        // Max legal pair still differs from ⊥.
+        let top = StageValue::new(Input(u32::MAX), MAX_STAGE);
+        assert_ne!(top.pack(), BOTTOM);
+    }
+
+    #[test]
+    fn stage_of_reads_bottom_as_minus_one() {
+        assert_eq!(StageValue::stage_of(BOTTOM), -1);
+        assert_eq!(StageValue::stage_of(StageValue::new(Input(1), 5).pack()), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_STAGE")]
+    fn stage_cap_enforced() {
+        let _ = StageValue::new(Input(0), u32::MAX);
+    }
+
+    #[test]
+    fn max_stage_formula() {
+        // t · (4f + f²)
+        assert_eq!(max_stage(1, 1), 5);
+        assert_eq!(max_stage(2, 1), 12);
+        assert_eq!(max_stage(2, 3), 36);
+        assert_eq!(max_stage(3, 2), 42);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(StageValue::new(Input(9), 2).to_string(), "⟨9, 2⟩");
+    }
+}

@@ -1,0 +1,604 @@
+//! Exhaustive state-space exploration: the proof engine of the
+//! reproduction.
+//!
+//! The explorer enumerates **every** interleaving of process steps and
+//! **every** allowed fault decision (within the `(f, t)` budget) from an
+//! initial [`SimState`]. Upper-bound experiments (Theorems 4–6) assert
+//! that no reachable terminal state violates consensus; lower-bound
+//! experiments (Theorems 18–19) assert that a violating execution *is*
+//! reachable, and extract it as a replayable [`Witness`].
+//!
+//! Memoization uses exact state keys (no hashing of lossy fingerprints),
+//! so pruning can never mask a reachable violation. Cycles in the state
+//! graph — which witness possible nontermination, e.g. unbounded silent
+//! faults starving the Herlihy protocol (Section 3.4) — are detected and
+//! reported.
+
+use crate::executor::{run, RunConfig, RunReport};
+use crate::fault_ctl::{FaultPlan, ScriptedFault};
+use crate::heap::Heap;
+use crate::process::Process;
+use crate::scheduler::Scripted;
+use crate::state::{Choice, SimState};
+use ff_spec::{check_consensus, ConsensusViolation, Outcome};
+use std::collections::{BTreeSet, HashSet};
+
+/// Per-kind counts of violating terminal states — the raw material of
+/// graceful-degradation analysis (which consensus properties survive when
+/// an execution leaves the tolerance envelope).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViolationCounts {
+    /// Terminals with a validity violation.
+    pub validity: u64,
+    /// Terminals with a consistency violation.
+    pub consistency: u64,
+    /// Terminals with a wait-freedom violation.
+    pub wait_freedom: u64,
+}
+
+impl ViolationCounts {
+    /// Absorb one terminal's violation list (each kind counted once per
+    /// terminal).
+    pub fn absorb(&mut self, violations: &[ConsensusViolation]) {
+        let mut v = (false, false, false);
+        for x in violations {
+            match x {
+                ConsensusViolation::Validity { .. } => v.0 = true,
+                ConsensusViolation::Consistency { .. } => v.1 = true,
+                ConsensusViolation::WaitFreedom { .. } => v.2 = true,
+            }
+        }
+        self.validity += v.0 as u64;
+        self.consistency += v.1 as u64;
+        self.wait_freedom += v.2 as u64;
+    }
+
+    /// Total violating terminals observed (by any kind).
+    pub fn any(&self) -> u64 {
+        self.validity.max(self.consistency).max(self.wait_freedom)
+    }
+}
+
+/// Configuration of an exhaustive exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplorerConfig {
+    /// Stop (reporting truncation) after expanding this many distinct
+    /// states.
+    pub max_states: u64,
+    /// Do not explore paths deeper than this many steps.
+    pub max_depth: usize,
+    /// Return as soon as the first violation is found.
+    pub stop_at_first_violation: bool,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            max_states: 2_000_000,
+            max_depth: 100_000,
+            stop_at_first_violation: true,
+        }
+    }
+}
+
+/// A replayable violating execution.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The choice sequence from the initial state to the violating
+    /// terminal.
+    pub choices: Vec<Choice>,
+    /// The outcomes at the violating terminal.
+    pub outcomes: Vec<Outcome>,
+    /// The consensus properties violated.
+    pub violations: Vec<ConsensusViolation>,
+}
+
+impl Witness {
+    /// Re-execute this witness through the run-to-completion driver,
+    /// producing a full trace for display. `processes`/`heap`/`plan` must
+    /// be the same initial configuration the exploration started from.
+    pub fn replay(
+        &self,
+        processes: Vec<Box<dyn Process>>,
+        heap: Heap,
+        plan: &FaultPlan,
+    ) -> RunReport {
+        let mut scheduler = Scripted::new(self.choices.iter().map(|c| c.pid));
+        let mut oracle = ScriptedFault::new(
+            self.choices
+                .iter()
+                .filter(|c| c.had_opportunity)
+                .map(|c| c.decision),
+        );
+        run(
+            processes,
+            heap,
+            plan,
+            &mut scheduler,
+            &mut oracle,
+            RunConfig::default(),
+        )
+    }
+}
+
+/// The result of an exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Distinct non-terminal states expanded.
+    pub states_expanded: u64,
+    /// Terminal states reached (counted per path; a terminal reached along
+    /// many paths counts once per arrival before memoization prunes).
+    pub terminals: u64,
+    /// The first violating execution found, if any.
+    pub violation: Option<Witness>,
+    /// Agreed decision values seen across consistent terminals.
+    pub agreed_values: BTreeSet<u32>,
+    /// `true` iff the exploration hit `max_states` or `max_depth`.
+    pub truncated: bool,
+    /// Deepest path explored.
+    pub max_depth_seen: usize,
+    /// `true` iff a cycle in the state graph was found (an adversary can
+    /// prevent termination: a wait-freedom violation in the unbounded
+    /// sense).
+    pub cycle_found: bool,
+    /// Per-kind counts of violating terminals (populate fully by running
+    /// with `stop_at_first_violation: false`).
+    pub violation_counts: ViolationCounts,
+}
+
+impl ExploreReport {
+    /// `true` iff exploration was exhaustive (not truncated) and found
+    /// neither violations nor cycles: the configuration provably satisfies
+    /// consensus for every schedule and fault pattern within budget.
+    pub fn verified(&self) -> bool {
+        !self.truncated && self.violation.is_none() && !self.cycle_found
+    }
+}
+
+struct Frame {
+    state: SimState,
+    choices: Vec<Choice>,
+    next: usize,
+    /// The choice that produced this frame's state (`None` for the root).
+    leading: Option<Choice>,
+    key: Vec<u64>,
+}
+
+/// Exhaustively explore all executions from `initial`.
+pub fn explore(initial: SimState, config: ExplorerConfig) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut visited: HashSet<Vec<u64>> = HashSet::new();
+    let mut on_stack: HashSet<Vec<u64>> = HashSet::new();
+
+    if initial.is_terminal() {
+        report.terminals = 1;
+        let outcomes = initial.outcomes();
+        let verdict = check_consensus(&outcomes, None);
+        if let Some(agreed) = verdict.agreed {
+            report.agreed_values.insert(agreed.0);
+        }
+        if !verdict.ok() {
+            report.violation_counts.absorb(&verdict.violations);
+            report.violation = Some(Witness {
+                choices: Vec::new(),
+                outcomes,
+                violations: verdict.violations,
+            });
+        }
+        return report;
+    }
+
+    let root_key = initial.key();
+    visited.insert(root_key.clone());
+    on_stack.insert(root_key.clone());
+    report.states_expanded = 1;
+    let mut stack = vec![Frame {
+        choices: initial.choices(),
+        state: initial,
+        next: 0,
+        leading: None,
+        key: root_key,
+    }];
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.choices.len() {
+            on_stack.remove(&frame.key);
+            stack.pop();
+            continue;
+        }
+        let choice = frame.choices[frame.next];
+        frame.next += 1;
+
+        let succ = frame.state.successor(choice);
+        let depth = stack.len(); // steps taken to reach succ
+        report.max_depth_seen = report.max_depth_seen.max(depth);
+
+        if succ.is_terminal() {
+            report.terminals += 1;
+            let outcomes = succ.outcomes();
+            let verdict = check_consensus(&outcomes, None);
+            if let Some(agreed) = verdict.agreed {
+                report.agreed_values.insert(agreed.0);
+            }
+            if !verdict.ok() {
+                report.violation_counts.absorb(&verdict.violations);
+            }
+            if !verdict.ok() && report.violation.is_none() {
+                let mut choices: Vec<Choice> = stack.iter().filter_map(|f| f.leading).collect();
+                choices.push(choice);
+                report.violation = Some(Witness {
+                    choices,
+                    outcomes,
+                    violations: verdict.violations,
+                });
+                if config.stop_at_first_violation {
+                    return report;
+                }
+            }
+            continue;
+        }
+
+        let key = succ.key();
+        if on_stack.contains(&key) {
+            report.cycle_found = true;
+            continue;
+        }
+        if !visited.insert(key.clone()) {
+            continue;
+        }
+        report.states_expanded += 1;
+        if report.states_expanded >= config.max_states {
+            report.truncated = true;
+            return report;
+        }
+        if depth >= config.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        on_stack.insert(key.clone());
+        stack.push(Frame {
+            choices: succ.choices(),
+            state: succ,
+            next: 0,
+            leading: Some(choice),
+            key,
+        });
+    }
+
+    report
+}
+
+/// Breadth-first exploration: like [`explore`], but visits states in
+/// nondecreasing path length, so the first violation found is a
+/// **shortest** violating execution — the most readable witness for a
+/// lower-bound report. Costs more memory than the DFS (the frontier holds
+/// cloned states); prefer [`explore`] for pure verification.
+pub fn explore_bfs(initial: SimState, config: ExplorerConfig) -> ExploreReport {
+    use std::collections::VecDeque;
+
+    let mut report = ExploreReport::default();
+    let mut visited: HashSet<Vec<u64>> = HashSet::new();
+
+    if initial.is_terminal() {
+        return explore(initial, config); // degenerate case: same handling
+    }
+
+    visited.insert(initial.key());
+    report.states_expanded = 1;
+    let mut frontier: VecDeque<(SimState, Vec<Choice>)> = VecDeque::new();
+    frontier.push_back((initial, Vec::new()));
+
+    while let Some((state, path)) = frontier.pop_front() {
+        report.max_depth_seen = report.max_depth_seen.max(path.len());
+        if path.len() >= config.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        for choice in state.choices() {
+            let succ = state.successor(choice);
+            if succ.is_terminal() {
+                report.terminals += 1;
+                let outcomes = succ.outcomes();
+                let verdict = check_consensus(&outcomes, None);
+                if let Some(agreed) = verdict.agreed {
+                    report.agreed_values.insert(agreed.0);
+                }
+                if !verdict.ok() && report.violation.is_none() {
+                    let mut choices = path.clone();
+                    choices.push(choice);
+                    report.violation = Some(Witness {
+                        choices,
+                        outcomes,
+                        violations: verdict.violations,
+                    });
+                    if config.stop_at_first_violation {
+                        return report;
+                    }
+                }
+                continue;
+            }
+            let key = succ.key();
+            if !visited.insert(key) {
+                // Already reached at an equal-or-smaller depth (BFS order):
+                // revisiting cannot shorten a witness. Cycles are detected
+                // by the DFS explorer, not here.
+                continue;
+            }
+            report.states_expanded += 1;
+            if report.states_expanded >= config.max_states {
+                report.truncated = true;
+                return report;
+            }
+            let mut next_path = path.clone();
+            next_path.push(choice);
+            frontier.push_back((succ, next_path));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+    use crate::ops::{Op, OpResult};
+    use crate::process::{Process, SoloDecider, Status};
+    use ff_spec::{Bound, Input, ObjectId, BOTTOM};
+
+    fn solos(inputs: &[u32], steps: u64) -> Vec<Box<dyn Process>> {
+        inputs
+            .iter()
+            .map(|&v| Box::new(SoloDecider::new(Input(v), steps)) as Box<dyn Process>)
+            .collect()
+    }
+
+    /// The naive Herlihy one-shot: CAS(O0, ⊥, input), decide winner.
+    #[derive(Clone)]
+    struct OneShot {
+        input: Input,
+        status: Status,
+    }
+    impl OneShot {
+        fn new(v: u32) -> Self {
+            OneShot {
+                input: Input(v),
+                status: Status::Running,
+            }
+        }
+    }
+    impl Process for OneShot {
+        fn next_op(&self) -> Op {
+            Op::Cas {
+                obj: ObjectId(0),
+                exp: BOTTOM,
+                new: self.input.to_word(),
+            }
+        }
+        fn apply(&mut self, result: OpResult) -> Status {
+            let old = result.cas_old();
+            let decided = Input::from_word(old).unwrap_or(self.input);
+            self.status = Status::Decided(decided);
+            self.status
+        }
+        fn status(&self) -> Status {
+            self.status
+        }
+        fn input(&self) -> Input {
+            self.input
+        }
+        fn snapshot(&self) -> Vec<u64> {
+            vec![
+                self.input.0 as u64,
+                match self.status {
+                    Status::Running => 0,
+                    Status::Decided(v) => 1 + v.0 as u64,
+                },
+            ]
+        }
+        fn box_clone(&self) -> Box<dyn Process> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn one_shots(inputs: &[u32]) -> Vec<Box<dyn Process>> {
+        inputs
+            .iter()
+            .map(|&v| Box::new(OneShot::new(v)) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn trivial_processes_verify() {
+        // SoloDeciders decide their own inputs; with equal inputs every
+        // terminal agrees, so the exploration verifies.
+        let state = SimState::new(solos(&[1, 1], 2), Heap::new(1, 0), FaultPlan::none());
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+        assert!(report.terminals >= 1);
+        assert_eq!(report.agreed_values, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn solo_deciders_with_distinct_inputs_violate_consistency() {
+        let state = SimState::new(solos(&[1, 2], 1), Heap::new(1, 0), FaultPlan::none());
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.violation.is_some());
+        let w = report.violation.unwrap();
+        assert!(w
+            .violations
+            .iter()
+            .any(|v| matches!(v, ConsensusViolation::Consistency { .. })));
+    }
+
+    #[test]
+    fn fault_free_one_shot_verifies_exhaustively() {
+        // Herlihy's protocol is correct without faults: no interleaving of
+        // 3 processes violates consensus (Section 2).
+        let state = SimState::new(one_shots(&[10, 20, 30]), Heap::new(1, 0), FaultPlan::none());
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+        // Each of the three processes can be first: all three values
+        // appear as agreed outcomes across schedules.
+        assert_eq!(
+            report.agreed_values,
+            BTreeSet::from([10, 20, 30]),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_one_shot_yields_violation_witness() {
+        // With one unboundedly-faulty object, the naive protocol breaks —
+        // and the explorer finds a concrete witness (E9's mechanism).
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20, 30]), Heap::new(1, 0), plan.clone());
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.violation.is_some(), "{report:?}");
+        let w = report.violation.as_ref().unwrap();
+
+        // The witness must replay to the same outcomes.
+        let replayed = w.replay(one_shots(&[10, 20, 30]), Heap::new(1, 0), &plan);
+        assert_eq!(replayed.outcomes, {
+            let mut outs = w.outcomes.clone();
+            // Witness outcomes carry steps = 0; align for comparison.
+            for (r, o) in replayed.outcomes.iter().zip(outs.iter_mut()) {
+                o.steps = r.steps;
+            }
+            outs
+        });
+        let verdict = check_consensus(&replayed.outcomes, None);
+        assert!(!verdict.ok(), "replay must reproduce the violation");
+    }
+
+    #[test]
+    fn two_process_one_shot_with_faults_is_still_safe() {
+        // Theorem 4's anomaly, mechanically: with n = 2 even unbounded
+        // overriding faults cannot break the single-object protocol,
+        // because an overriding write by the loser returns the winner's
+        // value (old) and the loser adopts it.
+        //
+        // NOTE: this is the *Figure 1* protocol in disguise: OneShot
+        // adopts `old` when old ≠ ⊥, exactly like decide() in Figure 1.
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20]), Heap::new(1, 0), plan);
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn max_states_truncation_is_reported() {
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20]), Heap::new(1, 0), plan);
+        let report = explore(
+            state,
+            ExplorerConfig {
+                max_states: 2,
+                max_depth: 100,
+                stop_at_first_violation: true,
+            },
+        );
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn max_depth_truncation_is_reported() {
+        let state = SimState::new(solos(&[1, 1], 50), Heap::new(1, 0), FaultPlan::none());
+        let report = explore(
+            state,
+            ExplorerConfig {
+                max_states: 1_000_000,
+                max_depth: 3,
+                stop_at_first_violation: true,
+            },
+        );
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn bfs_finds_the_shortest_witness() {
+        // The canonical Theorem 18 violation is 3 steps (one CAS per
+        // process); BFS must find exactly that.
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20, 30]), Heap::new(1, 0), plan);
+        let report = explore_bfs(state, ExplorerConfig::default());
+        let w = report.violation.expect("violation must exist");
+        assert_eq!(w.choices.len(), 3, "canonical witness is 3 steps: {w:?}");
+    }
+
+    #[test]
+    fn bfs_agrees_with_dfs_on_verification() {
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let mk = || SimState::new(one_shots(&[10, 20]), Heap::new(1, 0), plan.clone());
+        let dfs = explore(mk(), ExplorerConfig::default());
+        let bfs = explore_bfs(mk(), ExplorerConfig::default());
+        assert!(dfs.verified());
+        assert!(bfs.violation.is_none() && !bfs.truncated);
+        assert_eq!(dfs.agreed_values, bfs.agreed_values);
+    }
+
+    #[test]
+    fn bfs_witness_replays() {
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20, 30]), Heap::new(1, 0), plan.clone());
+        let report = explore_bfs(state, ExplorerConfig::default());
+        let w = report.violation.unwrap();
+        let replay = w.replay(one_shots(&[10, 20, 30]), Heap::new(1, 0), &plan);
+        assert!(!check_consensus(&replay.outcomes, None).ok());
+    }
+
+    #[test]
+    fn bfs_truncation_reported() {
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let state = SimState::new(one_shots(&[10, 20]), Heap::new(1, 0), plan);
+        let report = explore_bfs(
+            state,
+            ExplorerConfig {
+                max_states: 2,
+                max_depth: 100,
+                stop_at_first_violation: true,
+            },
+        );
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn cycle_detection_flags_potential_nontermination() {
+        // A process that CASes ⊥→⊥ forever... does not change state, so
+        // build a genuine 2-cycle: alternate writes between two register
+        // values.
+        #[derive(Clone)]
+        struct Flipper {
+            phase: u8,
+        }
+        impl Process for Flipper {
+            fn next_op(&self) -> Op {
+                Op::Write(crate::heap::RegId(0), (self.phase as u64) % 2)
+            }
+            fn apply(&mut self, _r: OpResult) -> Status {
+                self.phase = (self.phase + 1) % 2;
+                Status::Running
+            }
+            fn status(&self) -> Status {
+                Status::Running
+            }
+            fn input(&self) -> Input {
+                Input(0)
+            }
+            fn snapshot(&self) -> Vec<u64> {
+                vec![self.phase as u64]
+            }
+            fn box_clone(&self) -> Box<dyn Process> {
+                Box::new(self.clone())
+            }
+        }
+        let state = SimState::new(
+            vec![Box::new(Flipper { phase: 0 })],
+            Heap::new(0, 1),
+            FaultPlan::none(),
+        );
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.cycle_found);
+        assert!(!report.verified());
+    }
+}

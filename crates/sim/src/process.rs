@@ -1,0 +1,182 @@
+//! Simulated processes as explicit step machines.
+//!
+//! A [`Process`] is a deterministic local state machine that exposes the
+//! paper's step discipline: the executor asks for the next shared-memory
+//! operation ([`Process::next_op`]), performs it (possibly faultily), and
+//! feeds back the result ([`Process::apply`]). Splitting request from
+//! application lets the exhaustive explorer branch on scheduling *and* on
+//! fault decisions without ever rolling back a process.
+//!
+//! Implementations must be fully deterministic functions of their local
+//! state and the results they receive, and must expose that local state
+//! exactly through [`Process::snapshot`] so the explorer can memoize
+//! execution states without hash-collision risk.
+
+use crate::ops::{Op, OpResult};
+use ff_spec::Input;
+
+/// The externally visible status of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Status {
+    /// Still executing the protocol.
+    Running,
+    /// Terminated with a decision.
+    Decided(Input),
+}
+
+impl Status {
+    /// The decision, if terminated.
+    pub fn decision(self) -> Option<Input> {
+        match self {
+            Status::Running => None,
+            Status::Decided(v) => Some(v),
+        }
+    }
+
+    /// A collision-free word encoding for [`Process::snapshot`]
+    /// implementations: 0 for running, `1 + input` for decided.
+    pub fn word(self) -> u64 {
+        match self {
+            Status::Running => 0,
+            Status::Decided(v) => 1 + v.0 as u64,
+        }
+    }
+}
+
+/// A deterministic step-machine process.
+pub trait Process: Send {
+    /// The shared-memory operation this process performs in its next step.
+    /// Only called while [`Process::status`] is [`Status::Running`]; must
+    /// be a pure function of the local state (calling it twice without an
+    /// intervening [`Process::apply`] returns the same op).
+    fn next_op(&self) -> Op;
+
+    /// Consume the result of the step most recently requested via
+    /// [`Process::next_op`] and advance the local state. Returns the new
+    /// status.
+    fn apply(&mut self, result: OpResult) -> Status;
+
+    /// Current status.
+    fn status(&self) -> Status;
+
+    /// This process's input value (for consensus-style tasks).
+    fn input(&self) -> Input;
+
+    /// An exact encoding of the local state as words. Two processes of the
+    /// same concrete type with equal snapshots must behave identically on
+    /// all future schedules. Used (with the heap snapshot) as the
+    /// explorer's memoization key — exact, so memoization can never mask a
+    /// reachable violation.
+    fn snapshot(&self) -> Vec<u64>;
+
+    /// Clone into a boxed trait object (processes are snapshotted wholesale
+    /// during DFS branching).
+    fn box_clone(&self) -> Box<dyn Process>;
+}
+
+impl Clone for Box<dyn Process> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A trivial process that performs `local_steps` local steps and then
+/// decides its own input. Useful for executor and scheduler tests.
+#[derive(Clone, Debug)]
+pub struct SoloDecider {
+    input: Input,
+    remaining: u64,
+    status: Status,
+}
+
+impl SoloDecider {
+    /// A process that decides its input after `local_steps` local steps.
+    pub fn new(input: Input, local_steps: u64) -> Self {
+        SoloDecider {
+            input,
+            remaining: local_steps,
+            status: Status::Running,
+        }
+    }
+}
+
+impl Process for SoloDecider {
+    fn next_op(&self) -> Op {
+        Op::Local
+    }
+
+    fn apply(&mut self, _result: OpResult) -> Status {
+        if self.remaining == 0 {
+            self.status = Status::Decided(self.input);
+        } else {
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                self.status = Status::Decided(self.input);
+            }
+        }
+        self.status
+    }
+
+    fn status(&self) -> Status {
+        self.status
+    }
+
+    fn input(&self) -> Input {
+        self.input
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        let status_word = self.status.word();
+        vec![self.input.0 as u64, self.remaining, status_word]
+    }
+
+    fn box_clone(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_decision() {
+        assert_eq!(Status::Running.decision(), None);
+        assert_eq!(Status::Decided(Input(3)).decision(), Some(Input(3)));
+    }
+
+    #[test]
+    fn solo_decider_counts_down() {
+        let mut p = SoloDecider::new(Input(9), 2);
+        assert_eq!(p.status(), Status::Running);
+        assert_eq!(p.next_op(), Op::Local);
+        assert_eq!(p.apply(OpResult::Local), Status::Running);
+        assert_eq!(p.apply(OpResult::Local), Status::Decided(Input(9)));
+        assert_eq!(p.status().decision(), Some(Input(9)));
+    }
+
+    #[test]
+    fn solo_decider_zero_steps_decides_immediately() {
+        let mut p = SoloDecider::new(Input(1), 0);
+        assert_eq!(p.apply(OpResult::Local), Status::Decided(Input(1)));
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut p = SoloDecider::new(Input(5), 3);
+        p.apply(OpResult::Local);
+        let boxed: Box<dyn Process> = Box::new(p);
+        let copy = boxed.clone();
+        assert_eq!(copy.snapshot(), boxed.snapshot());
+        assert_eq!(copy.input(), Input(5));
+    }
+
+    #[test]
+    fn snapshot_distinguishes_progress() {
+        let mut a = SoloDecider::new(Input(5), 3);
+        let b = SoloDecider::new(Input(5), 3);
+        assert_eq!(a.snapshot(), b.snapshot());
+        a.apply(OpResult::Local);
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+}

@@ -1,0 +1,198 @@
+//! Schedulers: who takes the next step.
+//!
+//! The paper's model is fully asynchronous — any interleaving of process
+//! steps is a legal execution. Schedulers range from fair round-robin
+//! (benign), through seeded-random (stress testing), to scripted schedules
+//! (replaying explorer witnesses and building the proofs' adversarial
+//! executions).
+
+use ff_spec::ProcessId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Picks which runnable process takes the next step.
+pub trait Scheduler: Send {
+    /// Choose one of `runnable` (non-empty, sorted by id) to step next.
+    fn pick(&mut self, runnable: &[ProcessId]) -> ProcessId;
+}
+
+/// Fair round-robin over process ids.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[ProcessId]) -> ProcessId {
+        // Find the first runnable id ≥ the cursor, wrapping around.
+        let chosen = runnable
+            .iter()
+            .copied()
+            .find(|p| p.0 >= self.next)
+            .unwrap_or(runnable[0]);
+        self.next = chosen.0 + 1;
+        chosen
+    }
+}
+
+/// Uniform random choice, seeded for replayability.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: SmallRng,
+}
+
+impl SeededRandom {
+    /// A random scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn pick(&mut self, runnable: &[ProcessId]) -> ProcessId {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Replays a fixed schedule, then falls back to round-robin. If a scripted
+/// process is not currently runnable, the script entry is skipped (this
+/// keeps witness replay robust when a process decides slightly earlier
+/// than the script anticipated).
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: VecDeque<ProcessId>,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// A scheduler replaying `script`.
+    pub fn new(script: impl IntoIterator<Item = ProcessId>) -> Self {
+        Scripted {
+            script: script.into_iter().collect(),
+            fallback: RoundRobin::new(),
+        }
+    }
+
+    /// Entries remaining in the script.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for Scripted {
+    fn pick(&mut self, runnable: &[ProcessId]) -> ProcessId {
+        while let Some(p) = self.script.pop_front() {
+            if runnable.contains(&p) {
+                return p;
+            }
+        }
+        self.fallback.pick(runnable)
+    }
+}
+
+/// Runs one process solo for as long as it is runnable, then falls back to
+/// round-robin over the rest. The building block of the proofs' "let `p`
+/// run alone until it decides" constructions.
+#[derive(Clone, Debug)]
+pub struct SoloFirst {
+    solo: ProcessId,
+    fallback: RoundRobin,
+}
+
+impl SoloFirst {
+    /// Scheduler running `solo` until it is no longer runnable.
+    pub fn new(solo: ProcessId) -> Self {
+        SoloFirst {
+            solo,
+            fallback: RoundRobin::new(),
+        }
+    }
+}
+
+impl Scheduler for SoloFirst {
+    fn pick(&mut self, runnable: &[ProcessId]) -> ProcessId {
+        if runnable.contains(&self.solo) {
+            self.solo
+        } else {
+            self.fallback.pick(runnable)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<ProcessId> {
+        v.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut s = RoundRobin::new();
+        let r = ids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|_| s.pick(&r).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_non_runnable() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.pick(&ids(&[0, 1, 2])), ProcessId(0));
+        // p1 decided; remaining are p0 and p2. Cursor is at 1 → picks p2.
+        assert_eq!(s.pick(&ids(&[0, 2])), ProcessId(2));
+        assert_eq!(s.pick(&ids(&[0, 2])), ProcessId(0));
+    }
+
+    #[test]
+    fn seeded_random_is_replayable_and_in_range() {
+        let r = ids(&[0, 1, 2, 3]);
+        let mut a = SeededRandom::new(7);
+        let mut b = SeededRandom::new(7);
+        for _ in 0..100 {
+            let (x, y) = (a.pick(&r), b.pick(&r));
+            assert_eq!(x, y);
+            assert!(r.contains(&x));
+        }
+    }
+
+    #[test]
+    fn scripted_replays_then_falls_back() {
+        let mut s = Scripted::new(ids(&[2, 2, 0]));
+        let r = ids(&[0, 1, 2]);
+        assert_eq!(s.pick(&r), ProcessId(2));
+        assert_eq!(s.pick(&r), ProcessId(2));
+        assert_eq!(s.pick(&r), ProcessId(0));
+        assert_eq!(s.remaining(), 0);
+        // Fallback round-robin from here.
+        assert_eq!(s.pick(&r), ProcessId(0));
+        assert_eq!(s.pick(&r), ProcessId(1));
+    }
+
+    #[test]
+    fn scripted_skips_non_runnable_entries() {
+        let mut s = Scripted::new(ids(&[1, 0]));
+        // p1 is not runnable: skip to p0.
+        assert_eq!(s.pick(&ids(&[0, 2])), ProcessId(0));
+    }
+
+    #[test]
+    fn solo_first_prefers_solo_process() {
+        let mut s = SoloFirst::new(ProcessId(1));
+        assert_eq!(s.pick(&ids(&[0, 1, 2])), ProcessId(1));
+        assert_eq!(s.pick(&ids(&[0, 1, 2])), ProcessId(1));
+        // Once p1 decided, round-robin over the rest.
+        assert_eq!(s.pick(&ids(&[0, 2])), ProcessId(0));
+        assert_eq!(s.pick(&ids(&[0, 2])), ProcessId(2));
+    }
+}

@@ -1,0 +1,330 @@
+//! Valency analysis — the vocabulary of the impossibility proofs.
+//!
+//! Following Herlihy \[26\] (and Section 5.1 of the paper), a state of a
+//! consensus execution is *multivalent* if at least two decision values
+//! remain reachable, and *univalent* (`x`-valent) when only one does. A
+//! *decision step* carries the system from a multivalent state to a
+//! univalent one; a *critical state* is a multivalent state all of whose
+//! successors are univalent. This module computes reachable decision sets
+//! (exactly, with memoization), classifies states, and hunts for critical
+//! states — mechanizing the proof technique of Theorem 18.
+
+use crate::ops::Op;
+use crate::state::{Choice, SimState};
+use ff_spec::ProcessId;
+use std::collections::{BTreeSet, HashMap};
+
+/// The valency of a state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Valency {
+    /// Exactly one decision value is reachable.
+    Univalent(u32),
+    /// Two or more decision values are reachable.
+    Multivalent(BTreeSet<u32>),
+    /// No decision is reachable within the analyzer's bounds (e.g. every
+    /// path was cut by a cycle) — reported rather than guessed.
+    Unknown,
+}
+
+/// Memoizing analyzer of reachable decision values.
+#[derive(Default)]
+pub struct ValencyAnalyzer {
+    memo: HashMap<Vec<u64>, BTreeSet<u32>>,
+    /// `true` iff a cycle was cut during analysis (results are then lower
+    /// bounds on the reachable decision sets).
+    pub cycle_cut: bool,
+}
+
+impl ValencyAnalyzer {
+    /// A fresh analyzer (memo persists across queries on the same
+    /// configuration, so interleaved queries stay cheap).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set of decision values reachable from `state` (over all
+    /// schedules and in-budget fault patterns). At violating terminals the
+    /// set contains every decided value.
+    pub fn decisions_from(&mut self, state: &SimState) -> BTreeSet<u32> {
+        let mut on_path = BTreeSet::new();
+        self.decisions_rec(state, &mut on_path)
+    }
+
+    fn decisions_rec(
+        &mut self,
+        state: &SimState,
+        on_path: &mut BTreeSet<Vec<u64>>,
+    ) -> BTreeSet<u32> {
+        if state.is_terminal() {
+            return state
+                .outcomes()
+                .iter()
+                .filter_map(|o| o.decision.map(|d| d.0))
+                .collect();
+        }
+        let key = state.key();
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+        if on_path.contains(&key) {
+            // Back-edge: cut the cycle; the caller's union over other
+            // branches still collects every decision reachable acyclically.
+            self.cycle_cut = true;
+            return BTreeSet::new();
+        }
+        on_path.insert(key.clone());
+        let mut out = BTreeSet::new();
+        for choice in state.choices() {
+            let succ = state.successor(choice);
+            out.extend(self.decisions_rec(&succ, on_path));
+        }
+        on_path.remove(&key);
+        self.memo.insert(key, out.clone());
+        out
+    }
+
+    /// Classify `state`.
+    pub fn valency(&mut self, state: &SimState) -> Valency {
+        let ds = self.decisions_from(state);
+        match ds.len() {
+            0 => Valency::Unknown,
+            1 => Valency::Univalent(*ds.iter().next().unwrap()),
+            _ => Valency::Multivalent(ds),
+        }
+    }
+}
+
+/// A critical state found by [`find_critical_state`]: multivalent, with
+/// every available choice leading to a univalent state.
+#[derive(Clone, Debug)]
+pub struct CriticalState {
+    /// The choice path from the initial state to the critical state.
+    pub path: Vec<Choice>,
+    /// The decision values still reachable at the critical state.
+    pub reachable: BTreeSet<u32>,
+    /// Each pending process's next operation at the critical state.
+    pub pending_ops: Vec<(ProcessId, Op)>,
+    /// For each available choice, the single value its successor commits
+    /// to.
+    pub successor_valencies: Vec<(Choice, u32)>,
+}
+
+/// Search (DFS) for a critical state reachable from `initial`. Returns
+/// `None` if none exists within `max_states` expanded states — e.g.
+/// because the initial state is already univalent.
+pub fn find_critical_state(initial: &SimState, max_states: u64) -> Option<CriticalState> {
+    let mut analyzer = ValencyAnalyzer::new();
+    if !matches!(analyzer.valency(initial), Valency::Multivalent(_)) {
+        return None;
+    }
+    let mut visited = std::collections::HashSet::new();
+    let mut stack: Vec<(SimState, Vec<Choice>)> = vec![(initial.clone(), Vec::new())];
+    let mut expanded = 0u64;
+    while let Some((state, path)) = stack.pop() {
+        if !visited.insert(state.key()) {
+            continue;
+        }
+        expanded += 1;
+        if expanded > max_states {
+            return None;
+        }
+        let choices = state.choices();
+        let mut succ_valencies = Vec::with_capacity(choices.len());
+        let mut all_univalent = true;
+        let mut multivalent_succs = Vec::new();
+        for &choice in &choices {
+            let succ = state.successor(choice);
+            match analyzer.valency(&succ) {
+                Valency::Univalent(v) => succ_valencies.push((choice, v)),
+                Valency::Multivalent(_) => {
+                    all_univalent = false;
+                    multivalent_succs.push((choice, succ));
+                }
+                Valency::Unknown => {
+                    all_univalent = false;
+                }
+            }
+        }
+        if all_univalent && !choices.is_empty() {
+            let reachable = analyzer.decisions_from(&state);
+            let pending_ops = state
+                .runnable()
+                .into_iter()
+                .map(|pid| (pid, state.processes[pid.0].next_op()))
+                .collect();
+            return Some(CriticalState {
+                path,
+                reachable,
+                pending_ops,
+                successor_valencies: succ_valencies,
+            });
+        }
+        for (choice, succ) in multivalent_succs {
+            let mut next_path = path.clone();
+            next_path.push(choice);
+            stack.push((succ, next_path));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_ctl::FaultPlan;
+    use crate::heap::Heap;
+    use crate::ops::OpResult;
+    use crate::process::{Process, Status};
+    use ff_spec::{Input, ObjectId, BOTTOM};
+
+    /// Herlihy one-shot (as in the explorer tests).
+    #[derive(Clone)]
+    struct OneShot {
+        input: Input,
+        status: Status,
+    }
+    impl OneShot {
+        fn new(v: u32) -> Self {
+            OneShot {
+                input: Input(v),
+                status: Status::Running,
+            }
+        }
+    }
+    impl Process for OneShot {
+        fn next_op(&self) -> Op {
+            Op::Cas {
+                obj: ObjectId(0),
+                exp: BOTTOM,
+                new: self.input.to_word(),
+            }
+        }
+        fn apply(&mut self, result: OpResult) -> Status {
+            let old = result.cas_old();
+            self.status = Status::Decided(Input::from_word(old).unwrap_or(self.input));
+            self.status
+        }
+        fn status(&self) -> Status {
+            self.status
+        }
+        fn input(&self) -> Input {
+            self.input
+        }
+        fn snapshot(&self) -> Vec<u64> {
+            vec![
+                self.input.0 as u64,
+                match self.status {
+                    Status::Running => 0,
+                    Status::Decided(v) => 1 + v.0 as u64,
+                },
+            ]
+        }
+        fn box_clone(&self) -> Box<dyn Process> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn herlihy_state(inputs: &[u32]) -> SimState {
+        let procs: Vec<Box<dyn Process>> = inputs
+            .iter()
+            .map(|&v| Box::new(OneShot::new(v)) as Box<dyn Process>)
+            .collect();
+        SimState::new(procs, Heap::new(1, 0), FaultPlan::none())
+    }
+
+    #[test]
+    fn initial_state_with_distinct_inputs_is_multivalent() {
+        let mut a = ValencyAnalyzer::new();
+        let s = herlihy_state(&[10, 20]);
+        assert_eq!(
+            a.valency(&s),
+            Valency::Multivalent(BTreeSet::from([10, 20]))
+        );
+        assert!(!a.cycle_cut);
+    }
+
+    #[test]
+    fn state_after_first_cas_is_univalent() {
+        let mut a = ValencyAnalyzer::new();
+        let s = herlihy_state(&[10, 20]);
+        // Let p0 take its (correct) CAS step: the protocol commits to 10.
+        let choice = s.choices()[0];
+        assert_eq!(choice.pid, ProcessId(0));
+        let after = s.successor(choice);
+        assert_eq!(a.valency(&after), Valency::Univalent(10));
+    }
+
+    #[test]
+    fn equal_inputs_are_univalent_from_the_start() {
+        let mut a = ValencyAnalyzer::new();
+        let s = herlihy_state(&[7, 7]);
+        assert_eq!(a.valency(&s), Valency::Univalent(7));
+    }
+
+    #[test]
+    fn critical_state_of_herlihy_is_the_initial_state() {
+        // For the one-shot protocol, the very first CAS is the decision
+        // step: the initial state is critical, and both pending ops are
+        // CASes on the same object — exactly the configuration the
+        // impossibility arguments drive executions into.
+        let s = herlihy_state(&[10, 20]);
+        let crit = find_critical_state(&s, 10_000).expect("critical state must exist");
+        assert!(crit.path.is_empty(), "one-shot: initial state is critical");
+        assert_eq!(crit.reachable, BTreeSet::from([10, 20]));
+        assert_eq!(crit.pending_ops.len(), 2);
+        assert!(crit
+            .pending_ops
+            .iter()
+            .all(|(_, op)| op.cas_target() == Some(ObjectId(0))));
+        // Each successor commits to the stepping process's input.
+        for (choice, v) in &crit.successor_valencies {
+            let expected = if choice.pid == ProcessId(0) { 10 } else { 20 };
+            assert_eq!(*v, expected);
+        }
+    }
+
+    #[test]
+    fn pure_cycle_reports_unknown() {
+        // A never-deciding flipper: every path cycles, so no decision is
+        // reachable — the analyzer reports Unknown and flags the cut.
+        #[derive(Clone)]
+        struct Flipper {
+            phase: u8,
+        }
+        impl Process for Flipper {
+            fn next_op(&self) -> Op {
+                Op::Write(crate::heap::RegId(0), (self.phase as u64) % 2)
+            }
+            fn apply(&mut self, _r: OpResult) -> Status {
+                self.phase = (self.phase + 1) % 2;
+                Status::Running
+            }
+            fn status(&self) -> Status {
+                Status::Running
+            }
+            fn input(&self) -> Input {
+                Input(0)
+            }
+            fn snapshot(&self) -> Vec<u64> {
+                vec![self.phase as u64]
+            }
+            fn box_clone(&self) -> Box<dyn Process> {
+                Box::new(self.clone())
+            }
+        }
+        let state = SimState::new(
+            vec![Box::new(Flipper { phase: 0 })],
+            Heap::new(0, 1),
+            FaultPlan::none(),
+        );
+        let mut a = ValencyAnalyzer::new();
+        assert_eq!(a.valency(&state), Valency::Unknown);
+        assert!(a.cycle_cut);
+    }
+
+    #[test]
+    fn no_critical_state_when_univalent() {
+        let s = herlihy_state(&[7, 7]);
+        assert!(find_critical_state(&s, 10_000).is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Named predicate combinators for pre- and postconditions.
+//!
+//! Following Hoare \[27\] and Section 3.2 of the paper, the correctness of an
+//! operation `O` is expressed as a triple `Ψ{O}Φ` where `Ψ` and `Φ` are
+//! assertions — conjunctions of formulas over execution states. This module
+//! provides a small, allocation-light assertion language: an [`Assertion`]
+//! is a named predicate over an arbitrary state type `S`, composable with
+//! conjunction, disjunction and negation while retaining a human-readable
+//! formula string for diagnostics.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named predicate over states of type `S`.
+///
+/// Cloning is cheap (the predicate body is reference-counted), so
+/// assertions can be freely shared between triples and fault descriptors.
+pub struct Assertion<S: ?Sized> {
+    name: Arc<str>,
+    pred: Arc<dyn Fn(&S) -> bool + Send + Sync>,
+}
+
+// Manual impl: a derived `Clone` would demand `S: Clone`, which the
+// reference-counted representation does not need.
+impl<S: ?Sized> Clone for Assertion<S> {
+    fn clone(&self) -> Self {
+        Assertion {
+            name: Arc::clone(&self.name),
+            pred: Arc::clone(&self.pred),
+        }
+    }
+}
+
+impl<S: ?Sized> Assertion<S> {
+    /// Build an assertion from a formula name and a predicate.
+    pub fn new(name: impl Into<String>, pred: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        Assertion {
+            name: Arc::from(name.into().as_str()),
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// The assertion that holds in every state (`true`).
+    pub fn always() -> Self {
+        Assertion::new("true", |_| true)
+    }
+
+    /// The assertion that holds in no state (`false`).
+    pub fn never() -> Self {
+        Assertion::new("false", |_| false)
+    }
+
+    /// Evaluate the assertion on a state.
+    #[inline]
+    pub fn holds(&self, state: &S) -> bool {
+        (self.pred)(state)
+    }
+
+    /// The formula string.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Conjunction: `self ∧ other`.
+    pub fn and(&self, other: &Assertion<S>) -> Assertion<S>
+    where
+        S: 'static,
+    {
+        let (a, b) = (self.clone(), other.clone());
+        Assertion::new(format!("({} ∧ {})", a.name, b.name), move |s| {
+            a.holds(s) && b.holds(s)
+        })
+    }
+
+    /// Disjunction: `self ∨ other`.
+    pub fn or(&self, other: &Assertion<S>) -> Assertion<S>
+    where
+        S: 'static,
+    {
+        let (a, b) = (self.clone(), other.clone());
+        Assertion::new(format!("({} ∨ {})", a.name, b.name), move |s| {
+            a.holds(s) || b.holds(s)
+        })
+    }
+
+    /// Negation: `¬self`.
+    pub fn not(&self) -> Assertion<S>
+    where
+        S: 'static,
+    {
+        let a = self.clone();
+        Assertion::new(format!("¬{}", a.name), move |s| !a.holds(s))
+    }
+
+    /// Implication: `self ⇒ other`, i.e. `¬self ∨ other`.
+    pub fn implies(&self, other: &Assertion<S>) -> Assertion<S>
+    where
+        S: 'static,
+    {
+        let (a, b) = (self.clone(), other.clone());
+        Assertion::new(format!("({} ⇒ {})", a.name, b.name), move |s| {
+            !a.holds(s) || b.holds(s)
+        })
+    }
+}
+
+impl<S: ?Sized> fmt::Debug for Assertion<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assertion({})", self.name)
+    }
+}
+
+impl<S: ?Sized> fmt::Display for Assertion<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Conjunction of a collection of assertions, as in the paper's
+/// "conjunctions of formulas".
+pub fn conjunction<S: 'static>(parts: impl IntoIterator<Item = Assertion<S>>) -> Assertion<S> {
+    let parts: Vec<Assertion<S>> = parts.into_iter().collect();
+    if parts.is_empty() {
+        return Assertion::always();
+    }
+    let name = parts
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect::<Vec<_>>()
+        .join(" ∧ ");
+    Assertion::new(name, move |s| parts.iter().all(|a| a.holds(s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even() -> Assertion<i64> {
+        Assertion::new("even(x)", |x: &i64| x % 2 == 0)
+    }
+
+    fn positive() -> Assertion<i64> {
+        Assertion::new("x > 0", |x: &i64| *x > 0)
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        assert!(even().holds(&4));
+        assert!(!even().holds(&3));
+        assert!(Assertion::<i64>::always().holds(&-7));
+        assert!(!Assertion::<i64>::never().holds(&0));
+    }
+
+    #[test]
+    fn combinators() {
+        let both = even().and(&positive());
+        assert!(both.holds(&2));
+        assert!(!both.holds(&-2));
+        assert!(!both.holds(&3));
+
+        let either = even().or(&positive());
+        assert!(either.holds(&-2));
+        assert!(either.holds(&3));
+        assert!(!either.holds(&-3));
+
+        assert!(even().not().holds(&3));
+
+        let imp = positive().implies(&even());
+        assert!(imp.holds(&-3)); // vacuous
+        assert!(imp.holds(&2));
+        assert!(!imp.holds(&3));
+    }
+
+    #[test]
+    fn names_compose() {
+        let c = even().and(&positive().not());
+        assert_eq!(c.name(), "(even(x) ∧ ¬x > 0)");
+        assert_eq!(format!("{c}"), c.name());
+        assert!(format!("{c:?}").contains("Assertion"));
+    }
+
+    #[test]
+    fn conjunction_of_many() {
+        let all = conjunction([even(), positive()]);
+        assert!(all.holds(&4));
+        assert!(!all.holds(&-4));
+        let empty = conjunction(Vec::<Assertion<i64>>::new());
+        assert!(empty.holds(&123));
+    }
+
+    #[test]
+    fn assertions_are_cloneable_and_shareable() {
+        let a = even();
+        let b = a.clone();
+        assert_eq!(a.holds(&10), b.holds(&10));
+        std::thread::spawn(move || assert!(b.holds(&0)))
+            .join()
+            .unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! The consensus task specification (Section 2) and its checker.
+//!
+//! A consensus protocol must satisfy, over every execution:
+//!
+//! 1. **Validity** — the decided-upon value is the input of some process;
+//! 2. **Consistency** — all processes decide the same value;
+//! 3. **Wait-freedom** — each process finishes after a finite number of its
+//!    own steps, regardless of the other processes.
+//!
+//! Wait-freedom is checked operationally: every participating process must
+//! have decided, and (where the caller supplies one) within a per-process
+//! step budget.
+
+use crate::history::ProcessId;
+use crate::value::Input;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one process's `decide(input)` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Outcome {
+    /// The deciding process.
+    pub process: ProcessId,
+    /// Its input value.
+    pub input: Input,
+    /// The value it decided, or `None` if it never terminated (within the
+    /// harness's execution budget) — a wait-freedom violation.
+    pub decision: Option<Input>,
+    /// Number of shared-memory steps the process took.
+    pub steps: u64,
+}
+
+/// A consensus-property violation, with enough detail to print a witness.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ConsensusViolation {
+    /// A process decided a value that is no process's input.
+    Validity {
+        /// The offending process.
+        process: ProcessId,
+        /// What it decided.
+        decided: Input,
+        /// The set of legal inputs.
+        inputs: Vec<Input>,
+    },
+    /// Two processes decided differently.
+    Consistency {
+        /// First disagreeing process and its decision.
+        a: (ProcessId, Input),
+        /// Second disagreeing process and its decision.
+        b: (ProcessId, Input),
+    },
+    /// A process failed to decide, or exceeded its step budget.
+    WaitFreedom {
+        /// The offending process.
+        process: ProcessId,
+        /// Steps it took before the harness gave up.
+        steps: u64,
+        /// The step budget, if one was imposed.
+        budget: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ConsensusViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsensusViolation::Validity {
+                process,
+                decided,
+                inputs,
+            } => write!(
+                f,
+                "validity: {process} decided {decided}, not an input of any process (inputs: {inputs:?})"
+            ),
+            ConsensusViolation::Consistency { a, b } => write!(
+                f,
+                "consistency: {} decided {} but {} decided {}",
+                a.0, a.1, b.0, b.1
+            ),
+            ConsensusViolation::WaitFreedom {
+                process,
+                steps,
+                budget,
+            } => match budget {
+                Some(b) => write!(
+                    f,
+                    "wait-freedom: {process} took {steps} steps, exceeding budget {b}"
+                ),
+                None => write!(f, "wait-freedom: {process} never decided ({steps} steps)"),
+            },
+        }
+    }
+}
+
+/// The verdict of checking a set of outcomes against the consensus
+/// specification.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConsensusVerdict {
+    /// All violations found (empty ⇒ the execution satisfies consensus).
+    pub violations: Vec<ConsensusViolation>,
+    /// The agreed value, when consistency holds and someone decided.
+    pub agreed: Option<Input>,
+}
+
+impl ConsensusVerdict {
+    /// `true` iff the execution satisfied validity, consistency and
+    /// wait-freedom.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check a completed execution's outcomes against the consensus
+/// specification. `step_budget`, when given, is the per-process bound used
+/// for the operational wait-freedom check.
+pub fn check_consensus(outcomes: &[Outcome], step_budget: Option<u64>) -> ConsensusVerdict {
+    let inputs: Vec<Input> = outcomes.iter().map(|o| o.input).collect();
+    let mut violations = Vec::new();
+
+    for o in outcomes {
+        match o.decision {
+            None => violations.push(ConsensusViolation::WaitFreedom {
+                process: o.process,
+                steps: o.steps,
+                budget: None,
+            }),
+            Some(d) => {
+                if !inputs.contains(&d) {
+                    violations.push(ConsensusViolation::Validity {
+                        process: o.process,
+                        decided: d,
+                        inputs: inputs.clone(),
+                    });
+                }
+                if let Some(budget) = step_budget {
+                    if o.steps > budget {
+                        violations.push(ConsensusViolation::WaitFreedom {
+                            process: o.process,
+                            steps: o.steps,
+                            budget: Some(budget),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut agreed = None;
+    let mut decided = outcomes
+        .iter()
+        .filter_map(|o| o.decision.map(|d| (o.process, d)));
+    if let Some(first) = decided.next() {
+        agreed = Some(first.1);
+        for other in decided {
+            if other.1 != first.1 {
+                violations.push(ConsensusViolation::Consistency { a: first, b: other });
+                agreed = None;
+                break;
+            }
+        }
+    }
+
+    ConsensusVerdict { violations, agreed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(p: usize, input: u32, decision: Option<u32>, steps: u64) -> Outcome {
+        Outcome {
+            process: ProcessId(p),
+            input: Input(input),
+            decision: decision.map(Input),
+            steps,
+        }
+    }
+
+    #[test]
+    fn agreeing_execution_is_ok() {
+        let v = check_consensus(
+            &[out(0, 10, Some(10), 3), out(1, 20, Some(10), 4)],
+            Some(100),
+        );
+        assert!(v.ok());
+        assert_eq!(v.agreed, Some(Input(10)));
+    }
+
+    #[test]
+    fn validity_violation() {
+        let v = check_consensus(&[out(0, 10, Some(99), 3), out(1, 20, Some(99), 3)], None);
+        assert!(!v.ok());
+        assert!(matches!(
+            v.violations[0],
+            ConsensusViolation::Validity {
+                decided: Input(99),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn consistency_violation() {
+        let v = check_consensus(&[out(0, 10, Some(10), 3), out(1, 20, Some(20), 3)], None);
+        assert!(!v.ok());
+        assert!(v
+            .violations
+            .iter()
+            .any(|x| matches!(x, ConsensusViolation::Consistency { .. })));
+        assert_eq!(v.agreed, None);
+    }
+
+    #[test]
+    fn wait_freedom_violation_on_no_decision() {
+        let v = check_consensus(&[out(0, 10, Some(10), 3), out(1, 20, None, 500)], None);
+        assert!(!v.ok());
+        assert!(matches!(
+            v.violations[0],
+            ConsensusViolation::WaitFreedom { budget: None, .. }
+        ));
+    }
+
+    #[test]
+    fn wait_freedom_violation_on_budget() {
+        let v = check_consensus(&[out(0, 10, Some(10), 101)], Some(100));
+        assert!(!v.ok());
+        assert!(matches!(
+            v.violations[0],
+            ConsensusViolation::WaitFreedom {
+                budget: Some(100),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn single_process_trivially_consistent() {
+        let v = check_consensus(&[out(0, 10, Some(10), 1)], None);
+        assert!(v.ok());
+        assert_eq!(v.agreed, Some(Input(10)));
+    }
+
+    #[test]
+    fn duplicate_inputs_are_fine() {
+        // Two processes may share an input value; deciding it is valid.
+        let v = check_consensus(&[out(0, 7, Some(7), 2), out(1, 7, Some(7), 2)], None);
+        assert!(v.ok());
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = check_consensus(&[out(0, 10, Some(10), 3), out(1, 20, Some(20), 3)], None);
+        let text = v.violations[0].to_string();
+        assert!(text.contains("consistency"), "{text}");
+    }
+}

@@ -1,0 +1,220 @@
+//! The functional-fault taxonomy of the CAS object (Sections 3.3–3.4) and
+//! the classification of observed executions.
+//!
+//! A functional fault `⟨O, Φ'⟩` (Definition 1) is an execution of operation
+//! `O` whose entry state satisfied the preconditions `Ψ` but whose result
+//! violates the standard postconditions `Φ` while satisfying the deviating
+//! postconditions `Φ'`. An *object* is faulty in an execution (Definition 2)
+//! if at least one operation on it faults.
+
+use crate::triple::{
+    arbitrary_post, invisible_post, overriding_post, silent_post, standard_post, CasRecord,
+};
+use serde::{Deserialize, Serialize};
+
+/// The CAS functional-fault kinds discussed in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Section 3.3 — the case study. The comparison erroneously succeeds:
+    /// the new value is written even when `R' ≠ exp`. Responsive, and the
+    /// returned old value is still correct. This is the fault for which the
+    /// paper's constructions and lower bounds are proven.
+    Overriding,
+    /// Section 3.4 — the new value is *not* written even though `R' = exp`.
+    /// With a bounded total number of faults, retrying the Herlihy protocol
+    /// suffices; with unbounded faults, termination can be foiled.
+    Silent,
+    /// Section 3.4 — the returned `old` value is incorrect. Reducible to a
+    /// responsive data fault in the model of Afek et al.
+    Invisible,
+    /// Section 3.4 — an arbitrary value is written regardless of the
+    /// operation's inputs. Equivalent to the responsive arbitrary data
+    /// fault; `O(f log f)` constructions from Jayanti et al. apply.
+    Arbitrary,
+    /// Section 3.4 — the operation never responds. Even one nonresponsive
+    /// fault makes consensus impossible (reduction to Loui–Abu-Amara /
+    /// Dolev–Dwork–Stockmeyer).
+    Nonresponsive,
+}
+
+impl FaultKind {
+    /// All kinds, in paper order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Overriding,
+        FaultKind::Silent,
+        FaultKind::Invisible,
+        FaultKind::Arbitrary,
+        FaultKind::Nonresponsive,
+    ];
+
+    /// Whether the fault is *responsive*: the operation always returns.
+    /// (Jayanti et al.'s responsive/nonresponsive split, Section 3.1.)
+    pub fn responsive(self) -> bool {
+        !matches!(self, FaultKind::Nonresponsive)
+    }
+
+    /// Whether a fault of this kind can be reduced to a *data* fault in the
+    /// models of Afek et al. / Jayanti et al., per the discussion in
+    /// Section 3.4. The overriding fault is the one that is **not**
+    /// reducible — which is what makes it interesting.
+    pub fn reducible_to_data_fault(self) -> bool {
+        match self {
+            FaultKind::Overriding => false,
+            FaultKind::Silent => true, // as a nonresponsive data fault
+            FaultKind::Invisible => true,
+            FaultKind::Arbitrary => true,
+            FaultKind::Nonresponsive => true,
+        }
+    }
+
+    /// Human-readable description of the deviating postconditions `Φ'`.
+    pub fn deviating_postcondition(self) -> &'static str {
+        match self {
+            FaultKind::Overriding => "R = val ∧ old = R'",
+            FaultKind::Silent => "R = R' ∧ old = R'",
+            FaultKind::Invisible => "standard(R) ∧ old ≠ R'",
+            FaultKind::Arbitrary => "old = R'",
+            FaultKind::Nonresponsive => "(no response)",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Overriding => "overriding",
+            FaultKind::Silent => "silent",
+            FaultKind::Invisible => "invisible",
+            FaultKind::Arbitrary => "arbitrary",
+            FaultKind::Nonresponsive => "nonresponsive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classification of a single (responsive) CAS execution record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CasClassification {
+    /// Satisfies the standard postconditions `Φ`.
+    Correct,
+    /// Violates `Φ` but matches the named structured deviation `Φ'`.
+    Fault(FaultKind),
+    /// Violates `Φ` and matches none of the named deviations.
+    Unstructured,
+}
+
+/// Classify an observed CAS execution against the taxonomy.
+///
+/// Kinds are tested from most to least constrained so the classification is
+/// the tightest structured description of the deviation. Nonresponsive
+/// faults never produce a record, so they cannot appear here.
+pub fn classify_cas(record: &CasRecord) -> CasClassification {
+    if standard_post(record) {
+        return CasClassification::Correct;
+    }
+    if overriding_post(record) {
+        return CasClassification::Fault(FaultKind::Overriding);
+    }
+    if silent_post(record) {
+        return CasClassification::Fault(FaultKind::Silent);
+    }
+    if invisible_post(record) {
+        return CasClassification::Fault(FaultKind::Invisible);
+    }
+    if arbitrary_post(record) {
+        return CasClassification::Fault(FaultKind::Arbitrary);
+    }
+    CasClassification::Unstructured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BOTTOM;
+
+    fn rec(pre: u64, exp: u64, new: u64, post: u64, returned: u64) -> CasRecord {
+        CasRecord {
+            pre,
+            exp,
+            new,
+            post,
+            returned,
+        }
+    }
+
+    #[test]
+    fn classify_correct() {
+        assert_eq!(
+            classify_cas(&rec(BOTTOM, BOTTOM, 5, 5, BOTTOM)),
+            CasClassification::Correct
+        );
+        assert_eq!(
+            classify_cas(&rec(7, BOTTOM, 5, 7, 7)),
+            CasClassification::Correct
+        );
+    }
+
+    #[test]
+    fn classify_overriding() {
+        assert_eq!(
+            classify_cas(&rec(7, BOTTOM, 5, 5, 7)),
+            CasClassification::Fault(FaultKind::Overriding)
+        );
+    }
+
+    #[test]
+    fn classify_silent() {
+        assert_eq!(
+            classify_cas(&rec(BOTTOM, BOTTOM, 5, BOTTOM, BOTTOM)),
+            CasClassification::Fault(FaultKind::Silent)
+        );
+    }
+
+    #[test]
+    fn classify_invisible() {
+        assert_eq!(
+            classify_cas(&rec(7, BOTTOM, 5, 7, 9)),
+            CasClassification::Fault(FaultKind::Invisible)
+        );
+    }
+
+    #[test]
+    fn classify_arbitrary() {
+        assert_eq!(
+            classify_cas(&rec(7, BOTTOM, 5, 999, 7)),
+            CasClassification::Fault(FaultKind::Arbitrary)
+        );
+    }
+
+    #[test]
+    fn classify_unstructured() {
+        // Wrong write AND wrong returned value: no structured Φ' matches.
+        assert_eq!(
+            classify_cas(&rec(7, BOTTOM, 5, 999, 111)),
+            CasClassification::Unstructured
+        );
+    }
+
+    #[test]
+    fn responsiveness_and_reducibility() {
+        assert!(FaultKind::Overriding.responsive());
+        assert!(!FaultKind::Nonresponsive.responsive());
+        assert!(!FaultKind::Overriding.reducible_to_data_fault());
+        for k in [
+            FaultKind::Silent,
+            FaultKind::Invisible,
+            FaultKind::Arbitrary,
+            FaultKind::Nonresponsive,
+        ] {
+            assert!(k.reducible_to_data_fault(), "{k} should be reducible");
+        }
+    }
+
+    #[test]
+    fn all_kinds_have_descriptions() {
+        for k in FaultKind::ALL {
+            assert!(!k.deviating_postcondition().is_empty());
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

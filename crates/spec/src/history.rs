@@ -1,0 +1,236 @@
+//! Operation histories: per-execution logs of shared-object operations,
+//! with the bookkeeping needed to check an execution against an
+//! `(f, t, n)`-tolerance profile.
+//!
+//! Both the simulator and the native fault-injection layer append
+//! [`OpEvent`]s as operations linearize; auditors then ask the [`History`]
+//! how many objects were faulty, how many faults each suffered, and whether
+//! the whole execution stayed within a [`Tolerance`].
+
+use crate::fault::{classify_cas, CasClassification};
+use crate::tolerance::Tolerance;
+use crate::triple::CasRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a process (thread) in an execution. Dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a shared object in an execution. Dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ObjectId(pub usize);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// One linearized shared-memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct OpEvent {
+    /// The process that executed the operation.
+    pub process: ProcessId,
+    /// The object it was executed on.
+    pub object: ObjectId,
+    /// The observable footprint (for CAS operations).
+    pub record: CasRecord,
+    /// Whether the injection layer *intended* this operation to fault.
+    /// (The audit classifies independently from the record; the two are
+    /// cross-checked in tests.)
+    pub injected_fault: bool,
+}
+
+/// An append-only log of linearized operations.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<OpEvent>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, event: OpEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in linearization order.
+    pub fn events(&self) -> &[OpEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no operations were logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Classify every event's record. An event is counted as a fault if its
+    /// record violates the standard postconditions (Definition 1) —
+    /// regardless of what the injector intended.
+    pub fn fault_counts_per_object(&self) -> BTreeMap<ObjectId, u64> {
+        let mut counts = BTreeMap::new();
+        for e in &self.events {
+            if !matches!(classify_cas(&e.record), CasClassification::Correct) {
+                *counts.entry(e.object).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The set of faulty objects (Definition 2: an object is faulty iff at
+    /// least one of its operations faulted).
+    pub fn faulty_objects(&self) -> Vec<ObjectId> {
+        self.fault_counts_per_object().into_keys().collect()
+    }
+
+    /// Number of distinct faulty objects.
+    pub fn faulty_object_count(&self) -> u64 {
+        self.fault_counts_per_object().len() as u64
+    }
+
+    /// The largest number of faults suffered by any single object.
+    pub fn max_faults_per_object(&self) -> u64 {
+        self.fault_counts_per_object()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distinct participating processes.
+    pub fn process_count(&self) -> u64 {
+        let mut ids: Vec<_> = self.events.iter().map(|e| e.process).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len() as u64
+    }
+
+    /// Did the whole execution stay within `tolerance`? (The execution-side
+    /// check of Definition 3 — the task-side check is the consensus
+    /// verdict.)
+    pub fn within(&self, tolerance: &Tolerance) -> bool {
+        tolerance.admits(
+            self.faulty_object_count(),
+            self.max_faults_per_object(),
+            self.process_count(),
+        )
+    }
+
+    /// Events executed on a given object, in order.
+    pub fn events_on(&self, object: ObjectId) -> impl Iterator<Item = &OpEvent> {
+        self.events.iter().filter(move |e| e.object == object)
+    }
+
+    /// Objects that have been written (i.e. their content changed), in
+    /// first-write order. Used by the covering adversary of Theorem 19,
+    /// whose schedule is defined in terms of "the first CAS to an object
+    /// not yet written".
+    pub fn written_objects(&self) -> Vec<ObjectId> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if e.record.post != e.record.pre && !seen.contains(&e.object) {
+                seen.push(e.object);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BOTTOM;
+
+    fn ev(p: usize, o: usize, pre: u64, exp: u64, new: u64, post: u64) -> OpEvent {
+        OpEvent {
+            process: ProcessId(p),
+            object: ObjectId(o),
+            record: CasRecord {
+                pre,
+                exp,
+                new,
+                post,
+                returned: pre,
+            },
+            injected_fault: false,
+        }
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.faulty_object_count(), 0);
+        assert_eq!(h.max_faults_per_object(), 0);
+        assert_eq!(h.process_count(), 0);
+        assert!(h.within(&Tolerance::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn counts_faults_per_object() {
+        let mut h = History::new();
+        h.push(ev(0, 0, BOTTOM, BOTTOM, 1, 1)); // correct success
+        h.push(ev(1, 0, 1, BOTTOM, 2, 2)); // overriding fault on O0
+        h.push(ev(1, 1, 1, BOTTOM, 2, 2)); // overriding fault on O1
+        h.push(ev(2, 1, 2, BOTTOM, 3, 3)); // overriding fault on O1
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.faulty_object_count(), 2);
+        assert_eq!(h.max_faults_per_object(), 2);
+        assert_eq!(h.faulty_objects(), vec![ObjectId(0), ObjectId(1)]);
+        let counts = h.fault_counts_per_object();
+        assert_eq!(counts[&ObjectId(0)], 1);
+        assert_eq!(counts[&ObjectId(1)], 2);
+    }
+
+    #[test]
+    fn tolerance_check_over_history() {
+        let mut h = History::new();
+        h.push(ev(0, 0, BOTTOM, BOTTOM, 1, 1));
+        h.push(ev(1, 0, 1, BOTTOM, 2, 2)); // 1 fault on O0
+        assert!(h.within(&Tolerance::new(1, 1, 2)));
+        assert!(!h.within(&Tolerance::new(0, 0, 2))); // no faulty objects allowed
+        assert!(!h.within(&Tolerance::new(1, 1, 1))); // too many processes
+    }
+
+    #[test]
+    fn written_objects_in_first_write_order() {
+        let mut h = History::new();
+        h.push(ev(0, 2, BOTTOM, BOTTOM, 1, 1));
+        h.push(ev(0, 0, 5, BOTTOM, 1, 5)); // unsuccessful: not a write
+        h.push(ev(1, 0, BOTTOM, BOTTOM, 2, 2));
+        h.push(ev(1, 2, 1, 1, 3, 3)); // O2 already recorded
+        assert_eq!(h.written_objects(), vec![ObjectId(2), ObjectId(0)]);
+    }
+
+    #[test]
+    fn events_on_filters_by_object() {
+        let mut h = History::new();
+        h.push(ev(0, 0, BOTTOM, BOTTOM, 1, 1));
+        h.push(ev(0, 1, BOTTOM, BOTTOM, 1, 1));
+        h.push(ev(1, 0, 1, 1, 2, 2));
+        assert_eq!(h.events_on(ObjectId(0)).count(), 2);
+        assert_eq!(h.events_on(ObjectId(1)).count(), 1);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(ObjectId(0).to_string(), "O0");
+    }
+}

@@ -1,0 +1,197 @@
+//! The data-fault severity lattice of Jayanti, Chandra and Toueg
+//! (reviewed in Section 3.1) and its relation to the functional-fault
+//! taxonomy.
+//!
+//! Jayanti et al. split object faults into **responsive** (every
+//! operation still returns) and **nonresponsive**, each refined into
+//! *crash*, *omission* and *arbitrary* sub-classes of increasing
+//! severity. Their notion of **graceful degradation** asks that an
+//! implementation built from base objects of some fault class never
+//! exhibits a fault of a *worse* class, even when too many base objects
+//! fail. This module encodes the lattice so that the reproduction can
+//! state, for each CAS functional fault, where the known data-fault
+//! reductions (Section 3.4) land it.
+
+use crate::fault::FaultKind;
+use serde::{Deserialize, Serialize};
+
+/// Responsiveness of a fault class (Jayanti et al.).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Responsiveness {
+    /// Every operation returns (possibly with wrong results).
+    Responsive,
+    /// Operations may never return.
+    Nonresponsive,
+}
+
+/// Behavior sub-class, ordered by severity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Behavior {
+    /// Crash: after the first fault the object behaves like a halted
+    /// object (responsive crash returns a distinguished `⊥`-like answer).
+    Crash,
+    /// Omission: operations may act as if they were not performed.
+    Omission,
+    /// Arbitrary: no constraint on the faulty behavior.
+    Arbitrary,
+}
+
+/// A point in the Jayanti et al. severity lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct DataFaultClass {
+    /// Responsive or nonresponsive.
+    pub responsiveness: Responsiveness,
+    /// Crash / omission / arbitrary.
+    pub behavior: Behavior,
+}
+
+impl DataFaultClass {
+    /// Construct a class.
+    pub const fn new(responsiveness: Responsiveness, behavior: Behavior) -> Self {
+        DataFaultClass {
+            responsiveness,
+            behavior,
+        }
+    }
+
+    /// Is `self` at most as severe as `other`? The lattice order:
+    /// responsive < nonresponsive on one axis, crash < omission <
+    /// arbitrary on the other; classes are comparable componentwise.
+    pub fn at_most(&self, other: &DataFaultClass) -> bool {
+        self.responsiveness <= other.responsiveness && self.behavior <= other.behavior
+    }
+
+    /// The least upper bound of two classes.
+    pub fn join(&self, other: &DataFaultClass) -> DataFaultClass {
+        DataFaultClass {
+            responsiveness: self.responsiveness.max(other.responsiveness),
+            behavior: self.behavior.max(other.behavior),
+        }
+    }
+}
+
+impl std::fmt::Display for DataFaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = match self.responsiveness {
+            Responsiveness::Responsive => "responsive",
+            Responsiveness::Nonresponsive => "nonresponsive",
+        };
+        let b = match self.behavior {
+            Behavior::Crash => "crash",
+            Behavior::Omission => "omission",
+            Behavior::Arbitrary => "arbitrary",
+        };
+        write!(f, "{r}-{b}")
+    }
+}
+
+/// Where Section 3.4's reductions place each CAS functional fault in the
+/// data-fault lattice — `None` for the overriding fault, which the paper
+/// shows is **not** reducible (that irreducibility is what lets Theorem 6
+/// beat the data-fault lower bound).
+pub fn data_fault_reduction(kind: FaultKind) -> Option<DataFaultClass> {
+    match kind {
+        FaultKind::Overriding => None,
+        // A silent fault "can be modeled as a nonresponsive data fault"
+        // (Section 3.4): the write never takes effect, like an omitted
+        // operation on a nonresponsive object.
+        FaultKind::Silent => Some(DataFaultClass::new(
+            Responsiveness::Nonresponsive,
+            Behavior::Omission,
+        )),
+        // Invisible: "can be considered as a memory data fault according
+        // to the model introduced by Afek et al." — a responsive fault
+        // that corrupts values around the operation.
+        FaultKind::Invisible => Some(DataFaultClass::new(
+            Responsiveness::Responsive,
+            Behavior::Arbitrary,
+        )),
+        // Arbitrary: "similar to the responsive arbitrary data fault".
+        FaultKind::Arbitrary => Some(DataFaultClass::new(
+            Responsiveness::Responsive,
+            Behavior::Arbitrary,
+        )),
+        FaultKind::Nonresponsive => Some(DataFaultClass::new(
+            Responsiveness::Nonresponsive,
+            Behavior::Arbitrary,
+        )),
+    }
+}
+
+/// Graceful degradation (Jayanti et al., discussed in Section 6): does an
+/// implementation whose base objects sit in `base` class stay within that
+/// class when it fails exhibiting `exhibited`?
+pub fn gracefully_degrades(base: &DataFaultClass, exhibited: &DataFaultClass) -> bool {
+    exhibited.at_most(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RC: DataFaultClass = DataFaultClass::new(Responsiveness::Responsive, Behavior::Crash);
+    const RO: DataFaultClass = DataFaultClass::new(Responsiveness::Responsive, Behavior::Omission);
+    const RA: DataFaultClass = DataFaultClass::new(Responsiveness::Responsive, Behavior::Arbitrary);
+    const NC: DataFaultClass = DataFaultClass::new(Responsiveness::Nonresponsive, Behavior::Crash);
+    const NA: DataFaultClass =
+        DataFaultClass::new(Responsiveness::Nonresponsive, Behavior::Arbitrary);
+
+    #[test]
+    fn lattice_order() {
+        assert!(RC.at_most(&RO));
+        assert!(RO.at_most(&RA));
+        assert!(RC.at_most(&NA));
+        assert!(!RA.at_most(&RC));
+        // Incomparable pair: responsive-arbitrary vs nonresponsive-crash.
+        assert!(!RA.at_most(&NC));
+        assert!(!NC.at_most(&RA));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        assert_eq!(RA.join(&NC), NA);
+        assert_eq!(RC.join(&RC), RC);
+        assert!(RA.at_most(&RA.join(&NC)));
+        assert!(NC.at_most(&RA.join(&NC)));
+    }
+
+    #[test]
+    fn overriding_is_irreducible() {
+        assert_eq!(data_fault_reduction(FaultKind::Overriding), None);
+        for kind in [
+            FaultKind::Silent,
+            FaultKind::Invisible,
+            FaultKind::Arbitrary,
+            FaultKind::Nonresponsive,
+        ] {
+            assert!(data_fault_reduction(kind).is_some(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn reductions_match_reducibility_flags() {
+        for kind in FaultKind::ALL {
+            assert_eq!(
+                data_fault_reduction(kind).is_some(),
+                kind.reducible_to_data_fault(),
+                "{kind}: reduction presence must match the taxonomy flag"
+            );
+        }
+    }
+
+    #[test]
+    fn graceful_degradation_examples() {
+        // Exhibiting a crash when built from omission-class objects: fine.
+        assert!(gracefully_degrades(&RO, &RC));
+        // Exhibiting arbitrary behavior from crash-class objects: not graceful.
+        assert!(!gracefully_degrades(&RC, &RA));
+        // Same class: graceful by definition.
+        assert!(gracefully_degrades(&NA, &NA));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RA.to_string(), "responsive-arbitrary");
+        assert_eq!(NC.to_string(), "nonresponsive-crash");
+    }
+}

@@ -1,0 +1,212 @@
+//! `(f, t, n)`-tolerance descriptors (Definition 3).
+//!
+//! An implementation is `(f, t, n)`-tolerant for a task if the task is
+//! computed correctly in any execution with at most `n` processes, at most
+//! `f` faulty objects and at most `t` functional faults per faulty object.
+//! `t = ∞` (unbounded faults per object) and `n = ∞` (any number of
+//! processes) are captured by [`Bound::Unbounded`].
+
+use serde::{Deserialize, Serialize};
+
+/// A possibly-unbounded natural-number bound.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Bound {
+    /// A finite bound.
+    Finite(u64),
+    /// `∞`.
+    Unbounded,
+}
+
+impl Bound {
+    /// Does `x` respect this bound (`x ≤ bound`)?
+    #[inline]
+    pub fn admits(self, x: u64) -> bool {
+        match self {
+            Bound::Finite(b) => x <= b,
+            Bound::Unbounded => true,
+        }
+    }
+
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Bound::Finite(b) => Some(b),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// `true` iff unbounded.
+    #[inline]
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Bound::Unbounded)
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Bound::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.cmp(b),
+            (Finite(_), Unbounded) => std::cmp::Ordering::Less,
+            (Unbounded, Finite(_)) => std::cmp::Ordering::Greater,
+            (Unbounded, Unbounded) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl From<u64> for Bound {
+    fn from(v: u64) -> Self {
+        Bound::Finite(v)
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Finite(b) => write!(f, "{b}"),
+            Bound::Unbounded => write!(f, "∞"),
+        }
+    }
+}
+
+/// An `(f, t, n)`-tolerance descriptor (Definition 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Maximum number of faulty objects in the execution.
+    pub f: u64,
+    /// Maximum number of functional faults per faulty object.
+    pub t: Bound,
+    /// Maximum number of processes in the execution.
+    pub n: Bound,
+}
+
+impl Tolerance {
+    /// `(f, t, n)`-tolerance with all three parameters explicit.
+    pub fn new(f: u64, t: impl Into<Bound>, n: impl Into<Bound>) -> Self {
+        Tolerance {
+            f,
+            t: t.into(),
+            n: n.into(),
+        }
+    }
+
+    /// `(f, t)`-tolerance, i.e. `(f, t, ∞)` (Definition 3's shorthand).
+    pub fn ft(f: u64, t: impl Into<Bound>) -> Self {
+        Tolerance {
+            f,
+            t: t.into(),
+            n: Bound::Unbounded,
+        }
+    }
+
+    /// `f`-tolerance, i.e. `(f, ∞, ∞)` (Definition 3's shorthand).
+    pub fn f_tolerant(f: u64) -> Self {
+        Tolerance {
+            f,
+            t: Bound::Unbounded,
+            n: Bound::Unbounded,
+        }
+    }
+
+    /// Does an execution profile — `faulty_objects` distinct faulty
+    /// objects, at most `max_faults_per_object` faults on any one of them,
+    /// `processes` participating processes — fall within this tolerance?
+    pub fn admits(&self, faulty_objects: u64, max_faults_per_object: u64, processes: u64) -> bool {
+        faulty_objects <= self.f
+            && (faulty_objects == 0 || self.t.admits(max_faults_per_object))
+            && self.n.admits(processes)
+    }
+
+    /// Is `other` at least as demanding as `self`? An implementation that
+    /// is `other`-tolerant is then also `self`-tolerant. With `f = 0` the
+    /// per-object limit `t` is vacuous (there are no faulty objects to
+    /// bound) and is ignored.
+    pub fn subsumed_by(&self, other: &Tolerance) -> bool {
+        self.f <= other.f && (self.f == 0 || self.t <= other.t) && self.n <= other.n
+    }
+}
+
+impl std::fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})-tolerant", self.f, self.t, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_admits() {
+        assert!(Bound::Finite(3).admits(3));
+        assert!(!Bound::Finite(3).admits(4));
+        assert!(Bound::Unbounded.admits(u64::MAX));
+    }
+
+    #[test]
+    fn bound_ordering() {
+        assert!(Bound::Finite(5) < Bound::Unbounded);
+        assert!(Bound::Finite(5) < Bound::Finite(6));
+        assert_eq!(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(Bound::from(7), Bound::Finite(7));
+    }
+
+    #[test]
+    fn tolerance_shorthands() {
+        let t = Tolerance::f_tolerant(3);
+        assert_eq!(t.t, Bound::Unbounded);
+        assert_eq!(t.n, Bound::Unbounded);
+        let t = Tolerance::ft(2, 5);
+        assert_eq!(t.t, Bound::Finite(5));
+        assert_eq!(t.n, Bound::Unbounded);
+    }
+
+    #[test]
+    fn tolerance_admits_profiles() {
+        // Theorem 6 shape: (f, t, f+1) with f = 2, t = 3.
+        let tol = Tolerance::new(2, 3, 3);
+        assert!(tol.admits(2, 3, 3));
+        assert!(tol.admits(0, 0, 2));
+        assert!(!tol.admits(3, 1, 3)); // too many faulty objects
+        assert!(!tol.admits(2, 4, 3)); // too many faults per object
+        assert!(!tol.admits(2, 3, 4)); // too many processes
+    }
+
+    #[test]
+    fn zero_faulty_objects_ignores_t() {
+        let tol = Tolerance::new(1, 0, Bound::Unbounded);
+        // No faulty object ⇒ the per-object limit is vacuous.
+        assert!(tol.admits(0, 99, 5));
+    }
+
+    #[test]
+    fn subsumption() {
+        // (1, 2, 3) is weaker than (2, ∞, ∞).
+        let weak = Tolerance::new(1, 2, 3);
+        let strong = Tolerance::f_tolerant(2);
+        assert!(weak.subsumed_by(&strong));
+        assert!(!strong.subsumed_by(&weak));
+    }
+
+    #[test]
+    fn subsumption_ignores_t_at_f_zero() {
+        // (0, 5, 2) asks for no fault tolerance at all; any implementation
+        // covers its t component vacuously.
+        let zero_f = Tolerance::new(0, 5, 2);
+        let reliable_only = Tolerance::new(0, 0, Bound::Unbounded);
+        assert!(zero_f.subsumed_by(&reliable_only));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Tolerance::new(1, 2, 3).to_string(), "(1, 2, 3)-tolerant");
+        assert_eq!(Tolerance::f_tolerant(4).to_string(), "(4, ∞, ∞)-tolerant");
+    }
+}

@@ -1,0 +1,267 @@
+//! Hoare triples for the CAS operation, and the deviating postconditions
+//! that characterize each functional fault of Section 3.3–3.4.
+//!
+//! The paper writes the correctness conditions of `old ← CAS(O, exp, val)`
+//! as the triple `Ψ{O}Φ` with standard postconditions
+//!
+//! ```text
+//! R' = exp ? (R = val ∧ old = R') : (R = R' ∧ old = R')
+//! ```
+//!
+//! where `R'` is the register content on entry and `R` on return. A
+//! functional fault `⟨O, Φ'⟩` occurs when `Ψ` held on entry but the result
+//! satisfies `Φ'` instead of `Φ`. This module expresses those formulas over
+//! a concrete [`CasRecord`] — the observable footprint of a single CAS
+//! execution — so that executions can be audited after the fact.
+
+use crate::assertion::Assertion;
+use crate::value::Word;
+use serde::{Deserialize, Serialize};
+
+/// The observable footprint of one CAS execution on one object.
+///
+/// `pre` is `R'` (content on entry), `post` is `R` (content on return),
+/// `exp`/`new` are the operation arguments and `returned` is the value the
+/// operation reported as the old content.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CasRecord {
+    /// Register content on entry to the operation (`R'`).
+    pub pre: Word,
+    /// The `expected` argument.
+    pub exp: Word,
+    /// The `new` argument.
+    pub new: Word,
+    /// Register content on return (`R`).
+    pub post: Word,
+    /// The value returned as the old content (`old`).
+    pub returned: Word,
+}
+
+impl CasRecord {
+    /// `true` iff the new value ended up in the register — the paper's
+    /// notion of a *successful* CAS execution (Section 2), which applies to
+    /// correct and faulty executions alike.
+    #[inline]
+    pub fn successful(&self) -> bool {
+        self.post == self.new
+    }
+
+    /// `true` iff the comparison should have succeeded (`R' = exp`).
+    #[inline]
+    pub fn comparison_matches(&self) -> bool {
+        self.pre == self.exp
+    }
+}
+
+/// Standard CAS postcondition `Φ`:
+/// `R' = exp ? (R = val ∧ old = R') : (R = R' ∧ old = R')`.
+#[inline]
+pub fn standard_post(r: &CasRecord) -> bool {
+    if r.pre == r.exp {
+        r.post == r.new && r.returned == r.pre
+    } else {
+        r.post == r.pre && r.returned == r.pre
+    }
+}
+
+/// Overriding postcondition `Φ'` (Section 3.3): `R = val ∧ old = R'`.
+///
+/// The new value is written regardless of the comparison; the returned old
+/// value is still correct. Note every record satisfying `Φ` with a matching
+/// comparison also satisfies `Φ'` — a *fault* additionally requires `¬Φ`.
+#[inline]
+pub fn overriding_post(r: &CasRecord) -> bool {
+    r.post == r.new && r.returned == r.pre
+}
+
+/// Silent-fault postcondition (Section 3.4): the new value is **not**
+/// written even though the comparison matched; the register and the
+/// returned old value are otherwise correct: `R = R' ∧ old = R'`.
+#[inline]
+pub fn silent_post(r: &CasRecord) -> bool {
+    r.post == r.pre && r.returned == r.pre
+}
+
+/// Invisible-fault postcondition (Section 3.4): the register behaves
+/// correctly but the returned old value is wrong: `old ≠ R'`, with `R`
+/// following the standard comparison semantics.
+#[inline]
+pub fn invisible_post(r: &CasRecord) -> bool {
+    let register_correct = if r.pre == r.exp {
+        r.post == r.new
+    } else {
+        r.post == r.pre
+    };
+    register_correct && r.returned != r.pre
+}
+
+/// Arbitrary-fault postcondition (Section 3.4): an arbitrary value may be
+/// written regardless of the inputs; only the returned old value is
+/// constrained to be the entry content. (The paper notes this is
+/// essentially the responsive arbitrary *data* fault.)
+#[inline]
+pub fn arbitrary_post(r: &CasRecord) -> bool {
+    r.returned == r.pre
+}
+
+/// A Hoare triple `Ψ{CAS}Φ` over [`CasRecord`]s, with an optional deviating
+/// postcondition `Φ'` describing how a faulty execution is allowed to
+/// behave.
+#[derive(Clone, Debug)]
+pub struct CasTriple {
+    /// Preconditions `Ψ`. The CAS operation of the paper is total — its
+    /// precondition is `true` — but restricted variants (e.g. "expected
+    /// must be `⊥`") are expressible.
+    pub pre: Assertion<CasRecord>,
+    /// Standard postconditions `Φ`.
+    pub post: Assertion<CasRecord>,
+    /// Deviating postconditions `Φ'` a faulty execution must satisfy.
+    pub deviating: Option<Assertion<CasRecord>>,
+}
+
+/// The verdict of auditing one CAS execution against a [`CasTriple`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OpVerdict {
+    /// `Ψ` did not hold on entry: the triple says nothing (Definition 1
+    /// only fires when the preconditions are satisfied).
+    PreconditionUnmet,
+    /// `Φ` holds: a correct execution.
+    Correct,
+    /// `¬Φ ∧ Φ'` holds: a structured functional fault `⟨O, Φ'⟩`.
+    StructuredFault,
+    /// `¬Φ` holds and either no `Φ'` was given or `Φ'` does not hold: the
+    /// deviation is unstructured — equivalent to an arbitrary data fault.
+    UnstructuredFault,
+}
+
+impl CasTriple {
+    /// The standard CAS triple with the overriding fault as its structured
+    /// deviation — the paper's case study.
+    pub fn overriding_cas() -> Self {
+        CasTriple {
+            pre: Assertion::always(),
+            post: Assertion::new("R'=exp ? (R=val ∧ old=R') : (R=R' ∧ old=R')", standard_post),
+            deviating: Some(Assertion::new("R=val ∧ old=R'", overriding_post)),
+        }
+    }
+
+    /// The standard CAS triple with the silent fault as its deviation.
+    pub fn silent_cas() -> Self {
+        CasTriple {
+            pre: Assertion::always(),
+            post: Assertion::new("R'=exp ? (R=val ∧ old=R') : (R=R' ∧ old=R')", standard_post),
+            deviating: Some(Assertion::new("R=R' ∧ old=R'", silent_post)),
+        }
+    }
+
+    /// Audit one execution record. Implements Definition 1: a fault
+    /// occurred iff `Ψ` held on entry, `Φ` fails on return, and (for the
+    /// structured verdict) `Φ'` holds on return.
+    pub fn audit(&self, record: &CasRecord) -> OpVerdict {
+        if !self.pre.holds(record) {
+            return OpVerdict::PreconditionUnmet;
+        }
+        if self.post.holds(record) {
+            return OpVerdict::Correct;
+        }
+        match &self.deviating {
+            Some(phi_prime) if phi_prime.holds(record) => OpVerdict::StructuredFault,
+            _ => OpVerdict::UnstructuredFault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BOTTOM;
+
+    fn rec(pre: Word, exp: Word, new: Word, post: Word, returned: Word) -> CasRecord {
+        CasRecord {
+            pre,
+            exp,
+            new,
+            post,
+            returned,
+        }
+    }
+
+    #[test]
+    fn standard_success_and_failure() {
+        // Matching comparison, correct write.
+        let ok = rec(BOTTOM, BOTTOM, 5, 5, BOTTOM);
+        assert!(standard_post(&ok));
+        assert!(ok.successful());
+        assert!(ok.comparison_matches());
+        // Non-matching comparison, register untouched.
+        let noop = rec(7, BOTTOM, 5, 7, 7);
+        assert!(standard_post(&noop));
+        assert!(!noop.successful());
+        assert!(!noop.comparison_matches());
+    }
+
+    #[test]
+    fn overriding_fault_record() {
+        // Comparison should fail (pre=7 ≠ exp=⊥) but the write happens anyway.
+        let fault = rec(7, BOTTOM, 5, 5, 7);
+        assert!(!standard_post(&fault));
+        assert!(overriding_post(&fault));
+        assert_eq!(
+            CasTriple::overriding_cas().audit(&fault),
+            OpVerdict::StructuredFault
+        );
+    }
+
+    #[test]
+    fn overriding_post_includes_correct_success() {
+        // A correct successful CAS also satisfies Φ' — but audit() reports
+        // Correct because Φ holds.
+        let ok = rec(BOTTOM, BOTTOM, 5, 5, BOTTOM);
+        assert!(overriding_post(&ok));
+        assert_eq!(CasTriple::overriding_cas().audit(&ok), OpVerdict::Correct);
+    }
+
+    #[test]
+    fn silent_fault_record() {
+        // Comparison matches but the write is suppressed.
+        let fault = rec(BOTTOM, BOTTOM, 5, BOTTOM, BOTTOM);
+        assert!(!standard_post(&fault));
+        assert!(silent_post(&fault));
+        assert_eq!(
+            CasTriple::silent_cas().audit(&fault),
+            OpVerdict::StructuredFault
+        );
+        // ... and is *not* an overriding fault.
+        assert_eq!(
+            CasTriple::overriding_cas().audit(&fault),
+            OpVerdict::UnstructuredFault
+        );
+    }
+
+    #[test]
+    fn invisible_fault_record() {
+        // Register correct, returned old value wrong.
+        let fault = rec(7, BOTTOM, 5, 7, 9);
+        assert!(!standard_post(&fault));
+        assert!(invisible_post(&fault));
+        assert!(!overriding_post(&fault));
+    }
+
+    #[test]
+    fn arbitrary_fault_record() {
+        // Junk written that is neither `new` nor `pre`.
+        let fault = rec(7, BOTTOM, 5, 123, 7);
+        assert!(!standard_post(&fault));
+        assert!(arbitrary_post(&fault));
+        assert!(!overriding_post(&fault));
+        assert!(!silent_post(&fault));
+    }
+
+    #[test]
+    fn precondition_gates_the_audit() {
+        let mut triple = CasTriple::overriding_cas();
+        triple.pre = Assertion::new("exp = ⊥", |r: &CasRecord| r.exp == BOTTOM);
+        let out_of_spec = rec(7, 3, 5, 5, 7);
+        assert_eq!(triple.audit(&out_of_spec), OpVerdict::PreconditionUnmet);
+    }
+}

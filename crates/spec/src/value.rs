@@ -1,0 +1,140 @@
+//! Single-word values as stored in CAS objects.
+//!
+//! The paper's model (Section 2) works with CAS *objects* that hold a single
+//! value. Every construction initializes its objects with a distinguished
+//! value `⊥` ("bottom") that differs from every process input. To keep the
+//! native execution path a genuine single-word compare-and-swap, we encode
+//! the entire logical cell content — `⊥` or a payload — into one [`Word`].
+
+use serde::{Deserialize, Serialize};
+
+/// The raw machine word held by a CAS object.
+pub type Word = u64;
+
+/// The reserved encoding of the distinguished initial value `⊥`.
+///
+/// Inputs are [`Input`] values (`u32`), so no legal payload collides with
+/// this sentinel, even after the `⟨value, stage⟩` packing used by the
+/// staged protocol (Figure 3), which keeps the top tag bit clear.
+pub const BOTTOM: Word = Word::MAX;
+
+/// A consensus input value.
+///
+/// The consensus problem (Section 2) gives each process an input; validity
+/// requires the decision to be one of them. Restricting inputs to 32 bits
+/// leaves headroom in the word for the stage counter used by the
+/// `(f, t, f+1)`-tolerant construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Input(pub u32);
+
+impl Input {
+    /// Encode this input as a bare word (used by the one-shot protocols of
+    /// Figures 1 and 2, whose cells hold either `⊥` or an input).
+    #[inline]
+    pub fn to_word(self) -> Word {
+        self.0 as Word
+    }
+
+    /// Decode a bare word back into an input.
+    ///
+    /// Returns `None` for [`BOTTOM`] or any word outside the input range.
+    #[inline]
+    pub fn from_word(w: Word) -> Option<Self> {
+        if w <= u32::MAX as Word {
+            Some(Input(w as u32))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Input {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Logical view of a cell's content: `⊥` or a raw payload word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CellContent {
+    /// The distinguished initial value.
+    Bottom,
+    /// Any non-`⊥` payload.
+    Payload(Word),
+}
+
+impl CellContent {
+    /// Decode a raw word.
+    #[inline]
+    pub fn from_word(w: Word) -> Self {
+        if w == BOTTOM {
+            CellContent::Bottom
+        } else {
+            CellContent::Payload(w)
+        }
+    }
+
+    /// Encode back to a raw word.
+    #[inline]
+    pub fn to_word(self) -> Word {
+        match self {
+            CellContent::Bottom => BOTTOM,
+            CellContent::Payload(w) => w,
+        }
+    }
+
+    /// `true` iff this is `⊥`.
+    #[inline]
+    pub fn is_bottom(self) -> bool {
+        matches!(self, CellContent::Bottom)
+    }
+}
+
+impl std::fmt::Display for CellContent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellContent::Bottom => write!(f, "⊥"),
+            CellContent::Payload(w) => write!(f, "{w:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_word_round_trip() {
+        for raw in [0u32, 1, 7, u32::MAX] {
+            let i = Input(raw);
+            assert_eq!(Input::from_word(i.to_word()), Some(i));
+        }
+    }
+
+    #[test]
+    fn bottom_is_not_an_input() {
+        assert_eq!(Input::from_word(BOTTOM), None);
+    }
+
+    #[test]
+    fn input_never_encodes_to_bottom() {
+        assert_ne!(Input(u32::MAX).to_word(), BOTTOM);
+        assert_ne!(Input(0).to_word(), BOTTOM);
+    }
+
+    #[test]
+    fn cell_content_round_trip() {
+        assert_eq!(CellContent::from_word(BOTTOM), CellContent::Bottom);
+        assert!(CellContent::from_word(BOTTOM).is_bottom());
+        let c = CellContent::from_word(42);
+        assert_eq!(c, CellContent::Payload(42));
+        assert_eq!(c.to_word(), 42);
+        assert_eq!(CellContent::Bottom.to_word(), BOTTOM);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CellContent::Bottom.to_string(), "⊥");
+        assert_eq!(Input(9).to_string(), "9");
+    }
+}

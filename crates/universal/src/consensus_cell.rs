@@ -1,0 +1,169 @@
+//! Consensus-cell factories: what each log slot agrees with.
+//!
+//! The universal construction consumes one fresh one-shot consensus
+//! object per log slot. The factory decides what hardware the cell runs
+//! on — reliable CAS, *naively* faulty CAS (Herlihy's protocol straight
+//! over a faulty object, which the paper shows is broken), or the
+//! fault-tolerant constructions of Section 4.
+
+use ff_cas::{AtomicCasArray, FaultyCasArray, ProbabilisticPolicy};
+use ff_consensus::{CascadeConsensus, Consensus, HerlihyConsensus};
+use ff_spec::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Produces a fresh consensus cell per log slot.
+pub trait CellFactory: Send + Sync {
+    /// Make the next cell.
+    fn make(&self) -> Arc<dyn Consensus>;
+
+    /// A short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Cells on reliable CAS objects (Herlihy's protocol) — the fault-free
+/// baseline.
+#[derive(Debug, Default)]
+pub struct ReliableCells;
+
+impl CellFactory for ReliableCells {
+    fn make(&self) -> Arc<dyn Consensus> {
+        Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1))))
+    }
+
+    fn label(&self) -> &'static str {
+        "reliable"
+    }
+}
+
+/// Cells that run Herlihy's protocol directly over an unboundedly-faulty
+/// CAS object — no fault tolerance. Under fault injection, replicas built
+/// on these cells diverge (experiment E10's negative arm).
+#[derive(Debug)]
+pub struct NaiveFaultyCells {
+    fault_rate: f64,
+    seed: AtomicU64,
+}
+
+impl NaiveFaultyCells {
+    /// Cells whose single object overrides with probability `fault_rate`
+    /// per CAS; seeds advance deterministically from `seed0`.
+    pub fn new(fault_rate: f64, seed0: u64) -> Self {
+        NaiveFaultyCells {
+            fault_rate,
+            seed: AtomicU64::new(seed0),
+        }
+    }
+}
+
+impl CellFactory for NaiveFaultyCells {
+    fn make(&self) -> Arc<dyn Consensus> {
+        let seed = self.seed.fetch_add(1, Ordering::Relaxed);
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(1)
+                .faulty_first(1)
+                .per_object(Bound::Unbounded)
+                .policy(ProbabilisticPolicy::new(self.fault_rate, seed))
+                .record_history(false)
+                .build(),
+        );
+        Arc::new(HerlihyConsensus::new(ensemble))
+    }
+
+    fn label(&self) -> &'static str {
+        "naive-faulty"
+    }
+}
+
+/// Cells built with the `f`-tolerant cascade (Figure 2) over ensembles
+/// with `f` unboundedly-faulty objects out of `f + 1` — the paper's
+/// construction put to work (experiment E10's positive arm).
+#[derive(Debug)]
+pub struct RobustCells {
+    f: usize,
+    fault_rate: f64,
+    seed: AtomicU64,
+}
+
+impl RobustCells {
+    /// Cells tolerating `f ≥ 1` faulty objects, faulting with
+    /// `fault_rate` per opportunity.
+    pub fn new(f: usize, fault_rate: f64, seed0: u64) -> Self {
+        assert!(f >= 1);
+        RobustCells {
+            f,
+            fault_rate,
+            seed: AtomicU64::new(seed0),
+        }
+    }
+}
+
+impl CellFactory for RobustCells {
+    fn make(&self) -> Arc<dyn Consensus> {
+        let seed = self.seed.fetch_add(1, Ordering::Relaxed);
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(self.f + 1)
+                .faulty_first(self.f)
+                .per_object(Bound::Unbounded)
+                .policy(ProbabilisticPolicy::new(self.fault_rate, seed))
+                .record_history(false)
+                .build(),
+        );
+        Arc::new(CascadeConsensus::new(ensemble, self.f))
+    }
+
+    fn label(&self) -> &'static str {
+        "robust-cascade"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_spec::Input;
+
+    #[test]
+    fn reliable_cells_decide() {
+        let cell = ReliableCells.make();
+        assert_eq!(cell.decide(Input(5)), Input(5));
+        assert_eq!(cell.decide(Input(9)), Input(5));
+    }
+
+    #[test]
+    fn robust_cells_decide_consistently_under_faults() {
+        let factory = RobustCells::new(2, 0.8, 42);
+        for _ in 0..50 {
+            let cell = factory.make();
+            let a = cell.decide(Input(1));
+            let b = cell.decide(Input(2));
+            let c = cell.decide(Input(3));
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn naive_cells_can_disagree() {
+        // With a high fault rate, sequential deciders on a naive cell
+        // eventually disagree (the cell's object overrides).
+        let factory = NaiveFaultyCells::new(1.0, 7);
+        let mut disagreements = 0;
+        for _ in 0..50 {
+            let cell = factory.make();
+            let a = cell.decide(Input(1));
+            let b = cell.decide(Input(2)); // overriding write lands 2
+            let c = cell.decide(Input(3)); // sees 2 ≠ a
+            if a != c || a != b {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "naive cells never disagreed");
+    }
+
+    #[test]
+    fn factories_have_labels() {
+        assert_eq!(ReliableCells.label(), "reliable");
+        assert_eq!(NaiveFaultyCells::new(0.5, 0).label(), "naive-faulty");
+        assert_eq!(RobustCells::new(1, 0.5, 0).label(), "robust-cascade");
+    }
+}

@@ -1,0 +1,611 @@
+//! The wait-free operation log: Herlihy's universal construction over
+//! one-shot consensus cells.
+//!
+//! Every log slot is a fresh consensus cell from a [`CellFactory`].
+//! A process announces its operation's payload, then walks the log
+//! proposing its operation id at each slot; whatever the slot decides is
+//! applied to the process's local replica, and the process keeps walking
+//! until a slot decides *its* operation. Because each slot's cell is
+//! consensus, all replicas apply the same operation sequence — provided
+//! the cells actually are consensus, which under functional faults is
+//! exactly what Section 4's constructions buy (and what naive cells
+//! lose — experiment E10).
+//!
+//! Both classic formulations are provided: the **lock-free** one
+//! ([`UniversalLog::new`] — some process completes whenever a slot is
+//! decided) and the **wait-free** one with Herlihy-style helping
+//! ([`UniversalLog::with_helping`] — slot `k` proposes the pending
+//! operation of process `k mod n`, so every announced operation is
+//! decided within a bounded number of slots no matter how its owner is
+//! scheduled).
+
+use crate::consensus_cell::CellFactory;
+use crate::object::Replicated;
+use ff_consensus::Consensus;
+use ff_spec::Input;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bits of an operation id reserved for the sequence number.
+const SEQ_BITS: u32 = 22;
+
+/// An operation id: proposer plus per-proposer sequence number, packed
+/// into the `u32` a consensus cell decides.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OpId {
+    /// Proposing process (< 1024).
+    pub pid: u16,
+    /// Per-proposer sequence number (< 2²²).
+    pub seq: u32,
+}
+
+impl OpId {
+    /// Pack into a consensus input.
+    pub fn pack(self) -> u32 {
+        assert!(self.pid < 1 << 10, "pid {} exceeds 10 bits", self.pid);
+        assert!(
+            self.seq < 1 << SEQ_BITS,
+            "seq {} exceeds {} bits",
+            self.seq,
+            SEQ_BITS
+        );
+        ((self.pid as u32) << SEQ_BITS) | self.seq
+    }
+
+    /// Unpack from a consensus decision.
+    pub fn unpack(v: u32) -> Self {
+        OpId {
+            pid: (v >> SEQ_BITS) as u16,
+            seq: v & ((1 << SEQ_BITS) - 1),
+        }
+    }
+}
+
+/// The shared core: the cell chain plus the announce table.
+pub struct UniversalLog {
+    factory: Arc<dyn CellFactory>,
+    cells: Mutex<Vec<Arc<dyn Consensus>>>,
+    announce: Mutex<HashMap<u32, u64>>,
+    /// Helping (Herlihy's wait-free upgrade): when `Some(n)`, slot `k`
+    /// is reserved for helping process `k mod n`'s pending operation.
+    helping_n: Option<usize>,
+    /// Pending (announced, not yet decided) operation per process.
+    pending: Mutex<HashMap<u16, u32>>,
+}
+
+impl UniversalLog {
+    /// A fresh log over `factory`'s cells, in the lock-free formulation
+    /// (no helping: some process completes whenever a slot is decided,
+    /// but an individual process can starve under an unfair scheduler).
+    pub fn new(factory: Arc<dyn CellFactory>) -> Self {
+        UniversalLog {
+            factory,
+            cells: Mutex::new(Vec::new()),
+            announce: Mutex::new(HashMap::new()),
+            helping_n: None,
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A log with Herlihy-style **helping** for up to `n` processes
+    /// (pids `0 … n-1`): slot `k` proposes the pending operation of
+    /// process `k mod n` when one exists, so every announced operation is
+    /// decided within a bounded number of slots regardless of its owner's
+    /// scheduling — the wait-free formulation.
+    pub fn with_helping(factory: Arc<dyn CellFactory>, n: usize) -> Self {
+        assert!(n >= 1, "helping needs at least one process");
+        UniversalLog {
+            factory,
+            cells: Mutex::new(Vec::new()),
+            announce: Mutex::new(HashMap::new()),
+            helping_n: Some(n),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register `opid` as `pid`'s pending operation (announce-for-help).
+    fn register_pending(&self, pid: u16, opid: u32) {
+        if self.helping_n.is_some() {
+            self.pending.lock().insert(pid, opid);
+        }
+    }
+
+    /// Clear `pid`'s pending entry if it still refers to `opid`.
+    fn clear_pending(&self, pid: u16, opid: u32) {
+        if self.helping_n.is_some() {
+            let mut pending = self.pending.lock();
+            if pending.get(&pid) == Some(&opid) {
+                pending.remove(&pid);
+            }
+        }
+    }
+
+    /// The operation slot `k` should propose on behalf of the helped
+    /// process, if any: the pending op of process `k mod n` that the
+    /// proposer has not yet seen decided.
+    fn help_target(&self, slot: usize, already_applied: &impl Fn(u32) -> bool) -> Option<u32> {
+        let n = self.helping_n?;
+        let helped = (slot % n) as u16;
+        let candidate = *self.pending.lock().get(&helped)?;
+        if already_applied(candidate) {
+            None
+        } else {
+            Some(candidate)
+        }
+    }
+
+    /// Publicly visible helping mode (for reports).
+    pub fn helping(&self) -> Option<usize> {
+        self.helping_n
+    }
+
+    /// Announce an operation on behalf of a process without walking the
+    /// log — the "slow process" whose work others must finish. Used by
+    /// tests and demos of the helping mechanism; normal callers go
+    /// through [`Handle::invoke`].
+    pub fn announce_for(&self, pid: u16, seq: u32, payload: u64) -> u32 {
+        let opid = OpId { pid, seq }.pack();
+        self.announce_op(opid, payload);
+        self.register_pending(pid, opid);
+        opid
+    }
+
+    /// The cell deciding slot `k` (created on demand).
+    fn cell(&self, k: usize) -> Arc<dyn Consensus> {
+        let mut cells = self.cells.lock();
+        while cells.len() <= k {
+            cells.push(self.factory.make());
+        }
+        Arc::clone(&cells[k])
+    }
+
+    /// Publish an operation's payload before proposing its id.
+    fn announce_op(&self, opid: u32, payload: u64) {
+        self.announce.lock().insert(opid, payload);
+    }
+
+    /// The payload of a decided operation. The announce happens-before
+    /// the propose (both through this table's lock), so a decided id is
+    /// always resolvable.
+    fn payload_of(&self, opid: u32) -> u64 {
+        *self
+            .announce
+            .lock()
+            .get(&opid)
+            .expect("decided operation was never announced")
+    }
+
+    /// Slots decided so far (an upper bound; cells may exist undecided).
+    pub fn slots_created(&self) -> usize {
+        self.cells.lock().len()
+    }
+
+    /// The factory's label.
+    pub fn cell_label(&self) -> &'static str {
+        self.factory.label()
+    }
+}
+
+/// A process-local replica handle.
+pub struct Handle<T: Replicated> {
+    core: Arc<UniversalLog>,
+    state: T,
+    pid: u16,
+    next_seq: u32,
+    next_slot: usize,
+    applied: Vec<u32>,
+    applied_set: std::collections::HashSet<u32>,
+}
+
+impl<T: Replicated> Handle<T> {
+    /// A handle for process `pid` starting from `initial` state (all
+    /// handles of one log must start from equal initial states). With
+    /// helping enabled, `pid` must be below the log's `n`.
+    pub fn new(core: Arc<UniversalLog>, pid: u16, initial: T) -> Self {
+        if let Some(n) = core.helping() {
+            assert!(
+                (pid as usize) < n,
+                "pid {pid} out of range for helping over {n} processes"
+            );
+        }
+        Handle {
+            core,
+            state: initial,
+            pid,
+            next_seq: 0,
+            next_slot: 0,
+            applied: Vec::new(),
+            applied_set: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Invoke an encoded operation: agree on its position in the log,
+    /// replaying every operation decided before it, and return its
+    /// response on this replica. With helping enabled, slots reserved for
+    /// other processes propose *their* pending operations, so lagging
+    /// processes' work is finished by whoever is running.
+    pub fn invoke(&mut self, op: u64) -> u64 {
+        let opid = OpId {
+            pid: self.pid,
+            seq: self.next_seq,
+        }
+        .pack();
+        self.next_seq += 1;
+        self.core.announce_op(opid, op);
+        self.core.register_pending(self.pid, opid);
+        let mut own_response: Option<u64> = None;
+        loop {
+            let cell = self.core.cell(self.next_slot);
+            let applied_set = &self.applied_set;
+            let propose = self
+                .core
+                .help_target(self.next_slot, &|x| applied_set.contains(&x))
+                .unwrap_or(opid);
+            let decided = cell.decide(Input(propose)).0;
+            let payload = self.core.payload_of(decided);
+            let resp = self.state.apply(payload);
+            self.applied.push(decided);
+            self.applied_set.insert(decided);
+            self.core.clear_pending(OpId::unpack(decided).pid, decided);
+            self.next_slot += 1;
+            if decided == opid {
+                own_response = Some(resp);
+            }
+            if let Some(r) = own_response {
+                return r;
+            }
+        }
+    }
+
+    /// Apply all operations decided up to the current end of the log
+    /// without submitting anything — a passive catch-up that, with
+    /// helping enabled, also observes operations others finished on this
+    /// process's behalf. Returns the ops applied.
+    pub fn catch_up(&mut self) -> usize {
+        let known = self.core.slots_created();
+        let mut applied = 0;
+        while self.next_slot < known {
+            // Re-deciding an already-decided cell with a dummy proposal
+            // returns the decided value (cells are multi-shot consensus).
+            let cell = self.core.cell(self.next_slot);
+            let dummy = OpId {
+                pid: self.pid,
+                seq: self.next_seq,
+            }
+            .pack();
+            // The dummy is announced so a (vanishingly unlikely) win at a
+            // genuinely undecided trailing slot stays resolvable.
+            self.core
+                .announce_op(dummy, crate::object::encoding::op(0, 0));
+            let decided = cell.decide(Input(dummy)).0;
+            if decided == dummy {
+                self.next_seq += 1;
+            }
+            let payload = self.core.payload_of(decided);
+            self.state.apply(payload);
+            self.applied.push(decided);
+            self.applied_set.insert(decided);
+            self.next_slot += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Catch up with the log by invoking an inert no-op (opcode 0 is
+    /// reserved as inert by every object in [`crate::structures`]) and
+    /// return the refreshed state.
+    pub fn sync(&mut self) -> &T {
+        self.invoke(crate::object::encoding::op(0, 0));
+        &self.state
+    }
+
+    /// The local replica state.
+    pub fn state(&self) -> &T {
+        &self.state
+    }
+
+    /// The decided operation ids this replica has applied, in order.
+    pub fn applied_log(&self) -> &[u32] {
+        &self.applied
+    }
+}
+
+/// Are the given applied logs mutually consistent (every pair agrees on
+/// their common prefix)? Divergence here means the cells failed to be
+/// consensus — the observable corruption naive cells suffer under
+/// overriding faults.
+pub fn logs_consistent(logs: &[&[u32]]) -> bool {
+    for (i, a) in logs.iter().enumerate() {
+        for b in logs.iter().skip(i + 1) {
+            let common = a.len().min(b.len());
+            if a[..common] != b[..common] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus_cell::{NaiveFaultyCells, ReliableCells, RobustCells};
+    use crate::structures::Counter;
+
+    #[test]
+    fn opid_round_trip() {
+        for (pid, seq) in [(0u16, 0u32), (1023, (1 << 22) - 1), (7, 99)] {
+            let id = OpId { pid, seq };
+            assert_eq!(OpId::unpack(id.pack()), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 10 bits")]
+    fn oversized_pid_rejected() {
+        let _ = OpId { pid: 1024, seq: 0 }.pack();
+    }
+
+    #[test]
+    fn sequential_counter_over_reliable_cells() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)));
+        let mut h = Handle::new(Arc::clone(&core), 0, Counter::default());
+        assert_eq!(h.invoke(Counter::add_op(5)), 5);
+        assert_eq!(h.invoke(Counter::add_op(3)), 8);
+        assert_eq!(h.invoke(Counter::get_op()), 8);
+        assert_eq!(core.slots_created(), 3);
+    }
+
+    #[test]
+    fn two_handles_converge() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)));
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        a.invoke(Counter::add_op(5));
+        b.invoke(Counter::add_op(7));
+        assert_eq!(a.sync().value(), 12);
+        assert_eq!(b.sync().value(), 12);
+        assert!(logs_consistent(&[a.applied_log(), b.applied_log()]));
+    }
+
+    #[test]
+    fn concurrent_counter_over_robust_cells_under_faults() {
+        // E10 positive arm: heavy fault injection, robust cells, N
+        // threads adding concurrently — the total must be exact.
+        let threads = 4u64;
+        let adds_each = 25u64;
+        let core = Arc::new(UniversalLog::new(Arc::new(RobustCells::new(1, 0.5, 99))));
+        let logs: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..threads)
+                .map(|i| {
+                    let core = Arc::clone(&core);
+                    s.spawn(move || {
+                        let mut h = Handle::new(core, i as u16, Counter::default());
+                        for _ in 0..adds_each {
+                            h.invoke(Counter::add_op(1));
+                        }
+                        h.applied_log().to_vec()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every replica applied a consistent prefix of the one true log.
+        let views: Vec<&[u32]> = logs.iter().map(|l| l.as_slice()).collect();
+        assert!(logs_consistent(&views), "replica logs diverged: {logs:?}");
+        // A fresh observer sees the exact total: every add applied once.
+        let expected = threads * adds_each;
+        let mut observer = Handle::new(core, 1000, Counter::default());
+        assert_eq!(observer.invoke(Counter::get_op()), expected);
+    }
+
+    #[test]
+    fn naive_cells_diverge_under_faults() {
+        // E10 negative arm: the same workload over naive cells (Herlihy
+        // straight on a faulty object) corrupts agreement in at least one
+        // trial — sequential deciders suffice to exhibit it.
+        let mut diverged = false;
+        for seed in 0..30 {
+            let core = Arc::new(UniversalLog::new(Arc::new(NaiveFaultyCells::new(
+                1.0, seed,
+            ))));
+            let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+            let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+            let mut c = Handle::new(Arc::clone(&core), 2, Counter::default());
+            a.invoke(Counter::add_op(1));
+            b.invoke(Counter::add_op(10));
+            c.invoke(Counter::add_op(100));
+            if !logs_consistent(&[a.applied_log(), b.applied_log(), c.applied_log()]) {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "naive cells never diverged under 100% fault rate");
+    }
+
+    #[test]
+    fn helping_finishes_a_lagging_processs_operation() {
+        // Process 2 announces an add but never walks the log; processes
+        // 0 and 1 keep working. With helping over n = 3, slot k ≡ 2
+        // (mod 3) proposes p2's pending op — it must get decided and
+        // applied without p2 taking a single step.
+        let core = Arc::new(UniversalLog::with_helping(Arc::new(ReliableCells), 3));
+        let ghost_opid = core.announce_for(2, 0, Counter::add_op(1_000));
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        for _ in 0..4 {
+            a.invoke(Counter::add_op(1));
+            b.invoke(Counter::add_op(1));
+        }
+        assert!(
+            a.applied_set.contains(&ghost_opid) || b.applied_set.contains(&ghost_opid),
+            "the ghost's operation was never helped to a decision"
+        );
+        // The ghost's 1000 is included exactly once in the totals.
+        assert_eq!(a.sync().value(), 8 + 1_000);
+    }
+
+    #[test]
+    fn helping_applies_each_operation_exactly_once() {
+        // Heavier: concurrent handles + a ghost; the ghost op must be
+        // counted exactly once despite many potential helpers.
+        for seed in 0..10u64 {
+            // One pid per handle (operation ids embed the pid): workers
+            // are 0–2, the ghost is 3, the observer is 4.
+            let core = Arc::new(UniversalLog::with_helping(
+                Arc::new(RobustCells::new(1, 0.4, seed)),
+                5,
+            ));
+            core.announce_for(3, 0, Counter::add_op(1_000));
+            std::thread::scope(|s| {
+                for p in 0..3u16 {
+                    let core = Arc::clone(&core);
+                    s.spawn(move || {
+                        let mut h = Handle::new(core, p, Counter::default());
+                        for _ in 0..10 {
+                            h.invoke(Counter::add_op(1));
+                        }
+                    });
+                }
+            });
+            let mut observer = Handle::new(core, 4, Counter::default());
+            let total = observer.invoke(Counter::get_op());
+            assert_eq!(total, 30 + 1_000, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn catch_up_applies_decided_slots_passively() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)));
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        a.invoke(Counter::add_op(5));
+        a.invoke(Counter::add_op(7));
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        let applied = b.catch_up();
+        assert!(applied >= 2);
+        assert_eq!(b.state().value(), 12);
+    }
+
+    #[test]
+    fn helping_rejects_out_of_range_pid() {
+        let core = Arc::new(UniversalLog::with_helping(Arc::new(ReliableCells), 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Handle::new(core, 2, Counter::default())
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn logs_consistent_detects_mismatch() {
+        assert!(logs_consistent(&[&[1, 2, 3], &[1, 2], &[1, 2, 3, 4]]));
+        assert!(!logs_consistent(&[&[1, 2, 3], &[1, 9]]));
+        assert!(logs_consistent(&[]));
+        assert!(logs_consistent(&[&[][..]]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::consensus_cell::{ReliableCells, RobustCells};
+    use crate::object::Replicated;
+    use crate::structures::{Counter, FifoQueue, RegisterObject};
+    use proptest::prelude::*;
+
+    /// Interleave two handles' invocations per `schedule` (false → handle
+    /// A, true → handle B), then sync both and compare replicas.
+    fn converges<T: Replicated + PartialEq + std::fmt::Debug>(
+        initial: T,
+        ops_a: &[u64],
+        ops_b: &[u64],
+        schedule: &[bool],
+        robust: bool,
+    ) {
+        let factory: Arc<dyn CellFactory> = if robust {
+            Arc::new(RobustCells::new(1, 0.5, 99))
+        } else {
+            Arc::new(ReliableCells)
+        };
+        let core = Arc::new(UniversalLog::new(factory));
+        let mut a = Handle::new(Arc::clone(&core), 0, initial.clone());
+        let mut b = Handle::new(Arc::clone(&core), 1, initial);
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for &pick_b in schedule {
+            if pick_b {
+                if ib < ops_b.len() {
+                    b.invoke(ops_b[ib]);
+                    ib += 1;
+                }
+            } else if ia < ops_a.len() {
+                a.invoke(ops_a[ia]);
+                ia += 1;
+            }
+        }
+        while ia < ops_a.len() {
+            a.invoke(ops_a[ia]);
+            ia += 1;
+        }
+        while ib < ops_b.len() {
+            b.invoke(ops_b[ib]);
+            ib += 1;
+        }
+        a.sync();
+        b.sync();
+        assert_eq!(a.state(), b.state(), "replicas diverged");
+        assert!(logs_consistent(&[a.applied_log(), b.applied_log()]));
+    }
+
+    fn counter_op() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(Counter::add_op)
+    }
+
+    fn register_op() -> impl Strategy<Value = u64> {
+        prop_oneof![
+            (0u64..1000).prop_map(RegisterObject::write_op),
+            Just(RegisterObject::read_op()),
+        ]
+    }
+
+    fn queue_op() -> impl Strategy<Value = u64> {
+        prop_oneof![
+            (0u64..1000).prop_map(FifoQueue::enq_op),
+            Just(FifoQueue::deq_op()),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn counters_converge_on_any_interleaving(
+            ops_a in proptest::collection::vec(counter_op(), 0..12),
+            ops_b in proptest::collection::vec(counter_op(), 0..12),
+            schedule in proptest::collection::vec(any::<bool>(), 0..24),
+            robust in any::<bool>(),
+        ) {
+            converges(Counter::default(), &ops_a, &ops_b, &schedule, robust);
+        }
+
+        #[test]
+        fn registers_converge_on_any_interleaving(
+            ops_a in proptest::collection::vec(register_op(), 0..12),
+            ops_b in proptest::collection::vec(register_op(), 0..12),
+            schedule in proptest::collection::vec(any::<bool>(), 0..24),
+        ) {
+            converges(RegisterObject::default(), &ops_a, &ops_b, &schedule, false);
+        }
+
+        #[test]
+        fn queues_converge_on_any_interleaving(
+            ops_a in proptest::collection::vec(queue_op(), 0..12),
+            ops_b in proptest::collection::vec(queue_op(), 0..12),
+            schedule in proptest::collection::vec(any::<bool>(), 0..24),
+            robust in any::<bool>(),
+        ) {
+            converges(FifoQueue::default(), &ops_a, &ops_b, &schedule, robust);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Replicated data structures: counter, register and FIFO queue.
+
+use crate::object::encoding::{op, split};
+use crate::object::Replicated;
+use std::collections::VecDeque;
+
+/// Response encoding for "nothing" (e.g. dequeue on empty).
+pub const EMPTY: u64 = u64::MAX;
+
+/// A replicated saturating counter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Opcode: add `payload` to the counter; responds with the new value.
+    pub const ADD: u8 = 1;
+    /// Opcode: read the counter.
+    pub const GET: u8 = 2;
+
+    /// Encoded `add(x)` operation.
+    pub fn add_op(x: u64) -> u64 {
+        op(Self::ADD, x)
+    }
+
+    /// Encoded `get()` operation.
+    pub fn get_op() -> u64 {
+        op(Self::GET, 0)
+    }
+
+    /// Current value (local inspection for tests).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl Replicated for Counter {
+    fn apply(&mut self, operation: u64) -> u64 {
+        let (code, payload) = split(operation);
+        match code {
+            Self::ADD => {
+                self.value = self.value.saturating_add(payload);
+                self.value
+            }
+            Self::GET => self.value,
+            _ => EMPTY,
+        }
+    }
+}
+
+/// A replicated single-word register.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegisterObject {
+    value: u64,
+}
+
+impl RegisterObject {
+    /// Opcode: write `payload`; responds with the previous value.
+    pub const WRITE: u8 = 1;
+    /// Opcode: read.
+    pub const READ: u8 = 2;
+
+    /// Encoded `write(x)` operation (`x` must fit 56 bits).
+    pub fn write_op(x: u64) -> u64 {
+        op(Self::WRITE, x)
+    }
+
+    /// Encoded `read()` operation.
+    pub fn read_op() -> u64 {
+        op(Self::READ, 0)
+    }
+}
+
+impl Replicated for RegisterObject {
+    fn apply(&mut self, operation: u64) -> u64 {
+        let (code, payload) = split(operation);
+        match code {
+            Self::WRITE => std::mem::replace(&mut self.value, payload),
+            Self::READ => self.value,
+            _ => EMPTY,
+        }
+    }
+}
+
+/// A replicated FIFO queue of 56-bit items.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FifoQueue {
+    items: VecDeque<u64>,
+}
+
+impl FifoQueue {
+    /// Opcode: enqueue `payload`; responds with the new length.
+    pub const ENQ: u8 = 1;
+    /// Opcode: dequeue; responds with the item or [`EMPTY`].
+    pub const DEQ: u8 = 2;
+    /// Opcode: length.
+    pub const LEN: u8 = 3;
+
+    /// Encoded `enqueue(x)` operation.
+    pub fn enq_op(x: u64) -> u64 {
+        op(Self::ENQ, x)
+    }
+
+    /// Encoded `dequeue()` operation.
+    pub fn deq_op() -> u64 {
+        op(Self::DEQ, 0)
+    }
+
+    /// Encoded `len()` operation.
+    pub fn len_op() -> u64 {
+        op(Self::LEN, 0)
+    }
+
+    /// Number of queued items (local inspection for tests).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl Replicated for FifoQueue {
+    fn apply(&mut self, operation: u64) -> u64 {
+        let (code, payload) = split(operation);
+        match code {
+            Self::ENQ => {
+                self.items.push_back(payload);
+                self.items.len() as u64
+            }
+            Self::DEQ => self.items.pop_front().unwrap_or(EMPTY),
+            Self::LEN => self.items.len() as u64,
+            _ => EMPTY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let mut c = Counter::default();
+        assert_eq!(c.apply(Counter::add_op(5)), 5);
+        assert_eq!(c.apply(Counter::add_op(3)), 8);
+        assert_eq!(c.apply(Counter::get_op()), 8);
+        assert_eq!(c.value(), 8);
+    }
+
+    #[test]
+    fn register_semantics() {
+        let mut r = RegisterObject::default();
+        assert_eq!(r.apply(RegisterObject::write_op(7)), 0);
+        assert_eq!(r.apply(RegisterObject::read_op()), 7);
+        assert_eq!(r.apply(RegisterObject::write_op(9)), 7);
+    }
+
+    #[test]
+    fn queue_semantics() {
+        let mut q = FifoQueue::default();
+        assert_eq!(q.apply(FifoQueue::deq_op()), EMPTY);
+        assert_eq!(q.apply(FifoQueue::enq_op(1)), 1);
+        assert_eq!(q.apply(FifoQueue::enq_op(2)), 2);
+        assert_eq!(q.apply(FifoQueue::len_op()), 2);
+        assert_eq!(q.apply(FifoQueue::deq_op()), 1);
+        assert_eq!(q.apply(FifoQueue::deq_op()), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn replicas_replaying_the_same_log_converge() {
+        let log = [
+            Counter::add_op(1),
+            Counter::add_op(10),
+            Counter::get_op(),
+            Counter::add_op(100),
+        ];
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        for o in log {
+            a.apply(o);
+        }
+        for o in log {
+            b.apply(o);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_opcode_is_inert() {
+        let mut c = Counter::default();
+        assert_eq!(c.apply(crate::object::encoding::op(99, 5)), EMPTY);
+        assert_eq!(c.value(), 0);
+    }
+}

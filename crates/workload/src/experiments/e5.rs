@@ -1,0 +1,99 @@
+//! E5 — Theorem 19: the covering adversary breaks any `f`-object
+//! protocol with `f + 2` processes, at one fault per object.
+
+use super::{inputs, mark};
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::table::Table;
+use ff_adversary::covering_attack;
+use ff_consensus::{one_shots, staged_machines};
+
+/// E5: the covering lower bound.
+pub struct E5Covering;
+
+impl Experiment for E5Covering {
+    fn id(&self) -> &'static str {
+        "e5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Covering attack: f objects cannot serve f + 2 processes (t = 1)"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        let mut pass = true;
+        let mut table = Table::new(
+            "Covering attack against the staged protocol (t = 1, n = f + 2)",
+            &[
+                "f",
+                "n",
+                "p0 decided",
+                "p_{f+1} decided",
+                "objects covered",
+                "disagreement",
+            ],
+        );
+        for f in 1..=4u64 {
+            let n = f as usize + 2;
+            let report = covering_attack(staged_machines(&inputs(n), f, 1), f as usize);
+            pass &= report.violated();
+            table.push_row(&[
+                f.to_string(),
+                n.to_string(),
+                report
+                    .first_decision
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                report
+                    .last_decision
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                report.covered.len().to_string(),
+                mark(report.violated()).to_string(),
+            ]);
+        }
+
+        let mut oneshot = Table::new(
+            "Covering attack against the one-shot protocol (f = 1, n = 3)",
+            &["p0 decided", "p2 decided", "disagreement"],
+        );
+        let report = covering_attack(one_shots(&inputs(3)), 1);
+        pass &= report.violated();
+        oneshot.push_row(&[
+            report
+                .first_decision
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            report
+                .last_decision
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            mark(report.violated()).to_string(),
+        ]);
+
+        ExperimentResult {
+            id: "e5".into(),
+            title: self.title().into(),
+            paper_ref: "Theorem 19".into(),
+            tables: vec![table, oneshot],
+            notes: vec![
+                "Paper: one overriding fault per object suffices to make f CAS objects \
+                 useless for f + 2 processes — the adversary covers each object with one \
+                 faulty write, erasing p0's entire footprint. Expected: disagreement between \
+                 p0 and p_{f+1} at every f."
+                    .into(),
+            ],
+            pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_passes() {
+        let r = E5Covering.run();
+        assert!(r.pass, "{}", r.render());
+    }
+}

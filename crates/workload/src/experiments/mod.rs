@@ -1,0 +1,78 @@
+//! The E1–E14 experiment implementations (see EXPERIMENTS.md and the
+//! per-experiment index in DESIGN.md §5).
+
+mod e1;
+mod e10;
+mod e11;
+mod e12;
+mod e13;
+mod e14;
+mod e2;
+mod e3;
+mod e4;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+mod e9;
+
+pub use e1::E1TwoProcess;
+pub use e10::E10Universal;
+pub use e11::E11MaxStageAblation;
+pub use e12::E12StepComplexity;
+pub use e13::E13OtherPrimitives;
+pub use e14::E14GracefulDegradation;
+pub use e2::E2Cascade;
+pub use e3::E3Staged;
+pub use e4::E4UnboundedLower;
+pub use e5::E5Covering;
+pub use e6::E6Hierarchy;
+pub use e7::E7ModelSeparation;
+pub use e8::E8OtherFaults;
+pub use e9::E9HerlihyBaseline;
+
+use ff_sim::ExplorerConfig;
+use ff_spec::Input;
+
+/// Distinct inputs `100, 101, …` for `n` processes.
+pub(crate) fn inputs(n: usize) -> Vec<Input> {
+    (0..n as u32).map(|i| Input(100 + i)).collect()
+}
+
+/// Check-mark rendering for tables.
+pub(crate) fn mark(ok: bool) -> &'static str {
+    if ok {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+/// The standard explorer budget for report-sized exhaustive runs.
+pub(crate) fn explorer_config() -> ExplorerConfig {
+    ExplorerConfig {
+        max_states: 2_000_000,
+        max_depth: 100_000,
+        stop_at_first_violation: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_distinct() {
+        let v = inputs(4);
+        assert_eq!(v.len(), 4);
+        let mut u = v.clone();
+        u.dedup();
+        assert_eq!(u, v);
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(mark(true), "✓");
+        assert_eq!(mark(false), "✗");
+    }
+}

@@ -1,0 +1,40 @@
+//! Machine-readable export of experiment results.
+
+use crate::experiment::ExperimentResult;
+
+/// Serialize results to pretty JSON (for CI artifacts and downstream
+/// analysis).
+pub fn to_json(results: &[ExperimentResult]) -> String {
+    serde_json::to_string_pretty(results).expect("experiment results are serializable")
+}
+
+/// Parse results back (round-trip utility).
+pub fn from_json(s: &str) -> Result<Vec<ExperimentResult>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    #[test]
+    fn round_trip() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(&["1"]);
+        let results = vec![ExperimentResult {
+            id: "e0".into(),
+            title: "demo".into(),
+            paper_ref: "none".into(),
+            tables: vec![t],
+            notes: vec!["n".into()],
+            pass: true,
+        }];
+        let json = to_json(&results);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, "e0");
+        assert!(back[0].pass);
+        assert_eq!(back[0].tables[0].rows[0][0], "1");
+    }
+}

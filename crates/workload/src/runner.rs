@@ -1,0 +1,94 @@
+//! Seeded trial runners and timing helpers.
+
+use crate::stats::Summary;
+use std::time::{Duration, Instant};
+
+/// The outcome of a batch of seeded pass/fail trials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialBatch {
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials that violated the property under test.
+    pub violations: u64,
+    /// The first violating seed, if any.
+    pub first_violation_seed: Option<u64>,
+}
+
+impl TrialBatch {
+    /// `true` iff no trial violated.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Run `trial(seed)` for each seed; `trial` returns `true` when the
+/// property held.
+pub fn run_trials(seeds: std::ops::Range<u64>, mut trial: impl FnMut(u64) -> bool) -> TrialBatch {
+    let mut batch = TrialBatch {
+        trials: 0,
+        violations: 0,
+        first_violation_seed: None,
+    };
+    for seed in seeds {
+        batch.trials += 1;
+        if !trial(seed) {
+            batch.violations += 1;
+            batch.first_violation_seed.get_or_insert(seed);
+        }
+    }
+    batch
+}
+
+/// Time a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run `f` once per seed and summarize wall-clock latencies (in
+/// microseconds).
+pub fn time_trials(seeds: std::ops::Range<u64>, mut f: impl FnMut(u64)) -> Summary {
+    let samples: Vec<f64> = seeds
+        .map(|seed| {
+            let (_, d) = time_it(|| f(seed));
+            d.as_secs_f64() * 1e6
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_batch() {
+        let b = run_trials(0..10, |_| true);
+        assert_eq!(b.trials, 10);
+        assert!(b.clean());
+        assert_eq!(b.first_violation_seed, None);
+    }
+
+    #[test]
+    fn violations_counted_with_first_seed() {
+        let b = run_trials(0..10, |seed| seed % 3 != 2);
+        assert_eq!(b.violations, 3); // seeds 2, 5, 8
+        assert_eq!(b.first_violation_seed, Some(2));
+        assert!(!b.clean());
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, d) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn time_trials_summarizes() {
+        let s = time_trials(0..5, |_| std::hint::black_box(()));
+        assert_eq!(s.count, 5);
+        assert!(s.mean >= 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Parameter-grid helpers for sweeps.
+
+/// Cartesian product of two parameter axes.
+pub fn grid2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three parameter axes.
+pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// The standard `(f, t)` sweep used by the staged-protocol experiments.
+pub fn ft_grid(max_f: u64, max_t: u64) -> Vec<(u64, u64)> {
+    grid2(
+        &(1..=max_f).collect::<Vec<_>>(),
+        &(1..=max_t).collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_order_and_size() {
+        assert_eq!(grid2(&[1, 2], &["a", "b"]).len(), 4);
+        assert_eq!(grid2(&[1, 2], &["a"]), vec![(1, "a"), (2, "a")]);
+    }
+
+    #[test]
+    fn grid3_size() {
+        assert_eq!(grid3(&[1, 2], &[3], &[4, 5, 6]).len(), 6);
+    }
+
+    #[test]
+    fn ft_grid_covers_all_pairs() {
+        let g = ft_grid(2, 3);
+        assert_eq!(g.len(), 6);
+        assert!(g.contains(&(2, 3)));
+        assert!(g.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn empty_axis_gives_empty_grid() {
+        let empty: Vec<i32> = vec![];
+        assert!(grid2(&empty, &[1]).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! ASCII table rendering for experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A titled table of string cells.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each as long as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable values.
+    pub fn push_row<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let strings: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&strings)
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["f", "verdict"]);
+        t.push_row(&["1", "ok"]);
+        t.push_row(&["23", "violated"]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| f  | verdict  |"), "{s}");
+        assert!(s.contains("| 23 | violated |"), "{s}");
+        assert!(s.contains("|----|"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = Table::new("u", &["x"]);
+        t.push_row(&["⊥⊥"]);
+        let s = t.render();
+        assert!(s.contains("| ⊥⊥ |"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(&["1"]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,128 @@
+//! A tour of the CAS fault taxonomy (Sections 3.3–3.4 of the paper):
+//! inject each fault kind, watch what the naive protocol does, and see
+//! how each record is classified against the Hoare triples.
+//!
+//! ```text
+//! cargo run --release --example fault_injection_lab
+//! ```
+
+use functional_faults::cas::{AlwaysPolicy, CasEnsemble, FaultyCasArray, FirstKPolicy};
+use functional_faults::consensus::{Consensus, HerlihyConsensus, SilentRetryConsensus};
+use functional_faults::spec::{
+    classify_cas, Bound, CasClassification, FaultKind, Input, ObjectId, BOTTOM,
+};
+use std::sync::Arc;
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    // ---------------------------------------------------------------
+    banner("overriding fault: the comparison erroneously succeeds");
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(1)
+            .kind(FaultKind::Overriding)
+            .faulty_first(1)
+            .per_object(Bound::Finite(1))
+            .policy(AlwaysPolicy)
+            .build(),
+    );
+    println!(
+        "CAS(O0, ⊥, 10) → old = {:?}  (correct: cell was ⊥)",
+        ensemble.cas(ObjectId(0), BOTTOM, 10)
+    );
+    println!("CAS(O0, ⊥, 20) → old = 10   (FAULT: comparison should fail, but 20 is written)");
+    let _ = ensemble.cas(ObjectId(0), BOTTOM, 20);
+    let probe = ensemble.cas(ObjectId(0), 20, 20);
+    println!("probe: the cell now holds {probe} — the override landed");
+    for e in ensemble.history().events() {
+        println!("  audit: {:?} → {:?}", e.record, classify_cas(&e.record));
+    }
+
+    // ---------------------------------------------------------------
+    banner("one override breaks the naive (Herlihy) protocol for n = 3");
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(1)
+            .faulty_first(1)
+            .per_object(Bound::Finite(1))
+            .policy(AlwaysPolicy)
+            .build(),
+    );
+    let naive = HerlihyConsensus::new(Arc::clone(&ensemble));
+    let d0 = naive.decide(Input(1));
+    let d1 = naive.decide(Input(2));
+    let d2 = naive.decide(Input(3));
+    println!("three sequential deciders: {d0}, {d1}, {d2}");
+    println!(
+        "agreement: {}",
+        if d0 == d1 && d1 == d2 {
+            "held"
+        } else {
+            "BROKEN (as the paper predicts)"
+        }
+    );
+
+    // ---------------------------------------------------------------
+    banner("silent fault: the write is dropped — retries recover (bounded t)");
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(1)
+            .kind(FaultKind::Silent)
+            .faulty_first(1)
+            .per_object(Bound::Finite(3))
+            .policy(FirstKPolicy::new(3))
+            .build(),
+    );
+    let retry = SilentRetryConsensus::new(Arc::clone(&ensemble), 3);
+    let d = retry.decide(Input(7));
+    println!(
+        "decided {d} after riding out {} silent fault(s)",
+        ensemble.stats().total_observable()
+    );
+
+    // ---------------------------------------------------------------
+    banner("invisible fault: the returned old value lies");
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(1)
+            .kind(FaultKind::Invisible)
+            .faulty_first(1)
+            .per_object(Bound::Finite(1))
+            .policy(FirstKPolicy::new(2))
+            .build(),
+    );
+    let _ = ensemble.cas(ObjectId(0), BOTTOM, 10); // match: refunded
+    let lied = ensemble.cas(ObjectId(0), 777, 20); // cell holds 10; reports 777
+    println!("CAS(O0, 777, 20) reported old = {lied} although the cell held 10");
+
+    // ---------------------------------------------------------------
+    banner("arbitrary fault: junk is written");
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(1)
+            .kind(FaultKind::Arbitrary)
+            .faulty_first(1)
+            .per_object(Bound::Finite(1))
+            .policy(AlwaysPolicy)
+            .build(),
+    );
+    let _ = ensemble.cas(ObjectId(0), BOTTOM, 10);
+    let junk = ensemble.cas(ObjectId(0), BOTTOM, 11);
+    println!("after the fault the cell held {junk:#x} — an arbitrary word");
+    let kinds: Vec<CasClassification> = ensemble
+        .history()
+        .events()
+        .iter()
+        .map(|e| classify_cas(&e.record))
+        .collect();
+    println!("audit trail: {kinds:?}");
+
+    // ---------------------------------------------------------------
+    banner("taxonomy summary (Section 3.4)");
+    for kind in FaultKind::ALL {
+        println!(
+            "  {kind:<14} responsive: {:<5}  reducible to data fault: {:<5}  Φ' = {}",
+            kind.responsive(),
+            kind.reducible_to_data_fault(),
+            kind.deviating_postcondition()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a reliable consensus object on unreliable hardware.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! We create CAS objects that suffer *overriding faults* (their
+//! comparison erroneously succeeds, so they overwrite values they should
+//! have kept), pick the right construction from the paper for the fault
+//! budget, and run it on real threads.
+
+use functional_faults::cas::{FaultyCasArray, ProbabilisticPolicy};
+use functional_faults::consensus::{build, recommend, run_native};
+use functional_faults::spec::{Bound, Input};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // The fault environment: up to f = 2 faulty objects, each committing
+    // at most t = 2 overriding faults, and n = 3 participating threads.
+    let (f, t, n) = (2u64, Bound::Finite(2), Bound::Finite(3));
+
+    // Ask the paper which construction fits (Section 4's case analysis).
+    let rec = recommend(f, t, n);
+    println!(
+        "recommended construction: {:?} using {} CAS object(s), guaranteeing {}",
+        rec.kind, rec.objects, rec.tolerance
+    );
+
+    // Build the unreliable hardware: every object may be faulty, faulting
+    // 30% of the time at each opportunity, within its budget.
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(rec.objects)
+            .faulty_first(f as usize)
+            .per_object(t)
+            .policy(ProbabilisticPolicy::new(0.3, 42))
+            .build(),
+    );
+    let protocol = build(rec, Arc::clone(&ensemble), f, t);
+
+    // Three threads with different inputs race to decide.
+    let inputs: Vec<Input> = vec![Input(111), Input(222), Input(333)];
+    let report = run_native(protocol, &inputs, Duration::from_secs(5));
+
+    for o in &report.outcomes {
+        println!(
+            "  {} proposed {} → decided {}",
+            o.process,
+            o.input,
+            o.decision
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!(
+        "consensus verdict: {}",
+        if report.ok() {
+            "OK (agreement + validity)"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    // Inspect what the hardware actually did.
+    let history = ensemble.history();
+    println!(
+        "hardware report: {} operations, {} faulty object(s), worst object faulted {} time(s)",
+        history.len(),
+        history.faulty_object_count(),
+        history.max_faults_per_object()
+    );
+    assert!(report.ok(), "the construction must mask the faults");
+}

@@ -1,0 +1,125 @@
+//! Golden-trace regression tests: pin the exact operation sequences of
+//! the protocol machines on fixed schedules, so a refactor that changes
+//! protocol *semantics* (not just code shape) fails loudly. The expected
+//! sequences are derived line-by-line from the paper's Figures 1–3.
+
+use functional_faults::consensus::{StageValue, StagedMachine};
+use functional_faults::sim::{Op, OpResult, Process, Status};
+use functional_faults::spec::{Input, Word, BOTTOM};
+
+fn pair(v: u32, s: u32) -> Word {
+    StageValue::new(Input(v), s).pack()
+}
+
+/// Drive one machine against an in-test heap model of correct CAS cells,
+/// recording each (object, exp, new) it issues.
+fn solo_ops(mut m: StagedMachine, cells: usize, limit: usize) -> Vec<(usize, Word, Word)> {
+    let mut heap = vec![BOTTOM; cells];
+    let mut ops = Vec::new();
+    let mut steps = 0;
+    while m.status() == Status::Running && steps < limit {
+        steps += 1;
+        let Op::Cas { obj, exp, new } = m.next_op() else {
+            panic!("staged machine only issues CAS ops");
+        };
+        ops.push((obj.0, exp, new));
+        let old = heap[obj.0];
+        if old == exp {
+            heap[obj.0] = new;
+        }
+        m.apply(OpResult::Cas { old });
+    }
+    assert!(
+        m.status() != Status::Running,
+        "machine did not decide in {limit} steps"
+    );
+    ops
+}
+
+#[test]
+fn staged_solo_trace_f1_t1_matches_figure3() {
+    // f = 1, t = 1 ⇒ maxStage = 5. Solo run, all CASes correct.
+    //
+    // Stage 0: exp = ⊥, CAS(O0, ⊥, ⟨7,0⟩) succeeds (line 16); line 17
+    //   leaves exp = ⊥ (⊥ has no stage to retarget); s ← 1.
+    // Stage 1: CAS(O0, ⊥, ⟨7,1⟩) fails (old = ⟨7,0⟩, stage 0 < 1): line 15
+    //   sets exp ← ⟨7,0⟩; retry succeeds; line 17 retargets exp ← ⟨7,1⟩.
+    // Stages 2–4: exp = ⟨7,s-1⟩... but line 17 left exp at the *previous*
+    //   stage value, so each stage needs the line-15 correction exactly
+    //   once: fail-then-succeed, two CASes per stage.
+    // Final stage (lines 19–23): CAS(O0, exp, ⟨7,5⟩) with exp = ⟨7,4⟩
+    //   (retargeted to s = 4 at the end of stage 4)... the last line 17
+    //   retargeted exp to stage 4, and the cell holds ⟨7,4⟩: immediate
+    //   success.
+    let ops = solo_ops(StagedMachine::new(Input(7), 1, 1), 1, 100);
+    let expected: Vec<(usize, Word, Word)> = vec![
+        (0, BOTTOM, pair(7, 0)),     // stage 0: success
+        (0, BOTTOM, pair(7, 1)),     // stage 1: fail (line 15)
+        (0, pair(7, 0), pair(7, 1)), // stage 1: success
+        (0, pair(7, 1), pair(7, 2)), // stage 2: success (exp retargeted to 1)
+        (0, pair(7, 2), pair(7, 3)), // stage 3: success
+        (0, pair(7, 3), pair(7, 4)), // stage 4: success
+        (0, pair(7, 4), pair(7, 5)), // final stage: success
+    ];
+    assert_eq!(ops, expected);
+}
+
+#[test]
+fn staged_solo_trace_f2_t1_sweeps_objects_in_order() {
+    // f = 2, t = 1 ⇒ maxStage = 12. Check the first two stages' object
+    // order and expectations; Claim 9's "O_0 then O_1" discipline must
+    // hold within every stage.
+    let ops = solo_ops(StagedMachine::new(Input(9), 2, 1), 2, 200);
+    // Stage 0: both objects from ⊥.
+    assert_eq!(ops[0], (0, BOTTOM, pair(9, 0)));
+    assert_eq!(ops[1], (1, BOTTOM, pair(9, 0)));
+    // Stage 1 on O0: one failed probe (exp still ⊥), then success.
+    assert_eq!(ops[2], (0, BOTTOM, pair(9, 1)));
+    assert_eq!(ops[3], (0, pair(9, 0), pair(9, 1)));
+    // O1 at stage 1: exp was retargeted to ⟨9,1⟩ but O1 holds ⟨9,0⟩:
+    // fail once, then succeed.
+    assert_eq!(ops[4], (1, pair(9, 1), pair(9, 1)));
+    assert_eq!(ops[5], (1, pair(9, 0), pair(9, 1)));
+    // Every stage visits objects in ascending order (Claim 9).
+    let mut last_stage_and_obj = (0u32, 0usize);
+    for &(obj, _, new) in &ops {
+        let sv = StageValue::unpack(new).unwrap();
+        let cur = (sv.stage, obj);
+        assert!(
+            cur >= last_stage_and_obj || sv.stage > last_stage_and_obj.0,
+            "object order regressed: {cur:?} after {last_stage_and_obj:?}"
+        );
+        last_stage_and_obj = cur;
+    }
+}
+
+#[test]
+fn staged_adoption_jumps_stages() {
+    // A machine that finds a *later-stage* value adopts value and stage
+    // (lines 9–10) and does not rewrite the object (line 14).
+    let mut m = StagedMachine::new(Input(1), 1, 1); // maxStage = 5
+                                                    // First op: CAS(O0, ⊥, ⟨1,0⟩). Feed it old = ⟨2,3⟩ (another process
+                                                    // is already at stage 3).
+    let Op::Cas { exp, .. } = m.next_op() else {
+        panic!()
+    };
+    assert_eq!(exp, BOTTOM);
+    m.apply(OpResult::Cas { old: pair(2, 3) });
+    // The machine adopted: its next write must carry ⟨2, 4⟩ after the
+    // object/stage bookkeeping (stage 3 adopted, object advanced, stage
+    // incremented as f = 1 wraps immediately).
+    let Op::Cas { new, .. } = m.next_op() else {
+        panic!()
+    };
+    let sv = StageValue::unpack(new).unwrap();
+    assert_eq!(sv.val, Input(2), "value adopted from the later-stage pair");
+    assert_eq!(sv.stage, 4, "stage advanced past the adopted stage");
+}
+
+#[test]
+fn staged_adopting_max_stage_decides_immediately() {
+    // Line 11–12: reading ⟨x, maxStage⟩ decides x on the spot.
+    let mut m = StagedMachine::new(Input(1), 1, 1); // maxStage = 5
+    let status = m.apply(OpResult::Cas { old: pair(9, 5) });
+    assert_eq!(status, Status::Decided(Input(9)));
+}

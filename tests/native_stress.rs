@@ -1,0 +1,181 @@
+//! Heavier native-thread stress: many trials, high contention, every
+//! construction × its tolerated fault environment.
+
+use functional_faults::cas::{
+    AlwaysPolicy, CasEnsemble, EveryNthPolicy, FaultyCasArray, ProbabilisticPolicy,
+};
+use functional_faults::consensus::{
+    run_native, CascadeConsensus, Consensus, SilentRetryConsensus, StagedConsensus,
+    TwoProcessConsensus,
+};
+use functional_faults::spec::{Bound, FaultKind, Input, Tolerance};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn inputs(n: usize) -> Vec<Input> {
+    (0..n as u32).map(|i| Input(1000 + i)).collect()
+}
+
+#[test]
+fn fig1_stress_full_fault_rate() {
+    for seed in 0..200 {
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(1)
+                .faulty_first(1)
+                .per_object(Bound::Unbounded)
+                .policy(ProbabilisticPolicy::new(1.0, seed))
+                .record_history(false)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(TwoProcessConsensus::new(ensemble));
+        let report = run_native(protocol, &inputs(2), Duration::from_secs(5));
+        assert!(report.ok(), "seed {seed}: {:?}", report.verdict.violations);
+    }
+}
+
+#[test]
+fn fig2_stress_every_policy() {
+    type EnsembleMaker = Box<dyn Fn(u64) -> Arc<FaultyCasArray>>;
+    let policies: Vec<(&str, EnsembleMaker)> = vec![
+        (
+            "always",
+            Box::new(|_| {
+                Arc::new(
+                    FaultyCasArray::builder(4)
+                        .faulty_first(3)
+                        .per_object(Bound::Unbounded)
+                        .policy(AlwaysPolicy)
+                        .record_history(false)
+                        .build(),
+                )
+            }),
+        ),
+        (
+            "probabilistic",
+            Box::new(|seed| {
+                Arc::new(
+                    FaultyCasArray::builder(4)
+                        .faulty_first(3)
+                        .per_object(Bound::Unbounded)
+                        .policy(ProbabilisticPolicy::new(0.7, seed))
+                        .record_history(false)
+                        .build(),
+                )
+            }),
+        ),
+        (
+            "every-2nd",
+            Box::new(|_| {
+                Arc::new(
+                    FaultyCasArray::builder(4)
+                        .faulty_first(3)
+                        .per_object(Bound::Unbounded)
+                        .policy(EveryNthPolicy::new(2))
+                        .record_history(false)
+                        .build(),
+                )
+            }),
+        ),
+    ];
+    for (name, make) in policies {
+        for seed in 0..40 {
+            let protocol: Arc<dyn Consensus> = Arc::new(CascadeConsensus::new(make(seed), 3));
+            let report = run_native(protocol, &inputs(6), Duration::from_secs(10));
+            assert!(
+                report.ok(),
+                "{name} seed {seed}: {:?}",
+                report.verdict.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_stress_with_tolerance_audit() {
+    for seed in 0..60 {
+        let (f, t) = (2u64, 2u64);
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(f as usize)
+                .faulty_first(f as usize)
+                .per_object(Bound::Finite(t))
+                .policy(ProbabilisticPolicy::new(0.5, seed))
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> =
+            Arc::new(StagedConsensus::new(Arc::clone(&ensemble), f, t));
+        let report = run_native(protocol, &inputs(f as usize + 1), Duration::from_secs(10));
+        assert!(report.ok(), "seed {seed}: {:?}", report.verdict.violations);
+
+        // Audit the recorded history against the declared tolerance.
+        let history = ensemble.history();
+        assert!(
+            history.within(&Tolerance::new(f, t, f + 1)),
+            "seed {seed}: execution left tolerance: {} faulty objects, max {} faults",
+            history.faulty_object_count(),
+            history.max_faults_per_object()
+        );
+    }
+}
+
+#[test]
+fn silent_retry_stress() {
+    for seed in 0..60 {
+        let t = 4u64;
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(1)
+                .kind(FaultKind::Silent)
+                .faulty_first(1)
+                .per_object(Bound::Finite(t))
+                .policy(ProbabilisticPolicy::new(0.6, seed))
+                .record_history(false)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(SilentRetryConsensus::new(ensemble, t));
+        let report = run_native(protocol, &inputs(4), Duration::from_secs(10));
+        assert!(report.ok(), "seed {seed}: {:?}", report.verdict.violations);
+    }
+}
+
+#[test]
+fn stats_and_history_agree_under_contention() {
+    let ensemble = Arc::new(
+        FaultyCasArray::builder(3)
+            .faulty_first(2)
+            .per_object(Bound::Finite(5))
+            .policy(AlwaysPolicy)
+            .build(),
+    );
+    std::thread::scope(|s| {
+        for i in 0..6u64 {
+            let e = Arc::clone(&ensemble);
+            s.spawn(move || {
+                for j in 0..50u64 {
+                    let _ = e.cas(
+                        functional_faults::spec::ObjectId((j % 3) as usize),
+                        functional_faults::spec::BOTTOM,
+                        1_000_000 + i * 100 + j,
+                    );
+                }
+            });
+        }
+    });
+    let history = ensemble.history();
+    let stats = ensemble.stats();
+    // Both accountings see the same per-object fault counts.
+    let history_counts = history.fault_counts_per_object();
+    for (obj, stat) in stats.all().iter().enumerate() {
+        let from_history = history_counts
+            .get(&functional_faults::spec::ObjectId(obj))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            stat.observable_faults, from_history,
+            "object {obj}: stats vs history mismatch"
+        );
+        assert!(stat.observable_faults <= 5, "budget exceeded on {obj}");
+    }
+    assert_eq!(
+        history.len() as u64,
+        stats.all().iter().map(|s| s.ops).sum::<u64>()
+    );
+}

@@ -1,0 +1,211 @@
+//! End-to-end theorem checks: each of the paper's results, upper and
+//! lower bound side by side, across the simulator and the native path.
+
+use functional_faults::adversary::{covering_attack, find_violation_unbounded, wipe_attack};
+use functional_faults::cas::{AlwaysPolicy, FaultyCasArray, ProbabilisticPolicy};
+use functional_faults::consensus::{
+    cascades, one_shots, run_native, staged_machines, CascadeConsensus, Consensus, StagedConsensus,
+    TwoProcessConsensus,
+};
+use functional_faults::sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+use functional_faults::spec::{Bound, Input};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn inputs(n: usize) -> Vec<Input> {
+    (0..n as u32).map(|i| Input(100 + i)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4: (f, ∞, 2)-tolerant consensus from ONE object.
+// ---------------------------------------------------------------------
+
+#[test]
+fn theorem4_upper_exhaustive_and_native() {
+    // Exhaustive: every schedule × fault pattern for n = 2.
+    let plan = FaultPlan::overriding(1, Bound::Unbounded);
+    let state = SimState::new(one_shots(&inputs(2)), Heap::new(1, 0), plan);
+    assert!(explore(state, ExplorerConfig::default()).verified());
+
+    // Native: 100 trials at full fault rate.
+    for seed in 0..100 {
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(1)
+                .faulty_first(1)
+                .per_object(Bound::Unbounded)
+                .policy(ProbabilisticPolicy::new(1.0, seed))
+                .record_history(false)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(TwoProcessConsensus::new(ensemble));
+        let report = run_native(protocol, &inputs(2), Duration::from_secs(5));
+        assert!(report.ok(), "seed {seed}: {:?}", report.verdict.violations);
+    }
+}
+
+#[test]
+fn theorem4_tight_no_zero_object_solution() {
+    // Trivially, consensus needs at least one shared object: two
+    // processes that never communicate each decide their own input.
+    // (The paper notes the 2-process bound is tight at one object.)
+    let state = SimState::new(ff_sim_solo_pair(), Heap::new(0, 0), FaultPlan::none());
+    let report = explore(state, ExplorerConfig::default());
+    assert!(report.violation.is_some());
+}
+
+/// Two processes that take one local step and decide their own inputs —
+/// the best any 0-object protocol can do.
+fn ff_sim_solo_pair() -> Vec<Box<dyn functional_faults::sim::Process>> {
+    use functional_faults::sim::SoloDecider;
+    vec![
+        Box::new(SoloDecider::new(Input(1), 1)),
+        Box::new(SoloDecider::new(Input(2), 1)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5 ↔ Theorem 18: f + 1 objects suffice; f do not (n > 2).
+// ---------------------------------------------------------------------
+
+#[test]
+fn theorem5_and_18_boundary() {
+    // Upper: f = 1, 2 objects, n = 3, unbounded faults — exhaustive.
+    let plan = FaultPlan::overriding(1, Bound::Unbounded);
+    let state = SimState::new(cascades(&inputs(3), 1), Heap::new(2, 0), plan);
+    assert!(explore(state, ExplorerConfig::default()).verified());
+
+    // Lower: the same sweep protocol with only 1 object (all faulty).
+    let report = find_violation_unbounded(one_shots(&inputs(3)), 1, ExplorerConfig::default());
+    assert!(report.violation.is_some());
+
+    // Lower at f = 2: sweep of 2 faulty objects still breaks.
+    let report = find_violation_unbounded(cascades(&inputs(3), 1), 2, ExplorerConfig::default());
+    assert!(report.violation.is_some());
+}
+
+#[test]
+fn theorem5_native_heavy() {
+    // f = 4 faulty objects of 5, 6 threads, greedy faults, 30 trials.
+    for trial in 0..30 {
+        let ensemble = Arc::new(
+            FaultyCasArray::builder(5)
+                .faulty_first(4)
+                .per_object(Bound::Unbounded)
+                .policy(AlwaysPolicy)
+                .record_history(false)
+                .build(),
+        );
+        let protocol: Arc<dyn Consensus> = Arc::new(CascadeConsensus::new(ensemble, 4));
+        let report = run_native(protocol, &inputs(6), Duration::from_secs(10));
+        assert!(
+            report.ok(),
+            "trial {trial}: {:?}",
+            report.verdict.violations
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 6 ↔ Theorem 19: f objects serve f + 1 processes; not f + 2.
+// ---------------------------------------------------------------------
+
+#[test]
+fn theorem6_exhaustive_smallest() {
+    for t in 1..=2u64 {
+        let plan = FaultPlan::overriding(1, Bound::Finite(t));
+        let state = SimState::new(staged_machines(&inputs(2), 1, t), Heap::new(1, 0), plan);
+        let report = explore(state, ExplorerConfig::default());
+        assert!(report.verified(), "t = {t}: {report:?}");
+    }
+}
+
+#[test]
+fn theorem6_native_all_faulty() {
+    for (f, t) in [(1u64, 1u64), (2, 1), (2, 2), (3, 1)] {
+        for seed in 0..20 {
+            let ensemble = Arc::new(
+                FaultyCasArray::builder(f as usize)
+                    .faulty_first(f as usize)
+                    .per_object(Bound::Finite(t))
+                    .policy(ProbabilisticPolicy::new(0.4, seed))
+                    .record_history(false)
+                    .build(),
+            );
+            let protocol: Arc<dyn Consensus> = Arc::new(StagedConsensus::new(ensemble, f, t));
+            let report = run_native(protocol, &inputs(f as usize + 1), Duration::from_secs(10));
+            assert!(
+                report.ok(),
+                "f={f} t={t} seed={seed}: {:?}",
+                report.verdict.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem19_covering_breaks_every_f() {
+    for f in 1..=4u64 {
+        let report = covering_attack(staged_machines(&inputs(f as usize + 2), f, 1), f as usize);
+        assert!(report.violated(), "f = {f}: {report:?}");
+        // The attack stayed within t = 1 per object.
+        assert_eq!(report.covered.len(), f as usize);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 4 headline: functional ≠ data faults.
+// ---------------------------------------------------------------------
+
+#[test]
+fn model_separation_same_budget() {
+    // Functional, (f = 1, t = 1): exhaustively safe.
+    let plan = FaultPlan::overriding(1, Bound::Finite(1));
+    let state = SimState::new(staged_machines(&inputs(2), 1, 1), Heap::new(1, 0), plan);
+    assert!(explore(state, ExplorerConfig::default()).verified());
+
+    // Data, same budget: the wipe attack wins.
+    let report = wipe_attack(staged_machines(&inputs(2), 1, 1), 1);
+    assert!(report.violated());
+    assert_eq!(report.corruptions_per_object, 1);
+}
+
+// ---------------------------------------------------------------------
+// Section 5.2: the hierarchy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hierarchy_boundary_f1_and_f2() {
+    use functional_faults::adversary::{probe_staged, SafetyVerdict};
+    let config = ExplorerConfig {
+        max_states: 400_000,
+        max_depth: 50_000,
+        stop_at_first_violation: true,
+    };
+    assert!(probe_staged(1, 1, 2, config).safe());
+    assert_eq!(probe_staged(1, 1, 3, config), SafetyVerdict::Violated);
+    assert!(probe_staged(2, 1, 3, config).safe());
+    assert_eq!(probe_staged(2, 1, 4, config), SafetyVerdict::Violated);
+}
+
+// ---------------------------------------------------------------------
+// Slow exhaustive checks (run with `cargo test -- --ignored`).
+// ---------------------------------------------------------------------
+
+/// Theorem 6 at (f = 2, t = 1, n = 3) with the full proven stage bound
+/// maxStage = 12: a complete proof by enumeration — 8,001,106 states,
+/// roughly two minutes in release mode (much longer in debug).
+#[test]
+#[ignore = "exhaustive 8M-state verification; ~2 min in release"]
+fn theorem6_f2_full_bound_exhaustive() {
+    let plan = FaultPlan::overriding(2, Bound::Finite(1));
+    let state = SimState::new(staged_machines(&inputs(3), 2, 1), Heap::new(2, 0), plan);
+    let report = explore(
+        state,
+        ExplorerConfig {
+            max_states: 30_000_000,
+            max_depth: 200_000,
+            stop_at_first_violation: true,
+        },
+    );
+    assert!(report.verified(), "{report:?}");
+}
