@@ -9,7 +9,9 @@
 
 use crate::covering::covering_attack;
 use ff_consensus::staged_machines;
-use ff_sim::{explore, ExplorerConfig, FaultPlan, GreedyFault, Heap, RunConfig, SeededRandom};
+use ff_sim::{
+    explore_parallel, ExplorerConfig, FaultPlan, GreedyFault, Heap, RunConfig, SeededRandom,
+};
 use ff_spec::{check_consensus, Bound, Input};
 
 /// The verdict of probing one configuration.
@@ -61,7 +63,7 @@ pub fn probe_staged(f: u64, t: u64, n: usize, config: ExplorerConfig) -> SafetyV
         Heap::new(f as usize, 0),
         plan.clone(),
     );
-    let report = explore(state, config);
+    let report = explore_parallel(state, config);
     if report.violation.is_some() {
         return SafetyVerdict::Violated;
     }
@@ -114,6 +116,7 @@ mod tests {
             max_states: 300_000,
             max_depth: 10_000,
             stop_at_first_violation: true,
+            threads: 1,
         }
     }
 

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ff_consensus::{cascades, one_shots, staged_machines};
-use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+use ff_sim::{explore, explore_parallel, ExplorerConfig, FaultPlan, Heap, SimState};
 use ff_spec::{Bound, Input};
 use std::hint::black_box;
 
@@ -19,6 +19,7 @@ fn config() -> ExplorerConfig {
         max_states: 2_000_000,
         max_depth: 100_000,
         stop_at_first_violation: false,
+        threads: 1,
     }
 }
 
@@ -59,5 +60,43 @@ fn bench_explore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_explore);
+/// Sequential-vs-parallel throughput on one full scan. Thread counts
+/// beyond the machine's cores only measure coordination overhead, so the
+/// sweep is capped at available parallelism.
+fn bench_explore_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_explorer_parallel");
+    group.sample_size(10);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize];
+    for t in [2usize, 4, 8] {
+        if t <= cores {
+            counts.push(t);
+        }
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::new("staged_f1_t1_n3_full_scan", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let plan = FaultPlan::overriding(1, Bound::Finite(1));
+                    let state =
+                        SimState::new(staged_machines(&inputs(3), 1, 1), Heap::new(1, 0), plan);
+                    black_box(explore_parallel(
+                        state,
+                        ExplorerConfig {
+                            threads,
+                            ..config()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_explore_parallel);
 criterion_main!(benches);

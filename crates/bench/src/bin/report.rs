@@ -5,7 +5,11 @@
 //! cargo run --release -p ff-bench --bin report -- e3      # one experiment
 //! cargo run --release -p ff-bench --bin report -- list    # list ids
 //! cargo run --release -p ff-bench --bin report -- all --json out.json
+//! cargo run --release -p ff-bench --bin report -- all --threads 4
 //! ```
+//!
+//! `--threads N` sets the explorer worker count for every exhaustive
+//! scan (equivalent to `FF_EXPLORER_THREADS=N`; default: all cores).
 
 use ff_workload::{find, registry, to_json, ExperimentResult};
 
@@ -21,6 +25,19 @@ fn main() {
                     eprintln!("--json requires a path");
                     std::process::exit(2);
                 }));
+            }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+                // The experiments resolve their worker count through
+                // ff_sim::default_threads(), which reads this variable.
+                std::env::set_var("FF_EXPLORER_THREADS", n.to_string());
             }
             other => selectors.push(other.to_string()),
         }

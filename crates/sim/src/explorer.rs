@@ -34,6 +34,11 @@ pub struct ViolationCounts {
     pub consistency: u64,
     /// Terminals with a wait-freedom violation.
     pub wait_freedom: u64,
+    /// Terminals violating at least one property. Tracked directly: a
+    /// terminal violating several properties still counts once, and
+    /// terminals violating *different* properties each count — so this is
+    /// neither the max nor the sum of the per-kind counters.
+    pub violating_terminals: u64,
 }
 
 impl ViolationCounts {
@@ -51,11 +56,23 @@ impl ViolationCounts {
         self.validity += v.0 as u64;
         self.consistency += v.1 as u64;
         self.wait_freedom += v.2 as u64;
+        if v.0 || v.1 || v.2 {
+            self.violating_terminals += 1;
+        }
     }
 
     /// Total violating terminals observed (by any kind).
     pub fn any(&self) -> u64 {
-        self.validity.max(self.consistency).max(self.wait_freedom)
+        self.violating_terminals
+    }
+
+    /// Merge another set of counts into this one (parallel exploration
+    /// combines per-worker counts with this).
+    pub fn merge(&mut self, other: &ViolationCounts) {
+        self.validity += other.validity;
+        self.consistency += other.consistency;
+        self.wait_freedom += other.wait_freedom;
+        self.violating_terminals += other.violating_terminals;
     }
 }
 
@@ -69,6 +86,10 @@ pub struct ExplorerConfig {
     pub max_depth: usize,
     /// Return as soon as the first violation is found.
     pub stop_at_first_violation: bool,
+    /// Worker threads for [`crate::explore_parallel`]. `1` (the default)
+    /// means sequential exploration; the sequential [`explore`] and
+    /// [`explore_bfs`] ignore this knob.
+    pub threads: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -77,6 +98,7 @@ impl Default for ExplorerConfig {
             max_states: 2_000_000,
             max_depth: 100_000,
             stop_at_first_violation: true,
+            threads: 1,
         }
     }
 }
@@ -135,7 +157,12 @@ pub struct ExploreReport {
     pub agreed_values: BTreeSet<u32>,
     /// `true` iff the exploration hit `max_states` or `max_depth`.
     pub truncated: bool,
-    /// Deepest path explored.
+    /// Deepest path explored. Traversal-dependent: each memoized state
+    /// contributes the depth of the tree path it was first expanded
+    /// from, so BFS (shortest paths) reports a lower bound, DFS an
+    /// equal-or-larger value, and the parallel explorer a value that
+    /// depends on how work was donated between threads. All other
+    /// report fields are traversal-independent.
     pub max_depth_seen: usize,
     /// `true` iff a cycle in the state graph was found (an adversary can
     /// prevent termination: a wait-freedom violation in the unbounded
@@ -289,19 +316,28 @@ pub fn explore_bfs(initial: SimState, config: ExplorerConfig) -> ExploreReport {
     frontier.push_back((initial, Vec::new()));
 
     while let Some((state, path)) = frontier.pop_front() {
-        report.max_depth_seen = report.max_depth_seen.max(path.len());
         if path.len() >= config.max_depth {
             report.truncated = true;
             continue;
         }
         for choice in state.choices() {
             let succ = state.successor(choice);
+            // Depth of succ: every step on `path` plus this one. Counted
+            // here (not at queue-pop) so terminal steps — which are never
+            // enqueued — contribute, matching the DFS explorer.
+            report.max_depth_seen = report.max_depth_seen.max(path.len() + 1);
             if succ.is_terminal() {
                 report.terminals += 1;
                 let outcomes = succ.outcomes();
                 let verdict = check_consensus(&outcomes, None);
                 if let Some(agreed) = verdict.agreed {
                     report.agreed_values.insert(agreed.0);
+                }
+                if !verdict.ok() {
+                    // Counted for every violating terminal, not just the
+                    // first: full-scan reports (stop_at_first_violation:
+                    // false) depend on complete counts, same as `explore`.
+                    report.violation_counts.absorb(&verdict.violations);
                 }
                 if !verdict.ok() && report.violation.is_none() {
                     let mut choices = path.clone();
@@ -408,6 +444,73 @@ mod tests {
     }
 
     #[test]
+    fn violation_counts_track_disjoint_kinds_exactly() {
+        use ff_spec::ProcessId;
+        let validity = ConsensusViolation::Validity {
+            process: ProcessId(0),
+            decided: Input(9),
+            inputs: vec![Input(1)],
+        };
+        let consistency = ConsensusViolation::Consistency {
+            a: (ProcessId(0), Input(1)),
+            b: (ProcessId(1), Input(2)),
+        };
+        let wait_freedom = ConsensusViolation::WaitFreedom {
+            process: ProcessId(2),
+            steps: 7,
+            budget: Some(5),
+        };
+        let mut c = ViolationCounts::default();
+        c.absorb(std::slice::from_ref(&validity));
+        c.absorb(std::slice::from_ref(&consistency));
+        c.absorb(std::slice::from_ref(&wait_freedom));
+        // A terminal violating two properties still counts once.
+        c.absorb(&[validity, consistency]);
+        // A clean terminal counts zero.
+        c.absorb(&[]);
+        assert_eq!((c.validity, c.consistency, c.wait_freedom), (2, 2, 1));
+        // Four distinct violating terminals. The old max-of-kinds any()
+        // reported 2 here, undercounting disjoint violations.
+        assert_eq!(c.any(), 4);
+
+        let mut merged = ViolationCounts::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        assert_eq!(merged.any(), 8);
+        assert_eq!(merged.validity, 4);
+    }
+
+    #[test]
+    fn bfs_report_matches_dfs_field_by_field() {
+        // Full-scan (stop_at_first_violation: false) on a violating
+        // configuration: BFS must produce the same aggregate accounting
+        // as DFS — violating-terminal counts per kind, terminals,
+        // agreed values, and deepest path including terminal steps.
+        let plan = FaultPlan::overriding(1, Bound::Unbounded);
+        let mk = || SimState::new(one_shots(&[10, 20, 30]), Heap::new(1, 0), plan.clone());
+        let cfg = ExplorerConfig {
+            stop_at_first_violation: false,
+            ..ExplorerConfig::default()
+        };
+        let dfs = explore(mk(), cfg);
+        let bfs = explore_bfs(mk(), cfg);
+        assert_eq!(dfs.states_expanded, bfs.states_expanded);
+        assert_eq!(dfs.terminals, bfs.terminals);
+        assert_eq!(dfs.agreed_values, bfs.agreed_values);
+        assert_eq!(dfs.violation_counts, bfs.violation_counts);
+        // max_depth_seen is traversal-dependent (DFS discovers states
+        // along tree paths that may exceed the shortest path): BFS is a
+        // lower bound, never larger.
+        assert!(dfs.max_depth_seen >= bfs.max_depth_seen);
+        assert_eq!(dfs.truncated, bfs.truncated);
+        assert!(dfs.violation_counts.any() > 0, "{dfs:?}");
+        assert!(
+            dfs.violation.is_some() && bfs.violation.is_some(),
+            "both must surface a witness"
+        );
+    }
+
+    #[test]
     fn trivial_processes_verify() {
         // SoloDeciders decide their own inputs; with equal inputs every
         // terminal agrees, so the exploration verifies.
@@ -495,6 +598,7 @@ mod tests {
                 max_states: 2,
                 max_depth: 100,
                 stop_at_first_violation: true,
+                threads: 1,
             },
         );
         assert!(report.truncated);
@@ -510,6 +614,7 @@ mod tests {
                 max_states: 1_000_000,
                 max_depth: 3,
                 stop_at_first_violation: true,
+                threads: 1,
             },
         );
         assert!(report.truncated);
@@ -557,6 +662,7 @@ mod tests {
                 max_states: 2,
                 max_depth: 100,
                 stop_at_first_violation: true,
+                threads: 1,
             },
         );
         assert!(report.truncated);

@@ -36,6 +36,7 @@ pub mod explorer;
 pub mod fault_ctl;
 pub mod heap;
 pub mod ops;
+pub mod parallel;
 pub mod process;
 pub mod scheduler;
 pub mod state;
@@ -51,6 +52,7 @@ pub use fault_ctl::{
 };
 pub use heap::{Heap, RegId};
 pub use ops::{FaultDecision, Op, OpResult};
+pub use parallel::{default_threads, explore_parallel};
 pub use process::{Process, SoloDecider, Status};
 pub use scheduler::{RoundRobin, Scheduler, Scripted, SeededRandom, SoloFirst};
 pub use state::{Choice, SimState};

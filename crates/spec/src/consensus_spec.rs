@@ -13,10 +13,9 @@
 
 use crate::history::ProcessId;
 use crate::value::Input;
-use serde::{Deserialize, Serialize};
 
 /// The outcome of one process's `decide(input)` call.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Outcome {
     /// The deciding process.
     pub process: ProcessId,
@@ -30,7 +29,7 @@ pub struct Outcome {
 }
 
 /// A consensus-property violation, with enough detail to print a witness.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ConsensusViolation {
     /// A process decided a value that is no process's input.
     Validity {
@@ -92,7 +91,7 @@ impl std::fmt::Display for ConsensusViolation {
 
 /// The verdict of checking a set of outcomes against the consensus
 /// specification.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ConsensusVerdict {
     /// All violations found (empty ⇒ the execution satisfies consensus).
     pub violations: Vec<ConsensusViolation>,

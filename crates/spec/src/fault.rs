@@ -10,10 +10,9 @@
 use crate::triple::{
     arbitrary_post, invisible_post, overriding_post, silent_post, standard_post, CasRecord,
 };
-use serde::{Deserialize, Serialize};
 
 /// The CAS functional-fault kinds discussed in the paper.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FaultKind {
     /// Section 3.3 — the case study. The comparison erroneously succeeds:
     /// the new value is written even when `R' ≠ exp`. Responsive, and the
@@ -93,7 +92,7 @@ impl std::fmt::Display for FaultKind {
 }
 
 /// Classification of a single (responsive) CAS execution record.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CasClassification {
     /// Satisfies the standard postconditions `Φ`.
     Correct,

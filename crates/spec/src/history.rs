@@ -10,11 +10,10 @@
 use crate::fault::{classify_cas, CasClassification};
 use crate::tolerance::Tolerance;
 use crate::triple::CasRecord;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of a process (thread) in an execution. Dense, 0-based.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcessId(pub usize);
 
 impl std::fmt::Display for ProcessId {
@@ -24,7 +23,7 @@ impl std::fmt::Display for ProcessId {
 }
 
 /// Identifier of a shared object in an execution. Dense, 0-based.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ObjectId(pub usize);
 
 impl std::fmt::Display for ObjectId {
@@ -34,7 +33,7 @@ impl std::fmt::Display for ObjectId {
 }
 
 /// One linearized shared-memory operation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct OpEvent {
     /// The process that executed the operation.
     pub process: ProcessId,
@@ -49,7 +48,7 @@ pub struct OpEvent {
 }
 
 /// An append-only log of linearized operations.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     events: Vec<OpEvent>,
 }

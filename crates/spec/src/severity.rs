@@ -13,10 +13,9 @@
 //! reductions (Section 3.4) land it.
 
 use crate::fault::FaultKind;
-use serde::{Deserialize, Serialize};
 
 /// Responsiveness of a fault class (Jayanti et al.).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Responsiveness {
     /// Every operation returns (possibly with wrong results).
     Responsive,
@@ -25,7 +24,7 @@ pub enum Responsiveness {
 }
 
 /// Behavior sub-class, ordered by severity.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Behavior {
     /// Crash: after the first fault the object behaves like a halted
     /// object (responsive crash returns a distinguished `⊥`-like answer).
@@ -37,7 +36,7 @@ pub enum Behavior {
 }
 
 /// A point in the Jayanti et al. severity lattice.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct DataFaultClass {
     /// Responsive or nonresponsive.
     pub responsiveness: Responsiveness,

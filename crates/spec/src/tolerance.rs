@@ -6,10 +6,8 @@
 //! `t = ∞` (unbounded faults per object) and `n = ∞` (any number of
 //! processes) are captured by [`Bound::Unbounded`].
 
-use serde::{Deserialize, Serialize};
-
 /// A possibly-unbounded natural-number bound.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Bound {
     /// A finite bound.
     Finite(u64),
@@ -77,7 +75,7 @@ impl std::fmt::Display for Bound {
 }
 
 /// An `(f, t, n)`-tolerance descriptor (Definition 3).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Tolerance {
     /// Maximum number of faulty objects in the execution.
     pub f: u64,

@@ -16,14 +16,13 @@
 
 use crate::assertion::Assertion;
 use crate::value::Word;
-use serde::{Deserialize, Serialize};
 
 /// The observable footprint of one CAS execution on one object.
 ///
 /// `pre` is `R'` (content on entry), `post` is `R` (content on return),
 /// `exp`/`new` are the operation arguments and `returned` is the value the
 /// operation reported as the old content.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CasRecord {
     /// Register content on entry to the operation (`R'`).
     pub pre: Word,
@@ -120,7 +119,7 @@ pub struct CasTriple {
 }
 
 /// The verdict of auditing one CAS execution against a [`CasTriple`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpVerdict {
     /// `Ψ` did not hold on entry: the triple says nothing (Definition 1
     /// only fires when the preconditions are satisfied).

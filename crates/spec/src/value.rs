@@ -6,8 +6,6 @@
 //! native execution path a genuine single-word compare-and-swap, we encode
 //! the entire logical cell content — `⊥` or a payload — into one [`Word`].
 
-use serde::{Deserialize, Serialize};
-
 /// The raw machine word held by a CAS object.
 pub type Word = u64;
 
@@ -24,7 +22,7 @@ pub const BOTTOM: Word = Word::MAX;
 /// requires the decision to be one of them. Restricting inputs to 32 bits
 /// leaves headroom in the word for the stage counter used by the
 /// `(f, t, f+1)`-tolerant construction.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Input(pub u32);
 
 impl Input {
@@ -55,7 +53,7 @@ impl std::fmt::Display for Input {
 }
 
 /// Logical view of a cell's content: `⊥` or a raw payload word.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CellContent {
     /// The distinguished initial value.
     Bottom,

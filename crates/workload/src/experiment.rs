@@ -7,10 +7,9 @@
 //! matching means a violation **was** found.
 
 use crate::table::Table;
-use serde::{Deserialize, Serialize};
 
 /// The rendered result of one experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment id (e.g. "e3").
     pub id: String,

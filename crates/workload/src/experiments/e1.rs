@@ -7,7 +7,7 @@ use crate::runner::run_trials;
 use crate::table::Table;
 use ff_cas::{FaultyCasArray, ProbabilisticPolicy};
 use ff_consensus::{one_shots, Consensus, TwoProcessConsensus};
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::Bound;
 use std::sync::Arc;
 
@@ -40,7 +40,7 @@ impl Experiment for E1TwoProcess {
         for t in [Bound::Finite(1), Bound::Finite(3), Bound::Unbounded] {
             let plan = FaultPlan::overriding(1, t);
             let state = SimState::new(one_shots(&inputs(2)), Heap::new(1, 0), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             pass &= report.verified();
             exhaustive.push_row(&[
                 t.to_string(),

@@ -9,7 +9,7 @@ use super::inputs;
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::table::Table;
 use ff_consensus::{max_stage, staged_with_max_stage};
-use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, ExplorerConfig, FaultPlan, Heap, SimState};
 use ff_spec::Bound;
 
 /// E11: how conservative is `t·(4f + f²)`?
@@ -24,12 +24,13 @@ impl E11MaxStageAblation {
             Heap::new(f as usize, 0),
             plan,
         );
-        let report = explore(
+        let report = explore_parallel(
             state,
             ExplorerConfig {
                 max_states: 1_000_000,
                 max_depth: 100_000,
                 stop_at_first_violation: true,
+                threads: ff_sim::default_threads(),
             },
         );
         (report.verified(), report.states_expanded)

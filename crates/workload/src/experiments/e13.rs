@@ -12,7 +12,7 @@ use super::{explorer_config, mark};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::table::Table;
 use ff_consensus::TasConsensusMachine;
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::{Bound, FaultKind, Input, ObjectId};
 
 /// E13: the TAS probe.
@@ -25,7 +25,7 @@ impl E13OtherPrimitives {
             Heap::new(1, 2),
             plan,
         );
-        let report = explore(state, explorer_config());
+        let report = explore_parallel(state, explorer_config());
         (report.verified(), report.states_expanded)
     }
 }

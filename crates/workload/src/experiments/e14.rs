@@ -20,7 +20,7 @@ use super::{inputs, mark};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::table::Table;
 use ff_consensus::{cascades, one_shots, staged_machines};
-use ff_sim::{explore, ExplorerConfig, FaultPlan, Heap, Process, SimState};
+use ff_sim::{explore_parallel, ExplorerConfig, FaultPlan, Heap, Process, SimState};
 use ff_spec::{Bound, FaultKind, ObjectId};
 
 /// E14: how the constructions fail, and mixed-fault environments.
@@ -34,12 +34,13 @@ impl E14GracefulDegradation {
         plan: FaultPlan,
     ) -> ff_sim::ExploreReport {
         let state = SimState::new(processes, Heap::new(objects, registers), plan);
-        explore(
+        explore_parallel(
             state,
             ExplorerConfig {
                 max_states: 2_000_000,
                 max_depth: 100_000,
                 stop_at_first_violation: false, // count ALL violating terminals
+                threads: ff_sim::default_threads(),
             },
         )
     }

@@ -7,7 +7,7 @@ use crate::runner::run_trials;
 use crate::table::Table;
 use ff_cas::{AlwaysPolicy, FaultyCasArray};
 use ff_consensus::{cascades, run_native, CascadeConsensus, Consensus};
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::Bound;
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,7 +34,7 @@ impl Experiment for E2Cascade {
         for (f, n) in [(1usize, 2usize), (1, 3), (2, 3)] {
             let plan = FaultPlan::overriding(f, Bound::Unbounded);
             let state = SimState::new(cascades(&inputs(n), f), Heap::new(f + 1, 0), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let ok = report.verified();
             pass &= ok;
             exhaustive.push_row(&[

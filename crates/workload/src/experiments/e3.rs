@@ -9,7 +9,9 @@ use crate::stats::Summary;
 use crate::table::Table;
 use ff_cas::{FaultyCasArray, ProbabilisticPolicy};
 use ff_consensus::{max_stage, run_native, staged_machines, Consensus, StagedConsensus};
-use ff_sim::{explore, run, FaultPlan, GreedyFault, Heap, RunConfig, SeededRandom, SimState};
+use ff_sim::{
+    explore_parallel, run, FaultPlan, GreedyFault, Heap, RunConfig, SeededRandom, SimState,
+};
 use ff_spec::{check_consensus, Bound};
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,7 +42,7 @@ impl Experiment for E3Staged {
                 Heap::new(f as usize, 0),
                 plan,
             );
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let ok = report.verified();
             pass &= ok;
             exhaustive.push_row(&[

@@ -98,10 +98,10 @@ impl Experiment for E4UnboundedLower {
         // read all announcements, then race on the CAS) must still break.
         {
             use ff_adversary::AnnounceRaceMachine;
-            use ff_sim::{explore, FaultPlan, Heap, SimState};
+            use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
             let plan = FaultPlan::overriding(1, ff_spec::Bound::Unbounded);
             let state = SimState::new(AnnounceRaceMachine::all(&inputs(3)), Heap::new(1, 3), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let found = report.violation.is_some();
             pass &= found;
             table.push_row(&[

@@ -30,6 +30,7 @@ impl Experiment for E6Hierarchy {
             max_states: 500_000,
             max_depth: 50_000,
             stop_at_first_violation: true,
+            threads: ff_sim::default_threads(),
         };
         let mut measured = Vec::new();
         for f in 1..=3u64 {

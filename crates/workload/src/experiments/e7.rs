@@ -6,7 +6,7 @@ use crate::experiment::{Experiment, ExperimentResult};
 use crate::table::Table;
 use ff_adversary::wipe_attack;
 use ff_consensus::staged_machines;
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::Bound;
 
 /// E7: functional vs data faults.
@@ -41,7 +41,7 @@ impl Experiment for E7ModelSeparation {
             if f == 1 {
                 let plan = FaultPlan::overriding(1, Bound::Finite(1));
                 let state = SimState::new(staged_machines(&inputs(2), 1, 1), Heap::new(1, 0), plan);
-                let report = explore(state, explorer_config());
+                let report = explore_parallel(state, explorer_config());
                 let ok = report.verified();
                 pass &= ok;
                 table.push_row(&[
@@ -60,6 +60,7 @@ impl Experiment for E7ModelSeparation {
                         max_states: 300_000,
                         max_depth: 50_000,
                         stop_at_first_violation: true,
+                        threads: ff_sim::default_threads(),
                     },
                 );
                 let ok = verdict.safe();

@@ -6,7 +6,7 @@ use crate::experiment::{Experiment, ExperimentResult};
 use crate::table::Table;
 use ff_cas::{AlwaysPolicy, CasEnsemble, FaultyCasArray};
 use ff_consensus::{run_native, silent_retries, Consensus, HerlihyConsensus};
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::{Bound, FaultKind, Input, ObjectId};
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,7 +53,7 @@ impl Experiment for E8OtherFaults {
         for t in [1u64, 2] {
             let plan = FaultPlan::silent(1, Bound::Finite(t));
             let state = SimState::new(silent_retries(&inputs(2)), Heap::new(1, 0), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let ok = report.verified();
             pass &= ok;
             table.push_row(&[
@@ -70,7 +70,7 @@ impl Experiment for E8OtherFaults {
         {
             let plan = FaultPlan::silent(1, Bound::Unbounded);
             let state = SimState::new(silent_retries(&inputs(2)), Heap::new(1, 0), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let ok = report.cycle_found;
             pass &= ok;
             table.push_row(&[

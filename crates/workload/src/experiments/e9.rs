@@ -8,7 +8,7 @@ use crate::runner::run_trials;
 use crate::table::Table;
 use ff_cas::AtomicCasArray;
 use ff_consensus::{one_shots, run_native, Consensus, HerlihyConsensus};
-use ff_sim::{explore, FaultPlan, Heap, SimState};
+use ff_sim::{explore_parallel, FaultPlan, Heap, SimState};
 use ff_spec::Bound;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,7 +32,7 @@ impl Experiment for E9HerlihyBaseline {
         let mut clean = Table::new("Reliable hardware", &["check", "n", "violations", "clean"]);
         for n in [2usize, 3, 4] {
             let state = SimState::new(one_shots(&inputs(n)), Heap::new(1, 0), FaultPlan::none());
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             pass &= report.verified();
             clean.push_row(&[
                 "exhaustive".to_string(),
@@ -62,7 +62,7 @@ impl Experiment for E9HerlihyBaseline {
         for (n, expect_safe) in [(2usize, true), (3, false), (4, false)] {
             let plan = FaultPlan::overriding(1, Bound::Finite(1));
             let state = SimState::new(one_shots(&inputs(n)), Heap::new(1, 0), plan);
-            let report = explore(state, explorer_config());
+            let report = explore_parallel(state, explorer_config());
             let safe = report.verified();
             let ok = safe == expect_safe;
             pass &= ok;

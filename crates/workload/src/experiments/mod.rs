@@ -49,11 +49,15 @@ pub(crate) fn mark(ok: bool) -> &'static str {
 }
 
 /// The standard explorer budget for report-sized exhaustive runs.
+/// Parallelism follows `FF_EXPLORER_THREADS` (default: all cores); the
+/// experiments run through [`ff_sim::explore_parallel`], which reduces to
+/// the sequential explorer when `threads` is 1.
 pub(crate) fn explorer_config() -> ExplorerConfig {
     ExplorerConfig {
         max_states: 2_000_000,
         max_depth: 100_000,
         stop_at_first_violation: true,
+        threads: ff_sim::default_threads(),
     }
 }
 

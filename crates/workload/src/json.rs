@@ -1,16 +1,442 @@
 //! Machine-readable export of experiment results.
+//!
+//! Hand-rolled JSON (the build environment has no crates.io access, so
+//! serde is unavailable): a serializer and a small recursive-descent
+//! parser covering exactly the shape of [`ExperimentResult`]. The
+//! output is interchangeable with what the previous serde-based export
+//! produced — field names and nesting are unchanged — so downstream CI
+//! artifact consumers are unaffected.
 
 use crate::experiment::ExperimentResult;
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// A JSON parse error with a byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset at which parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// Serialize results to pretty JSON (for CI artifacts and downstream
 /// analysis).
 pub fn to_json(results: &[ExperimentResult]) -> String {
-    serde_json::to_string_pretty(results).expect("experiment results are serializable")
+    let mut out = String::new();
+    out.push_str("[\n");
+    for (i, r) in results.iter().enumerate() {
+        write_result(&mut out, r, 1);
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
 }
 
 /// Parse results back (round-trip utility).
-pub fn from_json(s: &str) -> Result<Vec<ExperimentResult>, serde_json::Error> {
-    serde_json::from_str(s)
+pub fn from_json(s: &str) -> Result<Vec<ExperimentResult>, JsonError> {
+    let mut p = Parser {
+        src: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    results_from_value(&value).map_err(|message| JsonError { offset: 0, message })
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_string_array(out: &mut String, items: &[String], level: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, s) in items.iter().enumerate() {
+        indent(out, level + 1);
+        write_string(out, s);
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    indent(out, level);
+    out.push(']');
+}
+
+fn write_table(out: &mut String, t: &Table, level: usize) {
+    indent(out, level);
+    out.push_str("{\n");
+    indent(out, level + 1);
+    out.push_str("\"title\": ");
+    write_string(out, &t.title);
+    out.push_str(",\n");
+    indent(out, level + 1);
+    out.push_str("\"headers\": ");
+    write_string_array(out, &t.headers, level + 1);
+    out.push_str(",\n");
+    indent(out, level + 1);
+    out.push_str("\"rows\": ");
+    if t.rows.is_empty() {
+        out.push_str("[]");
+    } else {
+        out.push_str("[\n");
+        for (i, row) in t.rows.iter().enumerate() {
+            indent(out, level + 2);
+            write_string_array(out, row, level + 2);
+            out.push_str(if i + 1 < t.rows.len() { ",\n" } else { "\n" });
+        }
+        indent(out, level + 1);
+        out.push(']');
+    }
+    out.push('\n');
+    indent(out, level);
+    out.push('}');
+}
+
+fn write_result(out: &mut String, r: &ExperimentResult, level: usize) {
+    indent(out, level);
+    out.push_str("{\n");
+    let field = |out: &mut String, name: &str| {
+        indent(out, level + 1);
+        out.push('"');
+        out.push_str(name);
+        out.push_str("\": ");
+    };
+    field(out, "id");
+    write_string(out, &r.id);
+    out.push_str(",\n");
+    field(out, "title");
+    write_string(out, &r.title);
+    out.push_str(",\n");
+    field(out, "paper_ref");
+    write_string(out, &r.paper_ref);
+    out.push_str(",\n");
+    field(out, "tables");
+    if r.tables.is_empty() {
+        out.push_str("[]");
+    } else {
+        out.push_str("[\n");
+        for (i, t) in r.tables.iter().enumerate() {
+            write_table(out, t, level + 2);
+            out.push_str(if i + 1 < r.tables.len() { ",\n" } else { "\n" });
+        }
+        indent(out, level + 1);
+        out.push(']');
+    }
+    out.push_str(",\n");
+    field(out, "notes");
+    write_string_array(out, &r.notes, level + 1);
+    out.push_str(",\n");
+    field(out, "pass");
+    out.push_str(if r.pass { "true" } else { "false" });
+    out.push('\n');
+    indent(out, level);
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (only the forms the export uses).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    String(String),
+    Bool(bool),
+    Number(f64),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+    Null,
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            // Surrogate pairs are not produced by our
+                            // serializer; reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("non-scalar \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.src[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value -> domain types.
+// ---------------------------------------------------------------------
+
+fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn as_string(v: &Value) -> Result<String, String> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        other => Err(format!("expected string, got {other:?}")),
+    }
+}
+
+fn as_string_vec(v: &Value) -> Result<Vec<String>, String> {
+    match v {
+        Value::Array(items) => items.iter().map(as_string).collect(),
+        other => Err(format!("expected array of strings, got {other:?}")),
+    }
+}
+
+fn table_from_value(v: &Value) -> Result<Table, String> {
+    let Value::Object(obj) = v else {
+        return Err(format!("expected table object, got {v:?}"));
+    };
+    let mut table = Table::new(as_string(get(obj, "title")?)?, &[]);
+    table.headers = as_string_vec(get(obj, "headers")?)?;
+    match get(obj, "rows")? {
+        Value::Array(rows) => {
+            for row in rows {
+                table.rows.push(as_string_vec(row)?);
+            }
+        }
+        other => return Err(format!("expected rows array, got {other:?}")),
+    }
+    Ok(table)
+}
+
+fn results_from_value(v: &Value) -> Result<Vec<ExperimentResult>, String> {
+    let Value::Array(items) = v else {
+        return Err(format!("expected top-level array, got {v:?}"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Value::Object(obj) = item else {
+                return Err(format!("expected result object, got {item:?}"));
+            };
+            Ok(ExperimentResult {
+                id: as_string(get(obj, "id")?)?,
+                title: as_string(get(obj, "title")?)?,
+                paper_ref: as_string(get(obj, "paper_ref")?)?,
+                tables: match get(obj, "tables")? {
+                    Value::Array(ts) => ts
+                        .iter()
+                        .map(table_from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => return Err(format!("expected tables array, got {other:?}")),
+                },
+                notes: as_string_vec(get(obj, "notes")?)?,
+                pass: match get(obj, "pass")? {
+                    Value::Bool(b) => *b,
+                    other => return Err(format!("expected bool pass, got {other:?}")),
+                },
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -18,23 +444,55 @@ mod tests {
     use super::*;
     use crate::table::Table;
 
+    fn sample() -> Vec<ExperimentResult> {
+        let mut t = Table::new("t \"quoted\"", &["a", "b"]);
+        t.push_row(&["1", "⊥ unicode"]);
+        t.push_row(&["line\nbreak", "tab\there"]);
+        vec![
+            ExperimentResult {
+                id: "e0".into(),
+                title: "demo".into(),
+                paper_ref: "none".into(),
+                tables: vec![t],
+                notes: vec!["n".into()],
+                pass: true,
+            },
+            ExperimentResult {
+                id: "e1".into(),
+                title: "empty".into(),
+                paper_ref: "none".into(),
+                tables: vec![],
+                notes: vec![],
+                pass: false,
+            },
+        ]
+    }
+
     #[test]
     fn round_trip() {
-        let mut t = Table::new("t", &["a"]);
-        t.push_row(&["1"]);
-        let results = vec![ExperimentResult {
-            id: "e0".into(),
-            title: "demo".into(),
-            paper_ref: "none".into(),
-            tables: vec![t],
-            notes: vec!["n".into()],
-            pass: true,
-        }];
+        let results = sample();
         let json = to_json(&results);
         let back = from_json(&json).unwrap();
-        assert_eq!(back.len(), 1);
+        assert_eq!(back.len(), 2);
         assert_eq!(back[0].id, "e0");
         assert!(back[0].pass);
+        assert!(!back[1].pass);
         assert_eq!(back[0].tables[0].rows[0][0], "1");
+        assert_eq!(back[0].tables[0].rows[0][1], "⊥ unicode");
+        assert_eq!(back[0].tables[0].rows[1][0], "line\nbreak");
+        assert_eq!(back[0].tables[0].title, "t \"quoted\"");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_json("[{").is_err());
+        assert!(from_json("[]extra").is_err());
+        assert!(from_json("{\"id\": 3}").is_err());
+        assert!(from_json("[{\"id\": \"x\"}]").is_err()); // missing fields
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        assert_eq!(from_json(&to_json(&[])).unwrap().len(), 0);
     }
 }

@@ -1,9 +1,7 @@
 //! Summary statistics over trial measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary of a sample of measurements.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,

@@ -1,9 +1,7 @@
 //! ASCII table rendering for experiment reports.
 
-use serde::{Deserialize, Serialize};
-
 /// A titled table of string cells.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -112,11 +110,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut t = Table::new("demo", &["a"]);
         t.push_row(&["1"]);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Table = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
+        let r = crate::experiment::ExperimentResult {
+            id: "t".into(),
+            title: "table round trip".into(),
+            paper_ref: "none".into(),
+            tables: vec![t.clone()],
+            notes: vec![],
+            pass: true,
+        };
+        let json = crate::json::to_json(&[r]);
+        let back = crate::json::from_json(&json).unwrap();
+        assert_eq!(back[0].tables[0], t);
     }
 }

@@ -14,6 +14,7 @@ fn main() {
         max_states: 500_000,
         max_depth: 50_000,
         stop_at_first_violation: true,
+        threads: 1,
     };
 
     println!("consensus number of f faulty CAS objects (overriding, t = 1):\n");

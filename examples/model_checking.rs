@@ -9,7 +9,8 @@
 use functional_faults::adversary::render_witness;
 use functional_faults::consensus::{cascades, one_shots, staged_machines};
 use functional_faults::sim::{
-    explore, find_critical_state, ExplorerConfig, FaultPlan, Heap, SimState,
+    default_threads, explore_parallel, find_critical_state, ExplorerConfig, FaultPlan, Heap,
+    SimState,
 };
 use functional_faults::spec::{Bound, Input};
 
@@ -18,13 +19,18 @@ fn inputs(n: usize) -> Vec<Input> {
 }
 
 fn main() {
-    let config = ExplorerConfig::default();
+    // All cores by default; FF_EXPLORER_THREADS=1 forces sequential.
+    let config = ExplorerConfig {
+        threads: default_threads(),
+        ..ExplorerConfig::default()
+    };
+    println!("explorer threads: {}\n", config.threads);
 
     // -----------------------------------------------------------------
     println!("== Theorem 4: n = 2, one object, UNBOUNDED overriding faults ==");
     let plan = FaultPlan::overriding(1, Bound::Unbounded);
     let state = SimState::new(one_shots(&inputs(2)), Heap::new(1, 0), plan);
-    let report = explore(state, config);
+    let report = explore_parallel(state, config);
     println!(
         "explored {} states, {} terminals → {}",
         report.states_expanded,
@@ -40,7 +46,7 @@ fn main() {
     println!("\n== Theorem 5 (f = 1): 2 objects, 1 unboundedly faulty, n = 3 ==");
     let plan = FaultPlan::overriding(1, Bound::Unbounded);
     let state = SimState::new(cascades(&inputs(3), 1), Heap::new(2, 0), plan);
-    let report = explore(state, config);
+    let report = explore_parallel(state, config);
     println!(
         "explored {} states → {}",
         report.states_expanded,
@@ -55,7 +61,7 @@ fn main() {
     println!("\n== Theorem 6 (f = 1, t = 2): 1 faulty-only object, n = 2 ==");
     let plan = FaultPlan::overriding(1, Bound::Finite(2));
     let state = SimState::new(staged_machines(&inputs(2), 1, 2), Heap::new(1, 0), plan);
-    let report = explore(state, config);
+    let report = explore_parallel(state, config);
     println!(
         "explored {} states → {}",
         report.states_expanded,
@@ -70,7 +76,7 @@ fn main() {
     println!("\n== Theorem 18: the same one-object environment with n = 3 breaks ==");
     let plan = FaultPlan::overriding(1, Bound::Unbounded);
     let state = SimState::new(one_shots(&inputs(3)), Heap::new(1, 0), plan.clone());
-    let report = explore(state, config);
+    let report = explore_parallel(state, config);
     match &report.violation {
         Some(witness) => {
             println!(

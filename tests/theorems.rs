@@ -180,6 +180,7 @@ fn hierarchy_boundary_f1_and_f2() {
         max_states: 400_000,
         max_depth: 50_000,
         stop_at_first_violation: true,
+        threads: 1,
     };
     assert!(probe_staged(1, 1, 2, config).safe());
     assert_eq!(probe_staged(1, 1, 3, config), SafetyVerdict::Violated);
@@ -193,18 +194,23 @@ fn hierarchy_boundary_f1_and_f2() {
 
 /// Theorem 6 at (f = 2, t = 1, n = 3) with the full proven stage bound
 /// maxStage = 12: a complete proof by enumeration — 8,001,106 states,
-/// roughly two minutes in release mode (much longer in debug).
+/// ~80 s sequential in release mode on one core (much longer in debug).
+/// Runs through the parallel explorer on all available cores
+/// (`FF_EXPLORER_THREADS` overrides); still opt-in because even
+/// parallelized it is far beyond unit-test budgets. CI runs it in the
+/// scheduled/label-gated `exhaustive` job.
 #[test]
-#[ignore = "exhaustive 8M-state verification; ~2 min in release"]
+#[ignore = "exhaustive 8M-state verification; ~80 s sequential in release, less with cores"]
 fn theorem6_f2_full_bound_exhaustive() {
     let plan = FaultPlan::overriding(2, Bound::Finite(1));
     let state = SimState::new(staged_machines(&inputs(3), 2, 1), Heap::new(2, 0), plan);
-    let report = explore(
+    let report = functional_faults::sim::explore_parallel(
         state,
         ExplorerConfig {
             max_states: 30_000_000,
             max_depth: 200_000,
             stop_at_first_violation: true,
+            threads: functional_faults::sim::default_threads(),
         },
     );
     assert!(report.verified(), "{report:?}");

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the slice of the proptest 1.x API the workspace
+//! uses: the [`proptest!`] macro with `pat in strategy` arguments and an
+//! optional `#![proptest_config(...)]` header, [`any`], integer-range
+//! strategies, [`Strategy::prop_map`], [`prop_oneof!`], [`Just`],
+//! [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via
+//!   the panic message (every generated binding is formatted into the
+//!   failure), but is not minimized.
+//! * **Deterministic seeding.** Cases are generated from a fixed seed
+//!   derived from the test function's name, so runs are reproducible
+//!   without a persistence file.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases run per property unless overridden with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+pub const DEFAULT_CASES: u32 = 128;
+
+/// Test-runner configuration (subset of proptest's).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A value generator (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (subset of `Arbitrary`).
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return <$t>::arbitrary(rng);
+                }
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Full-range strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec` strategy with length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run `cases` deterministic cases of a property. Used by the
+/// [`proptest!`] expansion; not part of the public proptest API.
+pub fn run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut TestRng, u64)) {
+    for i in 0..cases as u64 {
+        let mut rng = TestRng::for_case(name, i);
+        case(&mut rng, i);
+    }
+}
+
+/// Property-test macro: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), cfg.cases, |rng, case| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let describe = || {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&::std::format!(
+                            "\n  {} = {:?}", stringify!($arg), $arg));)+
+                        s
+                    };
+                    let _ = &describe;
+                    $crate::with_case_context(stringify!($name), case, describe(), || $body);
+                });
+            }
+        )*
+    };
+    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default());
+            $(#[test] fn $name($($arg in $strat),+) $body)*);
+    };
+}
+
+/// Run a case body, decorating any panic with the case number and the
+/// generated inputs (the no-shrinking replacement for a minimal repro).
+pub fn with_case_context<R>(name: &str, case: u64, inputs: String, body: impl FnOnce() -> R) -> R {
+    struct Context {
+        name: String,
+        case: u64,
+        inputs: String,
+    }
+    impl Drop for Context {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest case failed: {} (case {}), inputs:{}",
+                    self.name, self.case, self.inputs
+                );
+            }
+        }
+    }
+    let _ctx = Context {
+        name: name.to_string(),
+        case,
+        inputs,
+    };
+    body()
+}
+
+/// `assert!` inside a property (no early-return semantics here; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0u32..=4, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(u32::from(b) <= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u64..10).prop_map(|v| v * 2),
+            Just(99u64),
+        ]) {
+            prop_assert!(x == 99u64 || (x % 2u64 == 0u64 && x < 20u64));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        super::run_cases("det", 8, |rng, _| a.push(rng.next_u64()));
+        super::run_cases("det", 8, |rng, _| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}
