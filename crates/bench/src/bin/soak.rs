@@ -1,0 +1,100 @@
+//! Closed-loop soak of the sharded store under live fault injection.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin soak -- \
+//!     --threads 4 --shards 8 --secs 10 --fault-rate 0.2
+//! ```
+//!
+//! Hammers an `ff-store` from N closed-loop workers for the given
+//! duration, verifies that every replica of every shard converged,
+//! prints the latency/throughput/fault tables, and writes the full
+//! machine-readable report to `BENCH_store.json` (override with
+//! `--json-out`). Exits nonzero if any shard diverged — which the
+//! `--backend naive` arm exists to demonstrate.
+
+use ff_store::{run_soak, Backend, SoakConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--threads N] [--shards N] [--secs S] [--fault-rate R]\n\
+         \x20           [--backend reliable|robust|naive] [--read-pct P]\n\
+         \x20           [--keyspace N] [--checkpoint-interval N] [--seed N]\n\
+         \x20           [--json-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = SoakConfig::default();
+    let mut json_out = "BENCH_store.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--threads" => config.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--shards" => config.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--secs" => config.secs = value("--secs").parse().unwrap_or_else(|_| usage()),
+            "--fault-rate" => {
+                config.fault_rate = value("--fault-rate").parse().unwrap_or_else(|_| usage())
+            }
+            "--backend" => {
+                config.backend = match value("--backend").as_str() {
+                    "reliable" => Backend::Reliable,
+                    "robust" => Backend::Robust,
+                    "naive" => Backend::Naive,
+                    other => {
+                        eprintln!("unknown backend: {other}");
+                        usage();
+                    }
+                }
+            }
+            "--read-pct" => {
+                config.read_pct = value("--read-pct").parse().unwrap_or_else(|_| usage())
+            }
+            "--keyspace" => {
+                config.keyspace = value("--keyspace").parse().unwrap_or_else(|_| usage())
+            }
+            "--checkpoint-interval" => {
+                config.checkpoint_interval = value("--checkpoint-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json-out" => json_out = value("--json-out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {} …",
+        config.threads,
+        config.shards,
+        config.secs,
+        config.backend.label(),
+        config.fault_rate
+    );
+    let report = run_soak(&config);
+    println!("{}", report.render());
+
+    std::fs::write(&json_out, report.to_json().render()).unwrap_or_else(|e| {
+        eprintln!("failed to write {json_out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {json_out}");
+
+    if !report.consistent {
+        eprintln!("DIVERGENCE: shards did not agree (expected only under --backend naive)");
+        std::process::exit(1);
+    }
+}

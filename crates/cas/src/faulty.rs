@@ -29,6 +29,7 @@ use ff_spec::{
 };
 use parking_lot::Mutex;
 use std::cell::Cell;
+use std::sync::Arc;
 
 thread_local! {
     static THREAD_PID: Cell<ProcessId> = const { Cell::new(ProcessId(usize::MAX)) };
@@ -53,7 +54,7 @@ pub struct FaultyCasArray {
     kind: FaultKind,
     budget: NativeBudget,
     policy: Box<dyn FaultPolicy>,
-    stats: EnsembleStats,
+    stats: Arc<EnsembleStats>,
     history: Option<Mutex<History>>,
 }
 
@@ -71,6 +72,12 @@ impl FaultyCasArray {
     /// Per-object operation/fault counters.
     pub fn stats(&self) -> &EnsembleStats {
         &self.stats
+    }
+
+    /// The shared stats handle (the same counters as [`Self::stats`],
+    /// clonable so callers can keep reading after the ensemble is gone).
+    pub fn stats_handle(&self) -> Arc<EnsembleStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Remaining fault budget on `obj` (`None` = unbounded).
@@ -207,6 +214,7 @@ pub struct FaultyCasArrayBuilder {
     per_object: Bound,
     policy: Box<dyn FaultPolicy>,
     record_history: bool,
+    shared_stats: Option<Arc<EnsembleStats>>,
 }
 
 impl FaultyCasArrayBuilder {
@@ -220,6 +228,7 @@ impl FaultyCasArrayBuilder {
             per_object: Bound::Finite(0),
             policy: Box::new(NeverPolicy),
             record_history: true,
+            shared_stats: None,
         }
     }
 
@@ -259,6 +268,29 @@ impl FaultyCasArrayBuilder {
         self
     }
 
+    /// Aggregate operation/fault counters into an externally owned
+    /// [`EnsembleStats`] instead of a private one. Many ensembles may
+    /// share the same instance (e.g. every consensus cell of one store
+    /// shard), surfacing *live* aggregate counts without keeping the
+    /// ensembles themselves alive.
+    ///
+    /// Caveat: the per-object operation index that fault policies see
+    /// then runs across every ensemble sharing the stats, not per
+    /// ensemble — fine for stateless policies such as
+    /// [`ProbabilisticPolicy`](crate::ProbabilisticPolicy), but
+    /// [`FirstKPolicy`](crate::FirstKPolicy)-style positional policies
+    /// will no longer restart at each ensemble.
+    pub fn shared_stats(mut self, stats: Arc<EnsembleStats>) -> Self {
+        assert!(
+            stats.num_objects() >= self.count,
+            "shared stats cover {} objects but the ensemble has {}",
+            stats.num_objects(),
+            self.count
+        );
+        self.shared_stats = Some(stats);
+        self
+    }
+
     /// Build the ensemble.
     pub fn build(self) -> FaultyCasArray {
         let budget = NativeBudget::new(self.count, &self.faulty_set, self.per_object);
@@ -267,7 +299,9 @@ impl FaultyCasArrayBuilder {
             kind: self.kind,
             budget,
             policy: self.policy,
-            stats: EnsembleStats::new(self.count),
+            stats: self
+                .shared_stats
+                .unwrap_or_else(|| Arc::new(EnsembleStats::new(self.count))),
             history: self.record_history.then(|| Mutex::new(History::new())),
         }
     }

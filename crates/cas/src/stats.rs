@@ -34,6 +34,11 @@ impl EnsembleStats {
         }
     }
 
+    /// Number of objects these counters cover.
+    pub fn num_objects(&self) -> usize {
+        self.ops.len()
+    }
+
     /// Count one operation on `obj` and return its 0-based per-object
     /// operation index (used by fault policies).
     pub fn record_op(&self, obj: ObjectId) -> u64 {

@@ -1,0 +1,454 @@
+//! Per-shard consensus-cell factories: the store's pluggable backends.
+//!
+//! Each shard owns one [`ShardCells`] factory. It reuses the `ff-cas`
+//! fault-injection substrate — the same policies and `(f, t)` budgets
+//! the experiments use — but adds what a long-running store needs:
+//!
+//! * **Aggregated live stats.** All cells of a shard share one
+//!   [`EnsembleStats`], so fault counts can be read while the shard
+//!   serves traffic (individual cells are created and dropped as the
+//!   log advances and truncates).
+//! * **Runtime knobs.** The fault rate is an atomic the operator can
+//!   turn mid-run ([`FaultKnob::set_rate`]) — per shard, without
+//!   rebuilding anything.
+//! * **Junk tolerance.** Under *arbitrary* faults a faulty object can
+//!   return garbage words. [`GuardedCascadeConsensus`] runs the
+//!   Figure 2 cascade but skips non-input words instead of panicking:
+//!   the construction's guarantee rests on the reliable spare object
+//!   `O_j` — every process adopts the first value written to `O_j` —
+//!   and a junk word can never *be* that value (values are always
+//!   announced inputs), so ignoring junk preserves agreement. A junk
+//!   word colliding with a valid input encoding goes undetected with
+//!   probability 2⁻³² per fault; acceptable for a soak harness.
+//!
+//! Tolerable fault kinds per backend, following the paper's results:
+//! overriding and arbitrary kinds get the `f`-tolerant cascade
+//! (Theorem 5) over `f` faulty + 1 reliable objects; silent faults get
+//! the bounded-retry protocol (Section 3.4), which requires a finite
+//! total budget `t` (unbounded silent faults admit nontermination —
+//! experiment E8). Invisible faults are rejected: no construction in
+//! the paper tolerates them (Theorem 4 territory), so a store
+//! configured for them would be built on nothing.
+
+use ff_cas::{splitmix64, AtomicCasArray, CasEnsemble, EnsembleStats, FaultPolicy, FaultyCasArray};
+use ff_consensus::{Consensus, HerlihyConsensus, SilentRetryConsensus};
+use ff_spec::{Bound, FaultKind, Input, ObjectId, Tolerance, BOTTOM};
+use ff_universal::CellFactory;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A live-adjustable fault rate shared by every cell of one shard.
+#[derive(Debug)]
+pub struct FaultKnob {
+    /// Probability threshold over the u64 space (rate × u64::MAX).
+    threshold: AtomicU64,
+    seed: u64,
+}
+
+impl FaultKnob {
+    /// A knob starting at `rate` (probability per CAS operation).
+    pub fn new(rate: f64, seed: u64) -> Arc<Self> {
+        let knob = FaultKnob {
+            threshold: AtomicU64::new(0),
+            seed,
+        };
+        knob.set_rate(rate);
+        Arc::new(knob)
+    }
+
+    /// Change the fault rate, effective immediately for all cells.
+    pub fn set_rate(&self, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate must be a probability, got {rate}"
+        );
+        self.threshold
+            .store((rate * u64::MAX as f64) as u64, Ordering::Relaxed);
+    }
+
+    /// The current fault rate.
+    pub fn rate(&self) -> f64 {
+        self.threshold.load(Ordering::Relaxed) as f64 / u64::MAX as f64
+    }
+}
+
+/// The policy face of a [`FaultKnob`]: probabilistic, counter-based
+/// (no shared RNG state), reading the rate live.
+struct KnobPolicy {
+    knob: Arc<FaultKnob>,
+    /// Distinguishes cells sharing one knob, so they don't fault in
+    /// lockstep.
+    salt: u64,
+}
+
+impl FaultPolicy for KnobPolicy {
+    fn should_fault(&self, obj: ObjectId, op_index: u64) -> bool {
+        let bits = splitmix64(
+            self.knob.seed ^ self.salt ^ splitmix64(obj.0 as u64) ^ op_index.rotate_left(17),
+        );
+        bits <= self.knob.threshold.load(Ordering::Relaxed)
+    }
+}
+
+/// Figure 2's cascade, hardened for *arbitrary* faults: non-input words
+/// are skipped instead of aborting (see the module docs for why this is
+/// sound).
+pub struct GuardedCascadeConsensus<E: CasEnsemble + ?Sized> {
+    ensemble: Arc<E>,
+    f: usize,
+}
+
+impl<E: CasEnsemble + ?Sized> GuardedCascadeConsensus<E> {
+    /// Build the `f`-tolerant protocol; `ensemble` must hold exactly
+    /// `f + 1` objects.
+    pub fn new(ensemble: Arc<E>, f: usize) -> Self {
+        assert_eq!(
+            ensemble.len(),
+            f + 1,
+            "cascade needs exactly f + 1 = {} objects, got {}",
+            f + 1,
+            ensemble.len()
+        );
+        GuardedCascadeConsensus { ensemble, f }
+    }
+}
+
+impl<E: CasEnsemble + ?Sized> Consensus for GuardedCascadeConsensus<E> {
+    fn decide(&self, val: Input) -> Input {
+        let mut output = val;
+        for i in 0..=self.f {
+            let old = self.ensemble.cas(ObjectId(i), BOTTOM, output.to_word());
+            if old != BOTTOM {
+                if let Some(adopted) = Input::from_word(old) {
+                    output = adopted;
+                }
+                // Non-input word: a faulty object returned garbage.
+                // Keep the current output; the reliable object's value
+                // still propagates.
+            }
+        }
+        output
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::f_tolerant(self.f as u64)
+    }
+
+    fn objects_used(&self) -> usize {
+        self.f + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "guarded-cascade"
+    }
+}
+
+/// Herlihy's protocol straight over one faulty object — the naive
+/// backend the paper proves broken (E10's negative arm), here with junk
+/// words degraded deterministically instead of panicking so a soak can
+/// *observe* the divergence rather than crash on it.
+struct NaiveConsensus<E: CasEnsemble + ?Sized> {
+    ensemble: Arc<E>,
+}
+
+impl<E: CasEnsemble + ?Sized> Consensus for NaiveConsensus<E> {
+    fn decide(&self, val: Input) -> Input {
+        let old = self.ensemble.cas(ObjectId(0), BOTTOM, val.to_word());
+        if old == BOTTOM {
+            val
+        } else {
+            // A junk word (arbitrary fault) becomes a junk decision —
+            // the naive construction inherits whatever the object does.
+            Input::from_word(old).unwrap_or(Input(old as u32 & 0x7fff_ffff))
+        }
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::f_tolerant(0)
+    }
+
+    fn objects_used(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-direct"
+    }
+}
+
+/// Which construction a shard runs its cells on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Reliable CAS (no injection) — the fault-free baseline.
+    Reliable,
+    /// The paper's fault-tolerant constructions over injected faults:
+    /// cascade for overriding/arbitrary kinds, bounded retry for silent.
+    Robust,
+    /// Herlihy's protocol straight over an injected-faulty object — the
+    /// broken construction, kept for divergence demonstrations.
+    Naive,
+}
+
+impl Backend {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Reliable => "reliable",
+            Backend::Robust => "robust",
+            Backend::Naive => "naive",
+        }
+    }
+}
+
+/// Fault environment of one shard: kind, `(f, t)` budget, live rate.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// The functional-fault kind to inject.
+    pub kind: FaultKind,
+    /// Faulty objects per cell ensemble (Definition 2's `f`).
+    pub f: usize,
+    /// Per-object fault budget (Definition 2's `t`); silent faults
+    /// require a finite bound.
+    pub t: Bound,
+    /// Initial fault probability per CAS operation.
+    pub rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            kind: FaultKind::Overriding,
+            f: 1,
+            t: Bound::Unbounded,
+            rate: 0.2,
+        }
+    }
+}
+
+/// The per-shard cell factory: owns the shard's fault knob and the
+/// shared stats every cell aggregates into.
+pub struct ShardCells {
+    backend: Backend,
+    fault: FaultConfig,
+    knob: Arc<FaultKnob>,
+    stats: Arc<EnsembleStats>,
+    next_salt: AtomicU64,
+}
+
+impl ShardCells {
+    /// A factory for one shard. `seed` derives every cell's fault
+    /// stream deterministically.
+    pub fn new(backend: Backend, fault: FaultConfig, seed: u64) -> Self {
+        if backend == Backend::Robust {
+            assert!(fault.f >= 1, "robust backend needs f >= 1");
+            assert!(
+                !matches!(fault.kind, FaultKind::Invisible | FaultKind::Nonresponsive),
+                "no construction in the paper tolerates {:?} faults; \
+                 refusing to build a store on one",
+                fault.kind
+            );
+            if fault.kind == FaultKind::Silent {
+                assert!(
+                    matches!(fault.t, Bound::Finite(_)),
+                    "silent faults need a finite per-object budget t \
+                     (unbounded silent faults admit nontermination — experiment E8)"
+                );
+            }
+        }
+        let objects = match backend {
+            Backend::Robust if fault.kind != FaultKind::Silent => fault.f + 1,
+            _ => 1,
+        };
+        ShardCells {
+            backend,
+            knob: FaultKnob::new(fault.rate, seed),
+            stats: Arc::new(EnsembleStats::new(objects)),
+            fault,
+            next_salt: AtomicU64::new(0),
+        }
+    }
+
+    /// The live fault-rate knob for this shard.
+    pub fn knob(&self) -> Arc<FaultKnob> {
+        Arc::clone(&self.knob)
+    }
+
+    /// The shard-wide aggregated operation/fault counters.
+    pub fn stats(&self) -> Arc<EnsembleStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The injected fault kind.
+    pub fn fault_kind(&self) -> FaultKind {
+        self.fault.kind
+    }
+
+    /// The backend this shard runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn faulty_ensemble(&self, objects: usize, faulty: usize) -> Arc<FaultyCasArray> {
+        let salt = self.next_salt.fetch_add(1, Ordering::Relaxed);
+        Arc::new(
+            FaultyCasArray::builder(objects)
+                .kind(self.fault.kind)
+                .faulty_first(faulty)
+                .per_object(self.fault.t)
+                .policy(KnobPolicy {
+                    knob: Arc::clone(&self.knob),
+                    salt: splitmix64(salt),
+                })
+                .record_history(false)
+                .shared_stats(Arc::clone(&self.stats))
+                .build(),
+        )
+    }
+}
+
+impl CellFactory for ShardCells {
+    fn make(&self) -> Arc<dyn Consensus> {
+        match self.backend {
+            Backend::Reliable => Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1)))),
+            Backend::Robust => match self.fault.kind {
+                FaultKind::Silent => {
+                    let t = match self.fault.t {
+                        Bound::Finite(t) => t,
+                        Bound::Unbounded => unreachable!("checked in ShardCells::new"),
+                    };
+                    let ensemble = self.faulty_ensemble(1, 1);
+                    Arc::new(SilentRetryConsensus::new(ensemble, t))
+                }
+                _ => {
+                    let ensemble = self.faulty_ensemble(self.fault.f + 1, self.fault.f);
+                    Arc::new(GuardedCascadeConsensus::new(ensemble, self.fault.f))
+                }
+            },
+            Backend::Naive => Arc::new(NaiveConsensus {
+                ensemble: self.faulty_ensemble(1, 1),
+            }),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        self.backend.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_changes_rate_live() {
+        let knob = FaultKnob::new(0.0, 1);
+        let policy = KnobPolicy {
+            knob: Arc::clone(&knob),
+            salt: 0,
+        };
+        assert!((0..100).all(|i| !policy.should_fault(ObjectId(0), i)));
+        knob.set_rate(1.0);
+        assert!((0..100).all(|i| policy.should_fault(ObjectId(0), i)));
+        assert!((knob.rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guarded_cascade_agrees_under_arbitrary_faults() {
+        let fault = FaultConfig {
+            kind: FaultKind::Arbitrary,
+            f: 1,
+            t: Bound::Unbounded,
+            rate: 0.8,
+        };
+        let cells = ShardCells::new(Backend::Robust, fault, 42);
+        for _ in 0..100 {
+            let cell = cells.make();
+            let a = cell.decide(Input(1));
+            let b = cell.decide(Input(2));
+            let c = cell.decide(Input(3));
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            assert!([Input(1), Input(2), Input(3)].contains(&a), "validity");
+        }
+        assert!(cells.stats().total_observable() > 0, "faults were injected");
+    }
+
+    #[test]
+    fn robust_silent_cells_agree() {
+        let fault = FaultConfig {
+            kind: FaultKind::Silent,
+            f: 1,
+            t: Bound::Finite(4),
+            rate: 0.5,
+        };
+        let cells = ShardCells::new(Backend::Robust, fault, 7);
+        for _ in 0..100 {
+            let cell = cells.make();
+            let a = cell.decide(Input(1));
+            let b = cell.decide(Input(2));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn naive_cells_never_panic_on_junk() {
+        let fault = FaultConfig {
+            kind: FaultKind::Arbitrary,
+            f: 1,
+            t: Bound::Unbounded,
+            rate: 1.0,
+        };
+        let cells = ShardCells::new(Backend::Naive, fault, 3);
+        for _ in 0..100 {
+            let cell = cells.make();
+            let _ = cell.decide(Input(1));
+            let _ = cell.decide(Input(2));
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_cells() {
+        let cells = ShardCells::new(
+            Backend::Robust,
+            FaultConfig {
+                rate: 1.0,
+                ..FaultConfig::default()
+            },
+            9,
+        );
+        for _ in 0..10 {
+            let cell = cells.make();
+            cell.decide(Input(1));
+        }
+        // 10 cells × 2 CAS per decide (f = 1), all recorded in one place.
+        let total_ops: u64 = cells.stats().all().iter().map(|o| o.ops).sum();
+        assert_eq!(total_ops, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite per-object budget")]
+    fn unbounded_silent_rejected() {
+        let _ = ShardCells::new(
+            Backend::Robust,
+            FaultConfig {
+                kind: FaultKind::Silent,
+                t: Bound::Unbounded,
+                ..FaultConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no construction")]
+    fn invisible_rejected() {
+        let _ = ShardCells::new(
+            Backend::Robust,
+            FaultConfig {
+                kind: FaultKind::Invisible,
+                ..FaultConfig::default()
+            },
+            0,
+        );
+    }
+}

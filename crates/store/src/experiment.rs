@@ -1,0 +1,145 @@
+//! E15 — the store-level soak: robust shards stay consistent under
+//! live functional faults, naive shards diverge.
+//!
+//! This is the system-scale payoff of the paper: Theorem-level
+//! per-object guarantees (Sections 4–6) compose into a whole store
+//! whose every shard stays linearizable while faults are injected,
+//! whereas a store built on fault-oblivious Herlihy consensus visibly
+//! corrupts. "Pass" means both arms matched their prediction.
+
+use crate::soak::{run_soak, SoakConfig};
+use crate::Backend;
+use ff_workload::{Experiment, ExperimentResult, Table};
+
+/// E15: sharded-store soak, robust vs naive backends.
+pub struct E15StoreSoak;
+
+impl Experiment for E15StoreSoak {
+    fn id(&self) -> &'static str {
+        "e15"
+    }
+
+    fn title(&self) -> &'static str {
+        "Sharded store soak: robust shards consistent, naive shards diverge"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        let mut table = Table::new(
+            "store soak (threads=3, shards=3, mixed fault kinds)",
+            &[
+                "backend",
+                "fault rate",
+                "ops",
+                "checkpoints",
+                "max retained",
+                "consistent",
+            ],
+        );
+        let mut notes = Vec::new();
+
+        let robust = run_soak(&SoakConfig {
+            threads: 3,
+            shards: 3,
+            secs: 0.5,
+            fault_rate: 0.25,
+            backend: Backend::Robust,
+            checkpoint_interval: 16,
+            ..SoakConfig::default()
+        });
+        table.push_row(&[
+            "robust".to_string(),
+            "0.25".to_string(),
+            robust.metrics.total_ops().to_string(),
+            robust
+                .consistency
+                .iter()
+                .map(|s| s.checkpoints)
+                .sum::<u64>()
+                .to_string(),
+            robust.max_retained_during_run.to_string(),
+            robust.consistent.to_string(),
+        ]);
+
+        // The naive arm is probabilistic (a junk overwrite has to land
+        // where replicas disagree about it), so retry over seeds with a
+        // cap; the paper's claim is existential — naive consensus *can*
+        // lose validity, and a handful of seeds at full fault rate
+        // reliably exhibits it.
+        let mut naive_diverged = false;
+        let mut naive_ops = 0;
+        for seed in 0..12 {
+            let naive = run_soak(&SoakConfig {
+                threads: 3,
+                shards: 3,
+                secs: 0.2,
+                fault_rate: 1.0,
+                backend: Backend::Naive,
+                checkpoint_interval: 16,
+                seed: 0xE15 + seed,
+                ..SoakConfig::default()
+            });
+            naive_ops += naive.metrics.total_ops();
+            if !naive.consistent {
+                naive_diverged = true;
+                table.push_row(&[
+                    "naive".to_string(),
+                    "1.00".to_string(),
+                    naive.metrics.total_ops().to_string(),
+                    naive
+                        .consistency
+                        .iter()
+                        .map(|s| s.checkpoints)
+                        .sum::<u64>()
+                        .to_string(),
+                    naive.max_retained_during_run.to_string(),
+                    naive.consistent.to_string(),
+                ]);
+                notes.push(format!(
+                    "naive backend diverged at seed offset {seed} (shards {:?})",
+                    naive
+                        .consistency
+                        .iter()
+                        .filter(|s| !s.consistent)
+                        .map(|s| s.shard)
+                        .collect::<Vec<_>>()
+                ));
+                break;
+            }
+        }
+        if !naive_diverged {
+            notes.push(format!(
+                "naive backend stayed consistent across 12 seeds ({naive_ops} ops) — violation not observed"
+            ));
+        }
+        notes.push(format!(
+            "robust arm: {} observable faults injected, retained log ≤ {} during run",
+            robust
+                .metrics
+                .faults
+                .iter()
+                .map(|f| f.observable)
+                .sum::<u64>(),
+            robust.max_retained_during_run
+        ));
+
+        ExperimentResult {
+            id: "e15".into(),
+            title: self.title().into(),
+            paper_ref: "Sections 4–6 composed at system scale".into(),
+            tables: vec![table],
+            notes,
+            pass: robust.consistent && naive_diverged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e15_passes() {
+        let result = E15StoreSoak.run();
+        assert!(result.pass, "E15 failed:\n{}", result.render());
+    }
+}

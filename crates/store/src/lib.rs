@@ -1,0 +1,540 @@
+//! # ff-store — a sharded, wait-free replicated KV store over robust
+//! consensus
+//!
+//! The paper's point (Section 1) is that consensus built from faulty
+//! CAS objects unlocks *arbitrary* wait-free objects. This crate takes
+//! that step at system scale: a key-value store whose shards are
+//! replicated [`KvMap`]s, each driven by its own
+//! [`UniversalLog`](ff_universal::UniversalLog) over pluggable
+//! consensus backends ([`Backend::Reliable`] / [`Backend::Robust`]
+//! under live fault injection / the deliberately broken
+//! [`Backend::Naive`]). Keys route to shards by hash, so throughput
+//! scales with cores instead of serializing on one log; shard logs are
+//! bounded by consensus-decided checkpoints
+//! ([`UniversalLog::checkpoint_every`](ff_universal::UniversalLog::checkpoint_every));
+//! fault injection reuses the `ff-cas` policies and `(f, t)` budgets
+//! with per-shard runtime knobs; and [`metrics`] keeps lock-free
+//! counters and latency histograms the soak harness ([`soak`]) exports
+//! to JSON.
+//!
+//! ```
+//! use ff_store::{Backend, Store, StoreConfig};
+//!
+//! let store = Store::new(StoreConfig {
+//!     shards: 4,
+//!     backend: Backend::Robust,
+//!     ..StoreConfig::default()
+//! });
+//! let mut client = store.client();
+//! client.put(7, 99);
+//! assert_eq!(client.get(7), Some(99));
+//! let report = store.verify(vec![client]);
+//! assert!(report.all_consistent());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cells;
+pub mod map;
+pub mod metrics;
+pub mod soak;
+
+mod experiment;
+
+pub use cells::{Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ShardCells};
+pub use experiment::E15StoreSoak;
+pub use map::{KvMap, KV_BITS, KV_MAX};
+pub use metrics::{MetricsSnapshot, ShardFaults, StoreMetrics};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+
+use ff_cas::{splitmix64, EnsembleStats};
+use ff_universal::{digests_consistent, Handle, UniversalLog};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Store-wide configuration.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of shards (each with its own log and cell factory).
+    pub shards: usize,
+    /// The consensus backend every shard runs on.
+    pub backend: Backend,
+    /// Fault environment (ignored by [`Backend::Reliable`], which never
+    /// injects). With `rotate_kinds`, the configured kind applies to
+    /// shard 0 and subsequent shards rotate through the tolerable kinds.
+    pub fault: FaultConfig,
+    /// Rotate fault kinds across shards (overriding → silent →
+    /// arbitrary), exercising a Definition 3-style mixed-fault
+    /// environment; the store survives because each *shard* stays
+    /// within its own construction's envelope.
+    pub rotate_kinds: bool,
+    /// Checkpoint interval in log slots (bounds each shard's retained
+    /// log).
+    pub checkpoint_interval: usize,
+    /// Seed for all deterministic fault streams and routing salts.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 8,
+            backend: Backend::Robust,
+            fault: FaultConfig::default(),
+            rotate_kinds: false,
+            checkpoint_interval: 64,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One shard: a log over its cell factory.
+struct Shard {
+    log: Arc<UniversalLog>,
+    stats: Arc<EnsembleStats>,
+    knob: Arc<FaultKnob>,
+    kind_label: &'static str,
+}
+
+/// The sharded store. Create one [`StoreClient`] per worker thread.
+pub struct Store {
+    shards: Vec<Shard>,
+    config: StoreConfig,
+    next_pid: AtomicU64,
+}
+
+/// Fault kinds [`Backend::Robust`] can actually tolerate, in rotation
+/// order (silent gets a finite default budget when rotated in).
+const ROTATION: [ff_spec::FaultKind; 3] = [
+    ff_spec::FaultKind::Overriding,
+    ff_spec::FaultKind::Silent,
+    ff_spec::FaultKind::Arbitrary,
+];
+
+fn kind_label(kind: ff_spec::FaultKind) -> &'static str {
+    match kind {
+        ff_spec::FaultKind::Overriding => "overriding",
+        ff_spec::FaultKind::Silent => "silent",
+        ff_spec::FaultKind::Invisible => "invisible",
+        ff_spec::FaultKind::Arbitrary => "arbitrary",
+        ff_spec::FaultKind::Nonresponsive => "nonresponsive",
+    }
+}
+
+impl Store {
+    /// Build a store per `config`.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards >= 1, "a store needs at least one shard");
+        let shards = (0..config.shards)
+            .map(|s| {
+                let mut fault = config.fault.clone();
+                if config.rotate_kinds {
+                    fault.kind = ROTATION[s % ROTATION.len()];
+                    if fault.kind == ff_spec::FaultKind::Silent
+                        && !matches!(fault.t, ff_spec::Bound::Finite(_))
+                    {
+                        // Silent needs a finite budget (E8); give the
+                        // rotated-in shard a small default.
+                        fault.t = ff_spec::Bound::Finite(8);
+                    }
+                }
+                let cells = ShardCells::new(
+                    config.backend,
+                    fault,
+                    splitmix64(config.seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let stats = cells.stats();
+                let knob = cells.knob();
+                let kind_label = kind_label(cells.fault_kind());
+                let log = Arc::new(
+                    UniversalLog::new(Arc::new(cells)).checkpoint_every(config.checkpoint_interval),
+                );
+                Shard {
+                    log,
+                    stats,
+                    knob,
+                    kind_label,
+                }
+            })
+            .collect();
+        Store {
+            shards,
+            config,
+            next_pid: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` routes to.
+    pub fn shard_of(&self, key: u32) -> usize {
+        (splitmix64(key as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// The live fault-rate knob of shard `s`.
+    pub fn fault_knob(&self, s: usize) -> Arc<FaultKnob> {
+        Arc::clone(&self.shards[s].knob)
+    }
+
+    /// The injected fault kind label of shard `s`.
+    pub fn fault_kind_label(&self, s: usize) -> &'static str {
+        self.shards[s].kind_label
+    }
+
+    /// Shard `s`'s log (for checkpoint/retention inspection).
+    pub fn shard_log(&self, s: usize) -> &Arc<UniversalLog> {
+        &self.shards[s].log
+    }
+
+    /// Largest retained (non-truncated) log length across shards — the
+    /// number the checkpoint protocol keeps bounded.
+    pub fn max_retained_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.log.retained_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard fault accounting for a metrics snapshot.
+    pub fn shard_faults(&self) -> Vec<ShardFaults> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let per_object = s.stats.all();
+                ShardFaults {
+                    shard: i,
+                    kind: if self.config.backend == Backend::Reliable {
+                        "none".to_string()
+                    } else {
+                        s.kind_label.to_string()
+                    },
+                    cas_ops: per_object.iter().map(|o| o.ops).sum(),
+                    attempted: per_object.iter().map(|o| o.attempted_faults).sum(),
+                    observable: per_object.iter().map(|o| o.observable_faults).sum(),
+                    faulty_objects: s.stats.faulty_object_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// A new client (one per worker thread). Each client is a full
+    /// replica set: one log handle per shard.
+    pub fn client(&self) -> StoreClient {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            pid < 1024,
+            "operation ids carry 10-bit pids: at most 1024 clients"
+        );
+        StoreClient {
+            handles: self
+                .shards
+                .iter()
+                .map(|s| Handle::new(Arc::clone(&s.log), pid as u16, KvMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Drain `clients`, catch every replica up to the end of each
+    /// shard's log, and check cross-replica consistency shard by shard.
+    /// Call with no writers running.
+    pub fn verify(&self, clients: Vec<StoreClient>) -> ConsistencyReport {
+        let mut clients = clients;
+        // Catch up repeatedly until a full pass applies nothing: a
+        // catch-up can itself decide a trailing undecided cell (with an
+        // inert dummy), which other replicas then have to observe.
+        loop {
+            let mut applied = 0;
+            for c in clients.iter_mut() {
+                for h in c.handles.iter_mut() {
+                    applied += h.catch_up();
+                }
+            }
+            if applied == 0 {
+                break;
+            }
+        }
+        let per_shard = (0..self.shards.len())
+            .map(|s| {
+                let log = &self.shards[s].log;
+                let handles: Vec<&Handle<KvMap>> = clients.iter().map(|c| &c.handles[s]).collect();
+                let digests: Vec<&[(usize, u64)]> =
+                    handles.iter().map(|h| h.boundary_digests()).collect();
+                let digests_ok = digests_consistent(&digests);
+                let states_ok = handles.windows(2).all(|w| w[0].state() == w[1].state());
+                // A fresh observer replays snapshot + retained tail —
+                // the recovery path a new replica would take.
+                let mut observer = Handle::new(Arc::clone(log), 1023, KvMap::default());
+                observer.catch_up();
+                let observer_ok = handles.is_empty()
+                    || (observer.state() == handles[0].state()
+                        && digests_consistent(&[
+                            observer.boundary_digests(),
+                            handles[0].boundary_digests(),
+                        ]));
+                ShardConsistency {
+                    shard: s,
+                    consistent: digests_ok
+                        && states_ok
+                        && observer_ok
+                        && !log.divergence_detected(),
+                    divergence_flag: log.divergence_detected(),
+                    end_slot: log.slots_created(),
+                    retained_len: log.retained_len(),
+                    truncated_prefix: log.truncated_prefix(),
+                    checkpoints: log.checkpoints_installed(),
+                    entries: handles.first().map_or(0, |h| h.state().len()),
+                }
+            })
+            .collect();
+        ConsistencyReport { per_shard }
+    }
+}
+
+/// A worker's view of the store: one replica handle per shard.
+pub struct StoreClient {
+    handles: Vec<Handle<KvMap>>,
+}
+
+impl StoreClient {
+    fn shard_for(&self, key: u32) -> usize {
+        (splitmix64(key as u64) % self.handles.len() as u64) as usize
+    }
+
+    /// Read `key` (linearized through the shard's log).
+    pub fn get(&mut self, key: u32) -> Option<u32> {
+        let s = self.shard_for(key);
+        KvMap::decode_response(self.handles[s].invoke(KvMap::get_op(key)))
+    }
+
+    /// Write `key → value`; returns the previous value.
+    pub fn put(&mut self, key: u32, value: u32) -> Option<u32> {
+        let s = self.shard_for(key);
+        KvMap::decode_response(self.handles[s].invoke(KvMap::put_op(key, value)))
+    }
+
+    /// Remove `key`; returns the removed value.
+    pub fn del(&mut self, key: u32) -> Option<u32> {
+        let s = self.shard_for(key);
+        KvMap::decode_response(self.handles[s].invoke(KvMap::del_op(key)))
+    }
+
+    /// This client's replica of shard `s` (for tests/verification).
+    pub fn replica(&self, s: usize) -> &Handle<KvMap> {
+        &self.handles[s]
+    }
+}
+
+/// Consistency verdict for one shard.
+#[derive(Clone, Debug)]
+pub struct ShardConsistency {
+    /// Shard index.
+    pub shard: usize,
+    /// All replicas agree (digests, states, fresh-observer replay) and
+    /// the log saw no divergence evidence.
+    pub consistent: bool,
+    /// The log's own divergence flag (broken-cell evidence).
+    pub divergence_flag: bool,
+    /// Log head at verification time.
+    pub end_slot: usize,
+    /// Cells still held in memory.
+    pub retained_len: usize,
+    /// Slots freed by checkpoint truncation.
+    pub truncated_prefix: usize,
+    /// Snapshots installed.
+    pub checkpoints: u64,
+    /// Map entries at the end.
+    pub entries: usize,
+}
+
+/// The store-wide verification outcome.
+#[derive(Clone, Debug)]
+pub struct ConsistencyReport {
+    /// One verdict per shard.
+    pub per_shard: Vec<ShardConsistency>,
+}
+
+impl ConsistencyReport {
+    /// Did every shard verify consistent?
+    pub fn all_consistent(&self) -> bool {
+        self.per_shard.iter().all(|s| s.consistent)
+    }
+
+    /// Shards that failed verification.
+    pub fn diverged_shards(&self) -> Vec<usize> {
+        self.per_shard
+            .iter()
+            .filter(|s| !s.consistent)
+            .map(|s| s.shard)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_store_round_trip() {
+        let store = Store::new(StoreConfig {
+            shards: 4,
+            backend: Backend::Reliable,
+            ..StoreConfig::default()
+        });
+        let mut c = store.client();
+        assert_eq!(c.put(1, 10), None);
+        assert_eq!(c.put(1, 20), Some(10));
+        assert_eq!(c.get(1), Some(20));
+        assert_eq!(c.del(1), Some(20));
+        assert_eq!(c.get(1), None);
+        assert!(store.verify(vec![c]).all_consistent());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let store = Store::new(StoreConfig {
+            shards: 8,
+            backend: Backend::Reliable,
+            ..StoreConfig::default()
+        });
+        let mut hit = [false; 8];
+        for key in 0..64 {
+            hit[store.shard_of(key)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "64 keys missed some of 8 shards");
+    }
+
+    #[test]
+    fn concurrent_clients_stay_consistent_under_faults() {
+        let store = Arc::new(Store::new(StoreConfig {
+            shards: 4,
+            backend: Backend::Robust,
+            rotate_kinds: true,
+            checkpoint_interval: 16,
+            ..StoreConfig::default()
+        }));
+        let clients: Vec<StoreClient> = std::thread::scope(|scope| {
+            (0..4u32)
+                .map(|w| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut c = store.client();
+                        for i in 0..200u32 {
+                            let key = (w * 1000 + i) % 97;
+                            match i % 3 {
+                                0 => {
+                                    c.put(key, i);
+                                }
+                                1 => {
+                                    c.get(key);
+                                }
+                                _ => {
+                                    c.del(key);
+                                }
+                            }
+                        }
+                        c
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let report = store.verify(clients);
+        assert!(
+            report.all_consistent(),
+            "diverged shards: {:?}",
+            report.diverged_shards()
+        );
+        // Faults actually flowed.
+        let total: u64 = store.shard_faults().iter().map(|f| f.observable).sum();
+        assert!(total > 0, "no observable faults at rate 0.2");
+        // Checkpoints actually truncated.
+        assert!(report.per_shard.iter().any(|s| s.truncated_prefix > 0));
+    }
+
+    #[test]
+    fn naive_backend_diverges_under_heavy_faults() {
+        let mut diverged = false;
+        for seed in 0..20 {
+            let store = Arc::new(Store::new(StoreConfig {
+                shards: 1,
+                backend: Backend::Naive,
+                fault: FaultConfig {
+                    rate: 1.0,
+                    ..FaultConfig::default()
+                },
+                checkpoint_interval: 8,
+                seed,
+                ..StoreConfig::default()
+            }));
+            let clients: Vec<StoreClient> = std::thread::scope(|scope| {
+                (0..3u32)
+                    .map(|w| {
+                        let store = Arc::clone(&store);
+                        scope.spawn(move || {
+                            let mut c = store.client();
+                            for i in 0..40 {
+                                c.put((w * 100 + i) % 50, i);
+                            }
+                            c
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            if !store.verify(clients).all_consistent() {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "naive backend never diverged at 100% fault rate");
+    }
+
+    #[test]
+    fn runtime_knob_turns_faults_off() {
+        let store = Store::new(StoreConfig {
+            shards: 1,
+            backend: Backend::Robust,
+            fault: FaultConfig {
+                // Arbitrary: observable even on matching CASes — a lone
+                // sequential client never mismatches, and an overriding
+                // fault on a match is refunded as indistinguishable.
+                kind: ff_spec::FaultKind::Arbitrary,
+                rate: 1.0,
+                ..FaultConfig::default()
+            },
+            ..StoreConfig::default()
+        });
+        let mut c = store.client();
+        for i in 0..20 {
+            c.put(i, i);
+        }
+        let before = store.shard_faults()[0].observable;
+        assert!(before > 0);
+        store.fault_knob(0).set_rate(0.0);
+        let attempted_before = store.shard_faults()[0].attempted;
+        for i in 0..20 {
+            c.put(i, i + 1);
+        }
+        assert_eq!(
+            store.shard_faults()[0].attempted,
+            attempted_before,
+            "knob at 0.0 still attempted faults"
+        );
+        assert!(store.verify(vec![c]).all_consistent());
+    }
+}

@@ -1,0 +1,180 @@
+//! The replicated object each shard's log drives: a deterministic
+//! key-value map over the universal construction's 56-bit op encoding.
+//!
+//! Keys and values are 28-bit integers so a `put(k, v)` fits one op
+//! word (opcode byte + 28-bit key + 28-bit value). That is plenty for a
+//! soak workload while keeping every operation a single consensus
+//! decision — exactly the regime the paper's constructions are priced
+//! for (one decided slot per operation).
+
+use ff_universal::encoding::{op, split};
+use ff_universal::{Replicated, EMPTY};
+use std::collections::BTreeMap;
+
+/// Bits per key and per value.
+pub const KV_BITS: u32 = 28;
+/// Largest encodable key / value.
+pub const KV_MAX: u32 = (1 << KV_BITS) - 1;
+
+/// A replicated map from 28-bit keys to 28-bit values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvMap {
+    // BTreeMap, not HashMap: snapshots must serialize identically on
+    // every replica, so iteration order has to be deterministic.
+    entries: BTreeMap<u32, u32>,
+}
+
+impl KvMap {
+    /// Opcode: insert/overwrite `key → value`; responds with the
+    /// previous value or [`EMPTY`].
+    pub const PUT: u8 = 1;
+    /// Opcode: read `key`; responds with the value or [`EMPTY`].
+    pub const GET: u8 = 2;
+    /// Opcode: remove `key`; responds with the removed value or
+    /// [`EMPTY`].
+    pub const DEL: u8 = 3;
+    /// Opcode: number of entries.
+    pub const LEN: u8 = 4;
+
+    /// Encoded `put(key, value)` operation.
+    pub fn put_op(key: u32, value: u32) -> u64 {
+        assert!(key <= KV_MAX, "key {key} exceeds {KV_BITS} bits");
+        assert!(value <= KV_MAX, "value {value} exceeds {KV_BITS} bits");
+        op(Self::PUT, ((key as u64) << KV_BITS) | value as u64)
+    }
+
+    /// Encoded `get(key)` operation.
+    pub fn get_op(key: u32) -> u64 {
+        assert!(key <= KV_MAX, "key {key} exceeds {KV_BITS} bits");
+        op(Self::GET, (key as u64) << KV_BITS)
+    }
+
+    /// Encoded `del(key)` operation.
+    pub fn del_op(key: u32) -> u64 {
+        assert!(key <= KV_MAX, "key {key} exceeds {KV_BITS} bits");
+        op(Self::DEL, (key as u64) << KV_BITS)
+    }
+
+    /// Encoded `len()` operation.
+    pub fn len_op() -> u64 {
+        op(Self::LEN, 0)
+    }
+
+    /// Decode a response word into `Some(value)` / `None` (= [`EMPTY`]).
+    pub fn decode_response(resp: u64) -> Option<u32> {
+        (resp != EMPTY).then_some(resp as u32)
+    }
+
+    /// Number of entries (local inspection).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Local read without going through the log (for verification).
+    pub fn peek(&self, key: u32) -> Option<u32> {
+        self.entries.get(&key).copied()
+    }
+}
+
+impl Replicated for KvMap {
+    fn apply(&mut self, operation: u64) -> u64 {
+        let (code, payload) = split(operation);
+        let key = (payload >> KV_BITS) as u32 & KV_MAX;
+        let value = payload as u32 & KV_MAX;
+        match code {
+            Self::PUT => self
+                .entries
+                .insert(key, value)
+                .map_or(EMPTY, |old| old as u64),
+            Self::GET => self.entries.get(&key).map_or(EMPTY, |v| *v as u64),
+            Self::DEL => self.entries.remove(&key).map_or(EMPTY, |old| old as u64),
+            Self::LEN => self.entries.len() as u64,
+            _ => EMPTY,
+        }
+    }
+
+    fn encode_snapshot(&self) -> Option<Vec<u64>> {
+        let mut words = vec![self.entries.len() as u64];
+        words.extend(
+            self.entries
+                .iter()
+                .map(|(k, v)| ((*k as u64) << KV_BITS) | *v as u64),
+        );
+        Some(words)
+    }
+
+    fn restore_snapshot(&mut self, words: &[u64]) -> bool {
+        match words.split_first() {
+            Some((&len, pairs)) if pairs.len() as u64 == len => {
+                self.entries = pairs
+                    .iter()
+                    .map(|w| ((*w >> KV_BITS) as u32 & KV_MAX, *w as u32 & KV_MAX))
+                    .collect();
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_semantics() {
+        let mut m = KvMap::default();
+        assert_eq!(m.apply(KvMap::get_op(1)), EMPTY);
+        assert_eq!(m.apply(KvMap::put_op(1, 10)), EMPTY);
+        assert_eq!(m.apply(KvMap::put_op(1, 20)), 10);
+        assert_eq!(m.apply(KvMap::get_op(1)), 20);
+        assert_eq!(m.apply(KvMap::len_op()), 1);
+        assert_eq!(m.apply(KvMap::del_op(1)), 20);
+        assert_eq!(m.apply(KvMap::del_op(1)), EMPTY);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn extreme_keys_and_values_round_trip() {
+        let mut m = KvMap::default();
+        m.apply(KvMap::put_op(KV_MAX, KV_MAX));
+        m.apply(KvMap::put_op(0, 0));
+        assert_eq!(m.apply(KvMap::get_op(KV_MAX)), KV_MAX as u64);
+        assert_eq!(m.apply(KvMap::get_op(0)), 0);
+    }
+
+    #[test]
+    fn decode_response_maps_empty_to_none() {
+        assert_eq!(KvMap::decode_response(EMPTY), None);
+        assert_eq!(KvMap::decode_response(7), Some(7));
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut m = KvMap::default();
+        for k in 0..100 {
+            m.apply(KvMap::put_op(k, k * 2));
+        }
+        m.apply(KvMap::del_op(50));
+        let mut m2 = KvMap::default();
+        assert!(m2.restore_snapshot(&m.encode_snapshot().unwrap()));
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn malformed_snapshot_rejected() {
+        assert!(!KvMap::default().restore_snapshot(&[]));
+        assert!(!KvMap::default().restore_snapshot(&[2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 28 bits")]
+    fn oversized_key_rejected() {
+        let _ = KvMap::put_op(KV_MAX + 1, 0);
+    }
+}

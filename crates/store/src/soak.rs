@@ -1,0 +1,330 @@
+//! Closed-loop soak harness: hammer a [`Store`](crate::Store) from N
+//! worker threads for a wall-clock duration, then verify that every
+//! replica of every shard converged to the same state.
+//!
+//! This is the system-level analogue of the paper's per-construction
+//! stress tests: instead of asking "does one consensus object stay
+//! valid under its fault budget", it asks "does a whole store built
+//! from those objects stay *consistent* while faults are live" — and,
+//! on the naive arm, demonstrates that it does not.
+
+use crate::cells::{Backend, FaultConfig};
+use crate::metrics::{MetricsSnapshot, StoreMetrics};
+use crate::{ConsistencyReport, Store, StoreClient, StoreConfig};
+use ff_cas::splitmix64;
+use ff_workload::JsonValue;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Soak run parameters.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Closed-loop worker threads (one [`StoreClient`] each).
+    pub threads: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Wall-clock duration (fractions allowed for smoke runs).
+    pub secs: f64,
+    /// Initial fault rate on every shard's knob.
+    pub fault_rate: f64,
+    /// Consensus backend under test.
+    pub backend: Backend,
+    /// Percentage of operations that are reads (`get`); the remainder
+    /// splits 2:1 between `put` and `del`.
+    pub read_pct: u32,
+    /// Keys are drawn uniformly from `0..keyspace`.
+    pub keyspace: u32,
+    /// Checkpoint interval (slots) for every shard log.
+    pub checkpoint_interval: usize,
+    /// Seed for workload and fault streams.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            threads: 4,
+            shards: 8,
+            secs: 10.0,
+            fault_rate: 0.2,
+            backend: Backend::Robust,
+            read_pct: 70,
+            keyspace: 4096,
+            checkpoint_interval: 64,
+            seed: 0x50a6_b65e,
+        }
+    }
+}
+
+/// Everything a soak run learned.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// The configuration that ran.
+    pub config: SoakConfigEcho,
+    /// Latency/throughput/fault snapshot over the run window.
+    pub metrics: MetricsSnapshot,
+    /// Post-quiescence consistency verdicts.
+    pub consistency: Vec<ShardVerdict>,
+    /// Largest retained log length sampled *during* the run.
+    pub max_retained_during_run: usize,
+    /// Largest retained log length after verification settled.
+    pub retained_after_verify: usize,
+    /// Did every shard verify consistent?
+    pub consistent: bool,
+}
+
+/// The subset of [`SoakConfig`] echoed into the report/JSON.
+#[derive(Clone, Debug)]
+pub struct SoakConfigEcho {
+    /// Worker threads.
+    pub threads: usize,
+    /// Shards.
+    pub shards: usize,
+    /// Requested duration.
+    pub secs: f64,
+    /// Fault rate.
+    pub fault_rate: f64,
+    /// Backend label.
+    pub backend: &'static str,
+    /// Checkpoint interval.
+    pub checkpoint_interval: usize,
+}
+
+/// One shard's post-run verdict, condensed for the report.
+#[derive(Clone, Debug)]
+pub struct ShardVerdict {
+    /// Shard index.
+    pub shard: usize,
+    /// Replicas (and a fresh observer) agreed.
+    pub consistent: bool,
+    /// Injected fault kind label.
+    pub kind: &'static str,
+    /// Log head at verification.
+    pub end_slot: usize,
+    /// Slots truncated away by checkpoints.
+    pub truncated: usize,
+    /// Snapshots installed.
+    pub checkpoints: u64,
+}
+
+impl SoakReport {
+    /// Serialize for `BENCH_store.json`.
+    pub fn to_json(&self) -> JsonValue {
+        let verdicts = self
+            .consistency
+            .iter()
+            .map(|v| {
+                JsonValue::Object(vec![
+                    ("shard".into(), JsonValue::Number(v.shard as f64)),
+                    ("consistent".into(), JsonValue::Bool(v.consistent)),
+                    ("fault_kind".into(), JsonValue::String(v.kind.to_string())),
+                    ("end_slot".into(), JsonValue::Number(v.end_slot as f64)),
+                    ("truncated".into(), JsonValue::Number(v.truncated as f64)),
+                    (
+                        "checkpoints".into(),
+                        JsonValue::Number(v.checkpoints as f64),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "config".into(),
+                JsonValue::Object(vec![
+                    (
+                        "threads".into(),
+                        JsonValue::Number(self.config.threads as f64),
+                    ),
+                    (
+                        "shards".into(),
+                        JsonValue::Number(self.config.shards as f64),
+                    ),
+                    ("secs".into(), JsonValue::Number(self.config.secs)),
+                    (
+                        "fault_rate".into(),
+                        JsonValue::Number(self.config.fault_rate),
+                    ),
+                    (
+                        "backend".into(),
+                        JsonValue::String(self.config.backend.to_string()),
+                    ),
+                    (
+                        "checkpoint_interval".into(),
+                        JsonValue::Number(self.config.checkpoint_interval as f64),
+                    ),
+                ]),
+            ),
+            ("metrics".into(), self.metrics.to_json()),
+            ("consistent".into(), JsonValue::Bool(self.consistent)),
+            ("shards".into(), JsonValue::Array(verdicts)),
+            (
+                "max_retained_during_run".into(),
+                JsonValue::Number(self.max_retained_during_run as f64),
+            ),
+            (
+                "retained_after_verify".into(),
+                JsonValue::Number(self.retained_after_verify as f64),
+            ),
+        ])
+    }
+
+    /// Human-readable run summary (metrics tables + verdict line).
+    pub fn render(&self) -> String {
+        let mut out = self.metrics.render_tables();
+        out.push_str(&format!(
+            "\nconsistency: {} | max retained during run: {} | retained after verify: {} (interval {})\n",
+            if self.consistent {
+                "ALL SHARDS CONSISTENT"
+            } else {
+                "DIVERGENCE DETECTED"
+            },
+            self.max_retained_during_run,
+            self.retained_after_verify,
+            self.config.checkpoint_interval,
+        ));
+        out
+    }
+}
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    splitmix64(*state)
+}
+
+/// Run one closed-loop soak per `config` and verify the outcome.
+///
+/// Workers issue operations back-to-back until the deadline; a sampler
+/// in the main thread tracks the largest retained log length so the
+/// report can show the checkpoint protocol holding memory bounded
+/// while writers are live.
+pub fn run_soak(config: &SoakConfig) -> SoakReport {
+    assert!(config.threads >= 1, "need at least one worker");
+    assert!(config.read_pct <= 100, "read_pct is a percentage");
+    let store = Arc::new(Store::new(StoreConfig {
+        shards: config.shards,
+        backend: config.backend,
+        fault: FaultConfig {
+            rate: config.fault_rate,
+            ..FaultConfig::default()
+        },
+        rotate_kinds: config.backend != Backend::Reliable,
+        checkpoint_interval: config.checkpoint_interval,
+        seed: config.seed,
+    }));
+    let metrics = Arc::new(StoreMetrics::default());
+    let deadline = Instant::now() + Duration::from_secs_f64(config.secs);
+    let mut max_retained = 0usize;
+
+    let clients: Vec<StoreClient> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                let metrics = Arc::clone(&metrics);
+                let mut rng = splitmix64(config.seed ^ (w as u64) << 32);
+                let keyspace = config.keyspace.max(1);
+                let read_pct = config.read_pct;
+                scope.spawn(move || {
+                    let mut client = store.client();
+                    while Instant::now() < deadline {
+                        let r = mix(&mut rng);
+                        let key = (r >> 32) as u32 % keyspace;
+                        let dice = (r % 100) as u32;
+                        let start = Instant::now();
+                        let m = if dice < read_pct {
+                            client.get(key);
+                            &metrics.reads
+                        } else if dice < read_pct + (100 - read_pct) * 2 / 3 {
+                            client.put(key, (r as u32) & crate::KV_MAX);
+                            &metrics.writes
+                        } else {
+                            client.del(key);
+                            &metrics.deletes
+                        };
+                        m.record(start.elapsed().as_nanos() as u64);
+                    }
+                    client
+                })
+            })
+            .collect();
+        // Sample retained length while workers run: this is the live
+        // evidence that checkpoint truncation keeps logs bounded.
+        while Instant::now() < deadline {
+            max_retained = max_retained.max(store.max_retained_len());
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = config.secs;
+    max_retained = max_retained.max(store.max_retained_len());
+    let report: ConsistencyReport = store.verify(clients);
+    let consistency: Vec<ShardVerdict> = report
+        .per_shard
+        .iter()
+        .map(|s| ShardVerdict {
+            shard: s.shard,
+            consistent: s.consistent,
+            kind: store.fault_kind_label(s.shard),
+            end_slot: s.end_slot,
+            truncated: s.truncated_prefix,
+            checkpoints: s.checkpoints,
+        })
+        .collect();
+    let snapshot = metrics.snapshot(elapsed, store.shard_faults());
+    SoakReport {
+        config: SoakConfigEcho {
+            threads: config.threads,
+            shards: config.shards,
+            secs: config.secs,
+            fault_rate: config.fault_rate,
+            backend: config.backend.label(),
+            checkpoint_interval: config.checkpoint_interval,
+        },
+        metrics: snapshot,
+        consistency,
+        max_retained_during_run: max_retained,
+        retained_after_verify: store.max_retained_len(),
+        consistent: report.all_consistent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_soak_on_robust_backend_is_consistent() {
+        let report = run_soak(&SoakConfig {
+            threads: 2,
+            shards: 2,
+            secs: 0.3,
+            checkpoint_interval: 16,
+            ..SoakConfig::default()
+        });
+        assert!(report.consistent, "robust soak diverged");
+        assert!(report.metrics.total_ops() > 0, "no operations completed");
+        let json = report.to_json().render();
+        assert!(json.contains("\"consistent\": true"));
+    }
+
+    #[test]
+    fn reliable_soak_records_no_faults() {
+        let report = run_soak(&SoakConfig {
+            threads: 1,
+            shards: 2,
+            secs: 0.2,
+            backend: Backend::Reliable,
+            ..SoakConfig::default()
+        });
+        assert!(report.consistent);
+        assert_eq!(
+            report
+                .metrics
+                .faults
+                .iter()
+                .map(|f| f.observable)
+                .sum::<u64>(),
+            0
+        );
+    }
+}

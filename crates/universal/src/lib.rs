@@ -35,6 +35,8 @@ pub mod object;
 pub mod structures;
 
 pub use consensus_cell::{CellFactory, NaiveFaultyCells, ReliableCells, RobustCells};
-pub use log::{logs_consistent, Handle, OpId, UniversalLog};
+pub use log::{
+    digests_consistent, log_windows_consistent, logs_consistent, Handle, OpId, UniversalLog,
+};
 pub use object::{encoding, Replicated};
 pub use structures::{Counter, FifoQueue, RegisterObject, EMPTY};

@@ -18,6 +18,24 @@
 //! operation of process `k mod n`, so every announced operation is
 //! decided within a bounded number of slots no matter how its owner is
 //! scheduled).
+//!
+//! # Bounded logs: checkpoint + truncation
+//!
+//! An append-only log grows without bound. With
+//! [`UniversalLog::checkpoint_every`] the log periodically replaces its
+//! decided prefix by a snapshot and frees the prefix's cells and
+//! announce entries. The subtlety is that *truncation must itself be
+//! agreed on*: if replicas disagreed about which prefix was dropped,
+//! a replica could silently skip (or re-apply) operations. So every
+//! checkpoint boundary is decided by a dedicated **boundary consensus
+//! cell** from the same factory as the log's cells — replicas agree on
+//! the snapshot slot exactly as they agree on every operation, and a
+//! boundary cell deciding anything else is proof the cells are broken
+//! (the decision is recorded via [`UniversalLog::divergence_detected`]
+//! and truncation is disabled rather than risking data loss). Physical
+//! truncation additionally waits until every live [`Handle`] has passed
+//! the snapshot slot (per-handle watermarks), so no replica ever needs
+//! a dropped cell or a retired announce entry.
 
 use crate::consensus_cell::CellFactory;
 use crate::object::Replicated;
@@ -25,6 +43,7 @@ use ff_consensus::Consensus;
 use ff_spec::Input;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Bits of an operation id reserved for the sequence number.
@@ -62,16 +81,79 @@ impl OpId {
     }
 }
 
+/// FNV-1a basis for the rolling decided-opid digest.
+const DIGEST_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one decided opid into a rolling FNV-1a digest. Replicas that
+/// applied the same decided sequence have equal digests; a cheap,
+/// O(1)-memory stand-in for comparing full applied logs once prefixes
+/// have been truncated.
+fn digest_step(digest: u64, opid: u32) -> u64 {
+    let mut d = digest;
+    for b in opid.to_le_bytes() {
+        d = (d ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    d
+}
+
+/// The log's cell storage: slot `k` lives at `cells[k - base]`; slots
+/// below `base` have been truncated away by a checkpoint.
+struct CellChain {
+    base: usize,
+    cells: Vec<Arc<dyn Consensus>>,
+}
+
+/// The latest installed checkpoint.
+struct Snapshot {
+    /// First slot NOT covered by the snapshot (replicas resume here).
+    slot: usize,
+    /// Rolling digest over the decided opids of slots `[0, slot)`.
+    digest: u64,
+    /// The [`Replicated::encode_snapshot`] words.
+    words: Arc<Vec<u64>>,
+    /// Opids decided below `slot` whose announce entries can be freed
+    /// once every live handle has passed `slot`.
+    retired: Vec<u32>,
+}
+
+/// What a registering handle bootstraps from: the snapshot's slot, its
+/// rolling digest, and the encoded state words.
+type SnapshotView = (usize, u64, Arc<Vec<u64>>);
+
+/// Checkpoint bookkeeping, all under one lock so snapshot reads and
+/// watermark registration are atomic with respect to truncation.
+#[derive(Default)]
+struct CheckpointState {
+    snapshot: Option<Snapshot>,
+    /// Digest observed at each crossed boundary slot (pruned below the
+    /// snapshot slot at truncation time).
+    boundary_digests: Vec<(usize, u64)>,
+    /// Per-live-handle progress: handle key → its `next_slot`.
+    watermarks: HashMap<u64, usize>,
+    installed: u64,
+}
+
 /// The shared core: the cell chain plus the announce table.
 pub struct UniversalLog {
     factory: Arc<dyn CellFactory>,
-    cells: Mutex<Vec<Arc<dyn Consensus>>>,
+    cells: Mutex<CellChain>,
     announce: Mutex<HashMap<u32, u64>>,
     /// Helping (Herlihy's wait-free upgrade): when `Some(n)`, slot `k`
     /// is reserved for helping process `k mod n`'s pending operation.
     helping_n: Option<usize>,
     /// Pending (announced, not yet decided) operation per process.
     pending: Mutex<HashMap<u16, u32>>,
+    /// Checkpoint interval in slots (`None` → unbounded append-only log).
+    interval: Option<usize>,
+    /// One consensus cell per checkpoint boundary, deciding the slot the
+    /// prefix is cut at (never truncated — one cell per `interval` slots).
+    boundaries: Mutex<Vec<Arc<dyn Consensus>>>,
+    ckpt: Mutex<CheckpointState>,
+    /// Poison flag: the cells were caught misbehaving (boundary cell
+    /// decided a foreign value, digest mismatch between replicas, or a
+    /// decided-but-never-announced opid). Truncation stops permanently.
+    diverged: AtomicBool,
+    next_handle_key: AtomicU64,
 }
 
 impl UniversalLog {
@@ -79,13 +161,38 @@ impl UniversalLog {
     /// (no helping: some process completes whenever a slot is decided,
     /// but an individual process can starve under an unfair scheduler).
     pub fn new(factory: Arc<dyn CellFactory>) -> Self {
+        Self::build(factory, None)
+    }
+
+    fn build(factory: Arc<dyn CellFactory>, helping_n: Option<usize>) -> Self {
         UniversalLog {
             factory,
-            cells: Mutex::new(Vec::new()),
+            cells: Mutex::new(CellChain {
+                base: 0,
+                cells: Vec::new(),
+            }),
             announce: Mutex::new(HashMap::new()),
-            helping_n: None,
+            helping_n,
             pending: Mutex::new(HashMap::new()),
+            interval: None,
+            boundaries: Mutex::new(Vec::new()),
+            ckpt: Mutex::new(CheckpointState::default()),
+            diverged: AtomicBool::new(false),
+            next_handle_key: AtomicU64::new(0),
         }
+    }
+
+    /// Enable checkpointing: every `interval` decided slots, replicas
+    /// agree (through a boundary consensus cell) on a snapshot slot,
+    /// the first replica to cross it installs a
+    /// [`Replicated::encode_snapshot`] of its state, and the decided
+    /// prefix is freed once every live handle has passed the slot. The
+    /// replica type driving the log must support snapshots. Configure
+    /// before creating handles.
+    pub fn checkpoint_every(mut self, interval: usize) -> Self {
+        assert!(interval >= 2, "checkpoint interval must be at least 2");
+        self.interval = Some(interval);
+        self
     }
 
     /// A log with Herlihy-style **helping** for up to `n` processes
@@ -95,13 +202,7 @@ impl UniversalLog {
     /// scheduling — the wait-free formulation.
     pub fn with_helping(factory: Arc<dyn CellFactory>, n: usize) -> Self {
         assert!(n >= 1, "helping needs at least one process");
-        UniversalLog {
-            factory,
-            cells: Mutex::new(Vec::new()),
-            announce: Mutex::new(HashMap::new()),
-            helping_n: Some(n),
-            pending: Mutex::new(HashMap::new()),
-        }
+        Self::build(factory, Some(n))
     }
 
     /// Register `opid` as `pid`'s pending operation (announce-for-help).
@@ -153,11 +254,27 @@ impl UniversalLog {
 
     /// The cell deciding slot `k` (created on demand).
     fn cell(&self, k: usize) -> Arc<dyn Consensus> {
-        let mut cells = self.cells.lock();
-        while cells.len() <= k {
+        let mut chain = self.cells.lock();
+        assert!(
+            k >= chain.base,
+            "slot {k} was already truncated (log base is {})",
+            chain.base
+        );
+        while chain.base + chain.cells.len() <= k {
+            chain.cells.push(self.factory.make());
+        }
+        let i = k - chain.base;
+        Arc::clone(&chain.cells[i])
+    }
+
+    /// The consensus cell deciding checkpoint boundary `b` (the cut at
+    /// slot `(b + 1) * interval`), created on demand.
+    fn boundary_cell(&self, b: usize) -> Arc<dyn Consensus> {
+        let mut cells = self.boundaries.lock();
+        while cells.len() <= b {
             cells.push(self.factory.make());
         }
-        Arc::clone(&cells[k])
+        Arc::clone(&cells[b])
     }
 
     /// Publish an operation's payload before proposing its id.
@@ -166,19 +283,170 @@ impl UniversalLog {
     }
 
     /// The payload of a decided operation. The announce happens-before
-    /// the propose (both through this table's lock), so a decided id is
-    /// always resolvable.
-    fn payload_of(&self, opid: u32) -> u64 {
-        *self
-            .announce
-            .lock()
-            .get(&opid)
-            .expect("decided operation was never announced")
+    /// the propose (both through this table's lock), so with correct
+    /// cells a decided id is always resolvable; `None` means a cell
+    /// decided a value nobody proposed — proof the cells are broken.
+    fn payload_of(&self, opid: u32) -> Option<u64> {
+        self.announce.lock().get(&opid).copied()
     }
 
     /// Slots decided so far (an upper bound; cells may exist undecided).
+    /// Includes truncated slots: this is a log position, not a size.
     pub fn slots_created(&self) -> usize {
-        self.cells.lock().len()
+        let chain = self.cells.lock();
+        chain.base + chain.cells.len()
+    }
+
+    /// Cells currently held in memory (excludes the truncated prefix).
+    /// With checkpointing on and consistent replicas keeping pace, this
+    /// stays bounded by roughly one checkpoint interval plus the
+    /// slowest live handle's lag.
+    pub fn retained_len(&self) -> usize {
+        self.cells.lock().cells.len()
+    }
+
+    /// Slots freed by checkpoint truncation (the log's current base).
+    pub fn truncated_prefix(&self) -> usize {
+        self.cells.lock().base
+    }
+
+    /// The checkpoint interval, if checkpointing is enabled.
+    pub fn checkpoint_interval(&self) -> Option<usize> {
+        self.interval
+    }
+
+    /// Number of snapshots installed so far.
+    pub fn checkpoints_installed(&self) -> u64 {
+        self.ckpt.lock().installed
+    }
+
+    /// Has any evidence of broken cells been observed? (A boundary cell
+    /// deciding a foreign value, replicas crossing a boundary with
+    /// different digests, or a decided-but-never-announced opid.) Once
+    /// set, truncation is permanently disabled.
+    pub fn divergence_detected(&self) -> bool {
+        self.diverged.load(Ordering::Acquire)
+    }
+
+    /// Record evidence of broken cells (see
+    /// [`Self::divergence_detected`]).
+    fn mark_diverged(&self) {
+        self.diverged.store(true, Ordering::Release);
+    }
+
+    /// Register a new handle: assign it a watermark key and give it the
+    /// current snapshot to start from, atomically with respect to
+    /// truncation (so the slots from its start onward cannot be freed
+    /// underneath it).
+    fn register_handle(&self) -> (u64, Option<SnapshotView>) {
+        let key = self.next_handle_key.fetch_add(1, Ordering::Relaxed);
+        let mut ckpt = self.ckpt.lock();
+        let snap = ckpt
+            .snapshot
+            .as_ref()
+            .map(|s| (s.slot, s.digest, Arc::clone(&s.words)));
+        let start = snap.as_ref().map_or(0, |(slot, _, _)| *slot);
+        ckpt.watermarks.insert(key, start);
+        (key, snap)
+    }
+
+    /// Drop a handle's watermark (it no longer gates truncation).
+    fn unregister_handle(&self, key: u64) {
+        let mut ckpt = self.ckpt.lock();
+        ckpt.watermarks.remove(&key);
+        self.try_truncate(&mut ckpt);
+    }
+
+    /// Advance a handle's watermark to `next_slot`.
+    fn update_watermark(&self, key: u64, next_slot: usize) {
+        self.ckpt.lock().watermarks.insert(key, next_slot);
+    }
+
+    /// A handle crossed the agreed boundary at `slot` carrying `digest`
+    /// over its applied opids: check agreement with other crossers,
+    /// install the snapshot if this is the first crosser, and attempt
+    /// physical truncation.
+    fn observe_boundary(
+        &self,
+        slot: usize,
+        digest: u64,
+        start_slot: usize,
+        applied: &[u32],
+        encode: &dyn Fn() -> Option<Vec<u64>>,
+    ) {
+        let mut ckpt = self.ckpt.lock();
+        match ckpt.boundary_digests.iter().find(|(s, _)| *s == slot) {
+            Some((_, d)) if *d != digest => {
+                // Two replicas crossed the same agreed boundary having
+                // applied different operation sequences.
+                self.mark_diverged();
+                return;
+            }
+            Some(_) => {}
+            None => ckpt.boundary_digests.push((slot, digest)),
+        }
+        if ckpt.snapshot.as_ref().is_none_or(|s| s.slot < slot) {
+            let words = encode().unwrap_or_else(|| {
+                panic!(
+                    "checkpointing requires snapshot support: the replica type \
+                     returned None from Replicated::encode_snapshot"
+                )
+            });
+            // Snapshots install in boundary order (a handle crossing
+            // this boundary crossed every earlier one first), so the
+            // previous snapshot slot is within this handle's applied
+            // range and the newly retired opids are exactly the slots
+            // between the two snapshots.
+            let prev = ckpt.snapshot.as_ref().map_or(0, |s| s.slot);
+            let mut retired = ckpt.snapshot.take().map_or_else(Vec::new, |s| s.retired);
+            retired.extend_from_slice(&applied[prev - start_slot..slot - start_slot]);
+            ckpt.snapshot = Some(Snapshot {
+                slot,
+                digest,
+                words: Arc::new(words),
+                retired,
+            });
+            ckpt.installed += 1;
+        }
+        self.try_truncate(&mut ckpt);
+    }
+
+    /// Free the decided prefix below the snapshot slot if every live
+    /// handle has passed it and no divergence has been observed.
+    fn try_truncate(&self, ckpt: &mut CheckpointState) {
+        if self.diverged.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(snap) = ckpt.snapshot.as_mut() else {
+            return;
+        };
+        let min_watermark = ckpt
+            .watermarks
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(usize::MAX);
+        if min_watermark < snap.slot {
+            return;
+        }
+        {
+            let mut chain = self.cells.lock();
+            if chain.base < snap.slot {
+                let drop_n = (snap.slot - chain.base).min(chain.cells.len());
+                chain.cells.drain(..drop_n);
+                chain.base += drop_n;
+            }
+        }
+        if !snap.retired.is_empty() {
+            let mut announce = self.announce.lock();
+            for opid in snap.retired.drain(..) {
+                announce.remove(&opid);
+            }
+        }
+        // Boundary digests below the snapshot can no longer be crossed
+        // by anyone (every live handle is past them): prune.
+        let cut = snap.slot;
+        ckpt.boundary_digests.retain(|(s, _)| *s >= cut);
     }
 
     /// The factory's label.
@@ -194,14 +462,30 @@ pub struct Handle<T: Replicated> {
     pid: u16,
     next_seq: u32,
     next_slot: usize,
+    /// The slot this handle started replaying from (0, or the snapshot
+    /// slot it was restored at). `applied[i]` is the opid of slot
+    /// `start_slot + i`.
+    start_slot: usize,
     applied: Vec<u32>,
     applied_set: std::collections::HashSet<u32>,
+    /// Rolling FNV-1a digest over all decided opids of slots
+    /// `[0, next_slot)` (seeded from the snapshot digest on restore).
+    digest: u64,
+    /// `(slot, digest)` at every checkpoint boundary this handle
+    /// crossed (or was restored at).
+    boundary_digests: Vec<(usize, u64)>,
+    /// Watermark key in the core's checkpoint registry (unused when
+    /// checkpointing is off).
+    watermark_key: u64,
 }
 
 impl<T: Replicated> Handle<T> {
     /// A handle for process `pid` starting from `initial` state (all
     /// handles of one log must start from equal initial states). With
-    /// helping enabled, `pid` must be below the log's `n`.
+    /// helping enabled, `pid` must be below the log's `n`. On a
+    /// checkpointed log that has already installed a snapshot, `initial`
+    /// is replaced by the snapshot state and replay starts at the
+    /// snapshot slot.
     pub fn new(core: Arc<UniversalLog>, pid: u16, initial: T) -> Self {
         if let Some(n) = core.helping() {
             assert!(
@@ -209,15 +493,85 @@ impl<T: Replicated> Handle<T> {
                 "pid {pid} out of range for helping over {n} processes"
             );
         }
+        let mut state = initial;
+        let mut start_slot = 0;
+        let mut digest = DIGEST_BASIS;
+        let mut boundary_digests = Vec::new();
+        let mut watermark_key = 0;
+        if core.checkpoint_interval().is_some() {
+            let (key, snapshot) = core.register_handle();
+            watermark_key = key;
+            if let Some((slot, snap_digest, words)) = snapshot {
+                assert!(
+                    state.restore_snapshot(&words),
+                    "failed to restore the log's snapshot into a fresh replica"
+                );
+                start_slot = slot;
+                digest = snap_digest;
+                boundary_digests.push((slot, snap_digest));
+            }
+        }
         Handle {
             core,
-            state: initial,
+            state,
             pid,
             next_seq: 0,
-            next_slot: 0,
+            next_slot: start_slot,
+            start_slot,
             applied: Vec::new(),
             applied_set: std::collections::HashSet::new(),
+            digest,
+            boundary_digests,
+            watermark_key,
         }
+    }
+
+    /// Resolve a decided opid's payload. A missing announce entry means
+    /// a cell decided a value nobody proposed (broken cells): record the
+    /// divergence and degrade to an inert no-op so the replica at least
+    /// stays responsive.
+    fn resolve_payload(&self, opid: u32) -> u64 {
+        self.core.payload_of(opid).unwrap_or_else(|| {
+            self.core.mark_diverged();
+            crate::object::encoding::op(0, 0)
+        })
+    }
+
+    /// Bookkeeping after applying one decided slot: fold the opid into
+    /// the digest, advance the watermark, and handle checkpoint-boundary
+    /// crossings.
+    fn after_apply(&mut self, decided: u32) {
+        self.digest = digest_step(self.digest, decided);
+        self.next_slot += 1;
+        let Some(interval) = self.core.checkpoint_interval() else {
+            return;
+        };
+        self.core
+            .update_watermark(self.watermark_key, self.next_slot);
+        if self.next_slot == self.start_slot || !self.next_slot.is_multiple_of(interval) {
+            return;
+        }
+        // Crossing checkpoint boundary b: agree on the snapshot slot
+        // through a consensus cell, exactly like an operation slot. All
+        // crossers propose the boundary's own slot, so any other
+        // decision is evidence of broken cells.
+        let slot = self.next_slot;
+        let boundary = slot / interval - 1;
+        let decided_slot = self
+            .core
+            .boundary_cell(boundary)
+            .decide(Input(slot as u32))
+            .0;
+        if decided_slot as usize != slot {
+            self.core.mark_diverged();
+            return;
+        }
+        self.boundary_digests.push((slot, self.digest));
+        let state = &self.state;
+        self.core
+            .observe_boundary(slot, self.digest, self.start_slot, &self.applied, &|| {
+                state.encode_snapshot()
+            });
     }
 
     /// Invoke an encoded operation: agree on its position in the log,
@@ -243,12 +597,12 @@ impl<T: Replicated> Handle<T> {
                 .help_target(self.next_slot, &|x| applied_set.contains(&x))
                 .unwrap_or(opid);
             let decided = cell.decide(Input(propose)).0;
-            let payload = self.core.payload_of(decided);
+            let payload = self.resolve_payload(decided);
             let resp = self.state.apply(payload);
             self.applied.push(decided);
             self.applied_set.insert(decided);
             self.core.clear_pending(OpId::unpack(decided).pid, decided);
-            self.next_slot += 1;
+            self.after_apply(decided);
             if decided == opid {
                 own_response = Some(resp);
             }
@@ -282,11 +636,11 @@ impl<T: Replicated> Handle<T> {
             if decided == dummy {
                 self.next_seq += 1;
             }
-            let payload = self.core.payload_of(decided);
+            let payload = self.resolve_payload(decided);
             self.state.apply(payload);
             self.applied.push(decided);
             self.applied_set.insert(decided);
-            self.next_slot += 1;
+            self.after_apply(decided);
             applied += 1;
         }
         applied
@@ -305,9 +659,33 @@ impl<T: Replicated> Handle<T> {
         &self.state
     }
 
-    /// The decided operation ids this replica has applied, in order.
+    /// The decided operation ids this replica has applied, in order,
+    /// starting at [`Self::start_slot`] (0 unless restored from a
+    /// snapshot).
     pub fn applied_log(&self) -> &[u32] {
         &self.applied
+    }
+
+    /// The slot this replica started replaying from (0, or the snapshot
+    /// slot it was restored at).
+    pub fn start_slot(&self) -> usize {
+        self.start_slot
+    }
+
+    /// `(slot, digest)` at every checkpoint boundary this replica
+    /// crossed or was restored at; compare across replicas with
+    /// [`digests_consistent`].
+    pub fn boundary_digests(&self) -> &[(usize, u64)] {
+        &self.boundary_digests
+    }
+}
+
+impl<T: Replicated> Drop for Handle<T> {
+    fn drop(&mut self) {
+        if self.core.checkpoint_interval().is_some() {
+            // A dead handle must not gate truncation forever.
+            self.core.unregister_handle(self.watermark_key);
+        }
     }
 }
 
@@ -321,6 +699,46 @@ pub fn logs_consistent(logs: &[&[u32]]) -> bool {
             let common = a.len().min(b.len());
             if a[..common] != b[..common] {
                 return false;
+            }
+        }
+    }
+    true
+}
+
+/// Are the given replica log *windows* mutually consistent? Each view
+/// is `([Handle::start_slot]`, `[Handle::applied_log])` — under
+/// truncation replicas can bootstrap from different snapshot slots, so
+/// only the slot ranges a pair both applied are compared. The
+/// slot-by-slot analogue of [`digests_consistent`], catching
+/// disagreements between checkpoint boundaries too.
+pub fn log_windows_consistent(views: &[(usize, &[u32])]) -> bool {
+    for (i, (sa, a)) in views.iter().enumerate() {
+        for (sb, b) in views.iter().skip(i + 1) {
+            let lo = (*sa).max(*sb);
+            let hi = (sa + a.len()).min(sb + b.len());
+            if lo < hi && a[lo - sa..hi - sa] != b[lo - sb..hi - sb] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Are the given replicas' [`Handle::boundary_digests`] views mutually
+/// consistent (every pair agrees on the digest at every boundary slot
+/// they both crossed)? The truncation-friendly analogue of
+/// [`logs_consistent`]: once prefixes are dropped and replicas start at
+/// different snapshot slots, raw applied logs are no longer comparable
+/// by index, but the rolling digests still must agree.
+pub fn digests_consistent(views: &[&[(usize, u64)]]) -> bool {
+    for (i, a) in views.iter().enumerate() {
+        for b in views.iter().skip(i + 1) {
+            for (slot, digest) in a.iter() {
+                if let Some((_, other)) = b.iter().find(|(s, _)| s == slot) {
+                    if other != digest {
+                        return false;
+                    }
+                }
             }
         }
     }
@@ -504,6 +922,124 @@ mod tests {
         assert!(!logs_consistent(&[&[1, 2, 3], &[1, 9]]));
         assert!(logs_consistent(&[]));
         assert!(logs_consistent(&[&[][..]]));
+    }
+
+    #[test]
+    fn log_windows_consistent_compares_overlap_only() {
+        // b starts at slot 2 (snapshot bootstrap): only slots 2..4
+        // overlap with a.
+        assert!(log_windows_consistent(&[
+            (0, &[1, 2, 3, 4]),
+            (2, &[3, 4, 5])
+        ]));
+        assert!(!log_windows_consistent(&[(0, &[1, 2, 3, 4]), (2, &[9, 4])]));
+        // Disjoint windows are vacuously consistent.
+        assert!(log_windows_consistent(&[
+            (0, &[1, 2][..]),
+            (5, &[7, 8][..])
+        ]));
+        assert!(log_windows_consistent(&[]));
+    }
+
+    #[test]
+    fn digests_consistent_compares_common_boundaries() {
+        let a = [(8usize, 1u64), (16, 2)];
+        let b = [(16usize, 2u64), (24, 3)];
+        let c = [(16usize, 9u64)];
+        assert!(digests_consistent(&[&a, &b]));
+        assert!(!digests_consistent(&[&a, &c]));
+        assert!(digests_consistent(&[&a, &[][..]]));
+    }
+
+    #[test]
+    fn checkpointing_truncates_and_preserves_state() {
+        let interval = 8;
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)).checkpoint_every(interval));
+        let mut h = Handle::new(Arc::clone(&core), 0, Counter::default());
+        for _ in 0..50 {
+            h.invoke(Counter::add_op(1));
+        }
+        assert!(core.checkpoints_installed() >= 1);
+        assert!(!core.divergence_detected());
+        // The sole handle keeps pace, so the retained chain stays within
+        // one interval of the log head.
+        assert!(
+            core.retained_len() <= interval,
+            "retained {} cells with interval {interval}",
+            core.retained_len()
+        );
+        assert!(core.truncated_prefix() >= 50 - interval);
+        assert_eq!(h.invoke(Counter::get_op()), 50);
+    }
+
+    #[test]
+    fn fresh_handle_restores_from_snapshot() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)).checkpoint_every(4));
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        for _ in 0..10 {
+            a.invoke(Counter::add_op(1));
+        }
+        // A fresh replica starts from the snapshot, not slot 0, yet
+        // observes the full history.
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        assert!(b.start_slot() >= 4, "start_slot {}", b.start_slot());
+        assert_eq!(b.invoke(Counter::get_op()), 10);
+        assert!(digests_consistent(&[
+            a.boundary_digests(),
+            b.boundary_digests()
+        ]));
+    }
+
+    #[test]
+    fn laggard_handle_blocks_truncation_until_dropped() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)).checkpoint_every(4));
+        let laggard = Handle::new(Arc::clone(&core), 1, Counter::default());
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        for _ in 0..20 {
+            a.invoke(Counter::add_op(1));
+        }
+        // The laggard sits at slot 0, so nothing may be freed...
+        assert_eq!(core.truncated_prefix(), 0);
+        assert!(core.checkpoints_installed() >= 1);
+        // ...until it goes away.
+        drop(laggard);
+        assert!(core.truncated_prefix() >= 4);
+    }
+
+    #[test]
+    fn checkpointing_under_concurrency_and_faults() {
+        let threads = 4u64;
+        let adds_each = 30u64;
+        let interval = 8;
+        let core = Arc::new(
+            UniversalLog::new(Arc::new(RobustCells::new(1, 0.5, 7))).checkpoint_every(interval),
+        );
+        let digests: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+            (0..threads)
+                .map(|i| {
+                    let core = Arc::clone(&core);
+                    s.spawn(move || {
+                        let mut h = Handle::new(core, i as u16, Counter::default());
+                        for _ in 0..adds_each {
+                            h.invoke(Counter::add_op(1));
+                        }
+                        h.boundary_digests().to_vec()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let views: Vec<&[(usize, u64)]> = digests.iter().map(|d| d.as_slice()).collect();
+        assert!(digests_consistent(&views), "boundary digests diverged");
+        assert!(!core.divergence_detected());
+        assert!(core.checkpoints_installed() >= 1);
+        // All workers are gone: truncation catches up to the snapshot.
+        assert!(core.truncated_prefix() > 0);
+        // A fresh observer (snapshot + tail replay) sees the exact total.
+        let mut observer = Handle::new(core, 1000, Counter::default());
+        assert_eq!(observer.invoke(Counter::get_op()), threads * adds_each);
     }
 }
 

@@ -12,6 +12,23 @@ pub trait Replicated: Clone + Send + 'static {
     /// Apply one encoded operation, returning an encoded response.
     /// Must be a pure function of the current state and `op`.
     fn apply(&mut self, op: u64) -> u64;
+
+    /// Serialize the current state into words, or `None` if the type
+    /// does not support snapshots. Types returning `Some` here unlock
+    /// log checkpointing ([`crate::UniversalLog::checkpoint_every`]):
+    /// the decided prefix can be replaced by a snapshot and truncated.
+    fn encode_snapshot(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Replace the current state with the one `encode_snapshot`
+    /// serialized into `words`. Returns `false` (leaving the state
+    /// unspecified) if the type does not support snapshots or the words
+    /// are malformed.
+    fn restore_snapshot(&mut self, words: &[u64]) -> bool {
+        let _ = words;
+        false
+    }
 }
 
 /// Operation encoding helpers: opcode in the top byte, payload in the low

@@ -47,6 +47,20 @@ impl Replicated for Counter {
             _ => EMPTY,
         }
     }
+
+    fn encode_snapshot(&self) -> Option<Vec<u64>> {
+        Some(vec![self.value])
+    }
+
+    fn restore_snapshot(&mut self, words: &[u64]) -> bool {
+        match words {
+            [v] => {
+                self.value = *v;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// A replicated single-word register.
@@ -79,6 +93,20 @@ impl Replicated for RegisterObject {
             Self::WRITE => std::mem::replace(&mut self.value, payload),
             Self::READ => self.value,
             _ => EMPTY,
+        }
+    }
+
+    fn encode_snapshot(&self) -> Option<Vec<u64>> {
+        Some(vec![self.value])
+    }
+
+    fn restore_snapshot(&mut self, words: &[u64]) -> bool {
+        match words {
+            [v] => {
+                self.value = *v;
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -136,6 +164,22 @@ impl Replicated for FifoQueue {
             _ => EMPTY,
         }
     }
+
+    fn encode_snapshot(&self) -> Option<Vec<u64>> {
+        let mut words = vec![self.items.len() as u64];
+        words.extend(self.items.iter().copied());
+        Some(words)
+    }
+
+    fn restore_snapshot(&mut self, words: &[u64]) -> bool {
+        match words.split_first() {
+            Some((&len, items)) if items.len() as u64 == len => {
+                self.items = items.iter().copied().collect();
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +232,38 @@ mod tests {
             b.apply(o);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let mut c = Counter::default();
+        c.apply(Counter::add_op(41));
+        let mut c2 = Counter::default();
+        assert!(c2.restore_snapshot(&c.encode_snapshot().unwrap()));
+        assert_eq!(c, c2);
+
+        let mut r = RegisterObject::default();
+        r.apply(RegisterObject::write_op(7));
+        let mut r2 = RegisterObject::default();
+        assert!(r2.restore_snapshot(&r.encode_snapshot().unwrap()));
+        assert_eq!(r, r2);
+
+        let mut q = FifoQueue::default();
+        q.apply(FifoQueue::enq_op(1));
+        q.apply(FifoQueue::enq_op(2));
+        let mut q2 = FifoQueue::default();
+        assert!(q2.restore_snapshot(&q.encode_snapshot().unwrap()));
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn malformed_snapshots_rejected() {
+        assert!(!Counter::default().restore_snapshot(&[]));
+        assert!(!Counter::default().restore_snapshot(&[1, 2]));
+        assert!(!RegisterObject::default().restore_snapshot(&[1, 2]));
+        // Queue length word must match the item count.
+        assert!(!FifoQueue::default().restore_snapshot(&[3, 1, 2]));
+        assert!(!FifoQueue::default().restore_snapshot(&[]));
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! Machine-readable export of experiment results.
+//! Machine-readable export of experiment results, and the generic JSON
+//! tree behind it.
 //!
 //! Hand-rolled JSON (the build environment has no crates.io access, so
-//! serde is unavailable): a serializer and a small recursive-descent
-//! parser covering exactly the shape of [`ExperimentResult`]. The
-//! output is interchangeable with what the previous serde-based export
-//! produced — field names and nesting are unchanged — so downstream CI
-//! artifact consumers are unaffected.
+//! serde is unavailable): a [`JsonValue`] tree with a pretty renderer
+//! and a small recursive-descent parser. [`to_json`] / [`from_json`]
+//! cover the [`ExperimentResult`] shape on top of it; other crates
+//! (e.g. the store's metrics export) build [`JsonValue`] trees
+//! directly. Field names and nesting match what the previous
+//! serde-based export produced, so downstream CI artifact consumers are
+//! unaffected.
 
 use crate::experiment::ExperimentResult;
 use crate::table::Table;
@@ -31,33 +34,126 @@ impl std::error::Error for JsonError {}
 /// Serialize results to pretty JSON (for CI artifacts and downstream
 /// analysis).
 pub fn to_json(results: &[ExperimentResult]) -> String {
-    let mut out = String::new();
-    out.push_str("[\n");
-    for (i, r) in results.iter().enumerate() {
-        write_result(&mut out, r, 1);
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push(']');
-    out
+    JsonValue::Array(results.iter().map(result_to_value).collect()).render()
 }
 
 /// Parse results back (round-trip utility).
 pub fn from_json(s: &str) -> Result<Vec<ExperimentResult>, JsonError> {
-    let mut p = Parser {
-        src: s.as_bytes(),
-        pos: 0,
-    };
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.src.len() {
-        return Err(p.err("trailing characters after JSON document"));
-    }
+    let value = JsonValue::parse(s)?;
     results_from_value(&value).map_err(|message| JsonError { offset: 0, message })
 }
 
 // ---------------------------------------------------------------------
-// Serialization.
+// The generic JSON tree.
 // ---------------------------------------------------------------------
+
+/// A JSON document: build one to render structured output, or get one
+/// back from [`JsonValue::parse`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (rendered without a fraction when integral; non-finite
+    /// values render as `null` since JSON has no representation for
+    /// them).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as ordered key/value pairs (insertion order is
+    /// preserved when rendering).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a JSON document (must consume the whole input).
+    pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            src: s.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(p.err("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    /// Render as pretty JSON (two-space indent, empty containers
+    /// inline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => write_number(out, *x),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    indent(out, level + 1);
+                    v.render_into(out, level + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                indent(out, level);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    indent(out, level + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, level + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                indent(out, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a [`JsonValue::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a [`JsonValue::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
 
 fn indent(out: &mut String, level: usize) {
     for _ in 0..level {
@@ -83,106 +179,60 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn write_string_array(out: &mut String, items: &[String], level: usize) {
-    if items.is_empty() {
-        out.push_str("[]");
-        return;
+/// Largest integer range exactly representable in an f64 (±2⁵³).
+const EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null rather than emit an
+        // unparsable document.
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < EXACT_INT {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // `{}` on f64 is the shortest representation that round-trips.
+        let _ = write!(out, "{x}");
     }
-    out.push_str("[\n");
-    for (i, s) in items.iter().enumerate() {
-        indent(out, level + 1);
-        write_string(out, s);
-        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-    }
-    indent(out, level);
-    out.push(']');
 }
 
-fn write_table(out: &mut String, t: &Table, level: usize) {
-    indent(out, level);
-    out.push_str("{\n");
-    indent(out, level + 1);
-    out.push_str("\"title\": ");
-    write_string(out, &t.title);
-    out.push_str(",\n");
-    indent(out, level + 1);
-    out.push_str("\"headers\": ");
-    write_string_array(out, &t.headers, level + 1);
-    out.push_str(",\n");
-    indent(out, level + 1);
-    out.push_str("\"rows\": ");
-    if t.rows.is_empty() {
-        out.push_str("[]");
-    } else {
-        out.push_str("[\n");
-        for (i, row) in t.rows.iter().enumerate() {
-            indent(out, level + 2);
-            write_string_array(out, row, level + 2);
-            out.push_str(if i + 1 < t.rows.len() { ",\n" } else { "\n" });
-        }
-        indent(out, level + 1);
-        out.push(']');
-    }
-    out.push('\n');
-    indent(out, level);
-    out.push('}');
+// ---------------------------------------------------------------------
+// ExperimentResult -> JsonValue.
+// ---------------------------------------------------------------------
+
+fn string_array(items: &[String]) -> JsonValue {
+    JsonValue::Array(items.iter().map(|s| JsonValue::String(s.clone())).collect())
 }
 
-fn write_result(out: &mut String, r: &ExperimentResult, level: usize) {
-    indent(out, level);
-    out.push_str("{\n");
-    let field = |out: &mut String, name: &str| {
-        indent(out, level + 1);
-        out.push('"');
-        out.push_str(name);
-        out.push_str("\": ");
-    };
-    field(out, "id");
-    write_string(out, &r.id);
-    out.push_str(",\n");
-    field(out, "title");
-    write_string(out, &r.title);
-    out.push_str(",\n");
-    field(out, "paper_ref");
-    write_string(out, &r.paper_ref);
-    out.push_str(",\n");
-    field(out, "tables");
-    if r.tables.is_empty() {
-        out.push_str("[]");
-    } else {
-        out.push_str("[\n");
-        for (i, t) in r.tables.iter().enumerate() {
-            write_table(out, t, level + 2);
-            out.push_str(if i + 1 < r.tables.len() { ",\n" } else { "\n" });
-        }
-        indent(out, level + 1);
-        out.push(']');
-    }
-    out.push_str(",\n");
-    field(out, "notes");
-    write_string_array(out, &r.notes, level + 1);
-    out.push_str(",\n");
-    field(out, "pass");
-    out.push_str(if r.pass { "true" } else { "false" });
-    out.push('\n');
-    indent(out, level);
-    out.push('}');
+fn table_to_value(t: &Table) -> JsonValue {
+    JsonValue::Object(vec![
+        ("title".into(), JsonValue::String(t.title.clone())),
+        ("headers".into(), string_array(&t.headers)),
+        (
+            "rows".into(),
+            JsonValue::Array(t.rows.iter().map(|r| string_array(r)).collect()),
+        ),
+    ])
+}
+
+fn result_to_value(r: &ExperimentResult) -> JsonValue {
+    JsonValue::Object(vec![
+        ("id".into(), JsonValue::String(r.id.clone())),
+        ("title".into(), JsonValue::String(r.title.clone())),
+        ("paper_ref".into(), JsonValue::String(r.paper_ref.clone())),
+        (
+            "tables".into(),
+            JsonValue::Array(r.tables.iter().map(table_to_value).collect()),
+        ),
+        ("notes".into(), string_array(&r.notes)),
+        ("pass".into(), JsonValue::Bool(r.pass)),
+    ])
 }
 
 // ---------------------------------------------------------------------
 // Parsing.
 // ---------------------------------------------------------------------
 
-/// A parsed JSON value (only the forms the export uses).
-#[derive(Clone, Debug, PartialEq)]
-enum Value {
-    String(String),
-    Bool(bool),
-    Number(f64),
-    Array(Vec<Value>),
-    Object(Vec<(String, Value)>),
-    Null,
-}
+use JsonValue as Value;
 
 struct Parser<'a> {
     src: &'a [u8],
@@ -494,5 +544,138 @@ mod tests {
     #[test]
     fn empty_set_round_trips() {
         assert_eq!(from_json(&to_json(&[])).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(JsonValue::Number(x).render(), "null");
+        }
+        // And the document stays parseable.
+        let doc = JsonValue::Array(vec![JsonValue::Number(f64::NAN)]).render();
+        assert_eq!(
+            JsonValue::parse(&doc).unwrap(),
+            JsonValue::Array(vec![JsonValue::Null])
+        );
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut v = JsonValue::String("core".into());
+        for i in 0..200u32 {
+            v = if i % 2 == 0 {
+                JsonValue::Array(vec![v])
+            } else {
+                JsonValue::Object(vec![("k".into(), v)])
+            };
+        }
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::JsonValue;
+    use proptest::prelude::*;
+
+    /// SplitMix64 step for the deterministic tree builder below.
+    fn mix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A string biased towards everything that needs escaping: quotes,
+    /// backslashes, control characters, multi-byte unicode.
+    fn nasty_string(seed: &mut u64, len: usize) -> String {
+        const POOL: &[char] = &[
+            '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', '/', 'a',
+            'Z', '0', ' ', '⊥', 'é', '中', '🦀', '\u{7f}', '\u{80}', '\u{fffd}',
+        ];
+        (0..len)
+            .map(|_| POOL[(mix(seed) % POOL.len() as u64) as usize])
+            .collect()
+    }
+
+    /// A finite f64 spanning integers, fractions and extreme exponents
+    /// (all of which must render/parse losslessly).
+    fn finite_number(seed: &mut u64) -> f64 {
+        loop {
+            let x = match mix(seed) % 4 {
+                0 => (mix(seed) as i64 as f64) / 1e3,
+                1 => mix(seed) as i32 as f64,
+                2 => f64::from_bits(mix(seed)),
+                _ => (mix(seed) % 1_000_000) as f64 * 10f64.powi((mix(seed) % 600) as i32 - 300),
+            };
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+
+    /// Deterministically grow an arbitrary JSON tree from a seed.
+    fn tree(seed: &mut u64, depth: usize) -> JsonValue {
+        let pick = if depth == 0 {
+            mix(seed) % 4
+        } else {
+            mix(seed) % 6
+        };
+        match pick {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(mix(seed) & 1 == 1),
+            2 => JsonValue::Number(finite_number(seed)),
+            3 => {
+                let len = (mix(seed) % 12) as usize;
+                JsonValue::String(nasty_string(seed, len))
+            }
+            4 => {
+                let n = (mix(seed) % 4) as usize;
+                JsonValue::Array((0..n).map(|_| tree(seed, depth - 1)).collect())
+            }
+            _ => {
+                let n = (mix(seed) % 4) as usize;
+                JsonValue::Object(
+                    (0..n)
+                        .map(|_| {
+                            let len = (mix(seed) % 8) as usize;
+                            (nasty_string(seed, len), tree(seed, depth - 1))
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitrary_trees_round_trip(seed in any::<u64>(), depth in 0usize..5) {
+            let mut s = seed;
+            let v = tree(&mut s, depth);
+            let rendered = v.render();
+            let back = JsonValue::parse(&rendered)
+                .unwrap_or_else(|e| panic!("{e} in:\n{rendered}"));
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn nasty_strings_round_trip(seed in any::<u64>(), len in 0usize..64) {
+            let mut s = seed;
+            let v = JsonValue::String(nasty_string(&mut s, len));
+            prop_assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        }
+
+        #[test]
+        fn numbers_round_trip_exactly(seed in any::<u64>()) {
+            let mut s = seed;
+            let x = finite_number(&mut s);
+            let v = JsonValue::Number(x);
+            let back = JsonValue::parse(&v.render()).unwrap();
+            // == (not bit-equality): -0.0 may legitimately come back as 0.
+            prop_assert_eq!(back.as_f64().unwrap(), x);
+        }
     }
 }

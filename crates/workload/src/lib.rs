@@ -23,7 +23,7 @@ pub mod sweep;
 pub mod table;
 
 pub use experiment::{find, registry, Experiment, ExperimentResult};
-pub use json::{from_json, to_json};
+pub use json::{from_json, to_json, JsonValue};
 pub use runner::{run_trials, time_it, time_trials, TrialBatch};
 pub use stats::Summary;
 pub use sweep::{ft_grid, grid2, grid3};

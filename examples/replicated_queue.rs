@@ -2,21 +2,40 @@
 //! cells run on faulty CAS hardware — robust cells keep every replica
 //! consistent, naive cells visibly corrupt the replication.
 //!
+//! The logs are checkpointed: every `INTERVAL` decided slots the
+//! replicas agree (through a consensus cell, like any operation) on a
+//! snapshot, and the decided prefix below it is physically freed once
+//! every live replica has passed it — so the memory a log retains stays
+//! bounded no matter how long the queue lives.
+//!
 //! ```text
 //! cargo run --release --example replicated_queue
 //! ```
 
 use functional_faults::universal::{
-    logs_consistent, CellFactory, FifoQueue, Handle, NaiveFaultyCells, RobustCells, UniversalLog,
-    EMPTY,
+    digests_consistent, log_windows_consistent, CellFactory, FifoQueue, Handle, NaiveFaultyCells,
+    RobustCells, UniversalLog, EMPTY,
 };
 use std::sync::Arc;
 
+/// Checkpoint interval (slots) for every queue log in this example.
+const INTERVAL: usize = 8;
+
+/// A replica's view for cross-replica comparison: start slot, applied
+/// log window, and the digests carried across checkpoint boundaries.
+type ReplicaView = (usize, Vec<u32>, Vec<(usize, u64)>);
+
 /// Three producers enqueue tagged items concurrently; a consumer then
-/// drains. Returns (replica logs consistent, drained items).
-fn run_queue(factory: Arc<dyn CellFactory>) -> (bool, Vec<u64>) {
-    let core = Arc::new(UniversalLog::new(factory));
-    let logs: Vec<Vec<u32>> = std::thread::scope(|s| {
+/// drains. Returns (replica logs consistent, drained items, retained
+/// log length, truncated prefix).
+fn run_queue(factory: Arc<dyn CellFactory>) -> (bool, Vec<u64>, usize, usize) {
+    let core = Arc::new(UniversalLog::new(factory).checkpoint_every(INTERVAL));
+    // With truncation on, raw applied logs are no longer comparable by
+    // index (a replica that joins after a checkpoint starts from the
+    // snapshot, not slot 0) — replicas are compared slot-by-slot over
+    // their overlapping windows, plus through the rolling digests they
+    // carry across each agreed checkpoint boundary.
+    let views: Vec<ReplicaView> = std::thread::scope(|s| {
         (0..3u16)
             .map(|p| {
                 let core = Arc::clone(&core);
@@ -25,7 +44,11 @@ fn run_queue(factory: Arc<dyn CellFactory>) -> (bool, Vec<u64>) {
                     for i in 0..5u64 {
                         h.invoke(FifoQueue::enq_op(100 * (p as u64 + 1) + i));
                     }
-                    h.applied_log().to_vec()
+                    (
+                        h.start_slot(),
+                        h.applied_log().to_vec(),
+                        h.boundary_digests().to_vec(),
+                    )
                 })
             })
             .collect::<Vec<_>>()
@@ -33,10 +56,13 @@ fn run_queue(factory: Arc<dyn CellFactory>) -> (bool, Vec<u64>) {
             .map(|h| h.join().unwrap())
             .collect()
     });
-    let views: Vec<&[u32]> = logs.iter().map(|l| l.as_slice()).collect();
-    let consistent = logs_consistent(&views);
+    let windows: Vec<(usize, &[u32])> = views.iter().map(|(s, l, _)| (*s, l.as_slice())).collect();
+    let digests: Vec<&[(usize, u64)]> = views.iter().map(|(_, _, d)| d.as_slice()).collect();
+    let consistent = log_windows_consistent(&windows) && digests_consistent(&digests);
 
-    let mut consumer = Handle::new(core, 99, FifoQueue::default());
+    // The consumer joins late: it bootstraps from the agreed snapshot
+    // (if one was installed) and replays only the retained tail.
+    let mut consumer = Handle::new(core.clone(), 99, FifoQueue::default());
     let mut drained = Vec::new();
     loop {
         let item = consumer.invoke(FifoQueue::deq_op());
@@ -45,21 +71,35 @@ fn run_queue(factory: Arc<dyn CellFactory>) -> (bool, Vec<u64>) {
         }
         drained.push(item);
     }
-    (consistent, drained)
+    (
+        consistent && !core.divergence_detected(),
+        drained,
+        core.retained_len(),
+        core.truncated_prefix(),
+    )
 }
 
 fn check(label: &str, factory: Arc<dyn CellFactory>) {
-    let (consistent, drained) = run_queue(factory);
+    let (consistent, drained, retained, truncated) = run_queue(factory);
     let mut sorted = drained.clone();
     sorted.sort_unstable();
     sorted.dedup();
     let exactly_once = drained.len() == 15 && sorted.len() == 15;
-    println!("{label:<24} replica logs consistent: {consistent:<5}  items drained: {:>2}/15 (exactly-once: {exactly_once})",
+    println!("{label:<24} replica logs consistent: {consistent:<5}  items drained: {:>2}/15 (exactly-once: {exactly_once})  log: {truncated} slots freed, {retained} retained",
         drained.len());
+    // The checkpoint guarantee: once the last live replica has applied
+    // every decided slot, the log retains less than one interval.
+    assert!(
+        retained < INTERVAL,
+        "retained log length {retained} not bounded by interval {INTERVAL}"
+    );
+    assert!(truncated > 0, "checkpointing never freed a slot");
 }
 
 fn main() {
-    println!("replicated FIFO queue: 3 producers × 5 items, then drain\n");
+    println!(
+        "replicated FIFO queue: 3 producers × 5 items, then drain (checkpoint every {INTERVAL} slots)\n"
+    );
     check("reliable cells", Arc::new(RobustCells::new(1, 0.0, 1)));
     check(
         "robust cells (50% faults)",
@@ -70,11 +110,13 @@ fn main() {
         Arc::new(RobustCells::new(2, 0.8, 3)),
     );
 
-    // Naive cells: run several seeds; corruption is probabilistic.
+    // Naive cells: run several seeds; corruption is probabilistic. No
+    // retention assertion here — divergence evidence permanently
+    // disables truncation, by design.
     println!("\nnaive cells (Herlihy straight over faulty CAS, 80% faults):");
     let mut corrupted = 0;
     for seed in 0..10 {
-        let (consistent, drained) = run_queue(Arc::new(NaiveFaultyCells::new(0.8, seed)));
+        let (consistent, drained, _, _) = run_queue(Arc::new(NaiveFaultyCells::new(0.8, seed)));
         let mut sorted = drained.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -20,6 +20,7 @@
 //! | [`adversary`] | `ff-adversary` | Theorem 18/19 adversaries, data-fault separation, hierarchy probes |
 //! | [`universal`] | `ff-universal` | Replicated objects over fault-tolerant consensus cells |
 //! | [`workload`] | `ff-workload` | The E1–E14 experiment harness and table rendering |
+//! | [`store`] | `ff-store` | Sharded replicated KV store with checkpointed logs, fault knobs, metrics, soak harness (E15) |
 //!
 //! ## Quickstart
 //!
@@ -50,5 +51,6 @@ pub use ff_cas as cas;
 pub use ff_consensus as consensus;
 pub use ff_sim as sim;
 pub use ff_spec as spec;
+pub use ff_store as store;
 pub use ff_universal as universal;
 pub use ff_workload as workload;

@@ -9,6 +9,7 @@ use functional_faults::consensus::{
     TwoProcessConsensus,
 };
 use functional_faults::spec::{Bound, FaultKind, Input, Tolerance};
+use functional_faults::store::{Backend, FaultConfig, Store, StoreClient, StoreConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -134,6 +135,139 @@ fn silent_retry_stress() {
         let report = run_native(protocol, &inputs(4), Duration::from_secs(10));
         assert!(report.ok(), "seed {seed}: {:?}", report.verdict.violations);
     }
+}
+
+/// Hammer a multi-shard store from several closed-loop clients and
+/// return them for verification.
+fn store_workload(store: &Arc<Store>, workers: u32, ops: u32) -> Vec<StoreClient> {
+    std::thread::scope(|s| {
+        (0..workers)
+            .map(|w| {
+                let store = Arc::clone(store);
+                s.spawn(move || {
+                    let mut c = store.client();
+                    for i in 0..ops {
+                        let key = (w * 7919 + i * 31) % 101;
+                        match i % 4 {
+                            0 | 1 => {
+                                c.put(key, w * 10_000 + i);
+                            }
+                            2 => {
+                                c.get(key);
+                            }
+                            _ => {
+                                c.del(key);
+                            }
+                        }
+                    }
+                    c
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+#[test]
+fn store_stress_every_tolerated_fault_kind() {
+    // Each kind runs within the construction that tolerates it:
+    // overriding/arbitrary through the guarded cascade (f + 1 objects),
+    // silent through bounded retries (finite t required, E8).
+    let cases: [(FaultKind, usize, Bound, f64); 3] = [
+        (FaultKind::Overriding, 2, Bound::Unbounded, 0.6),
+        (FaultKind::Silent, 1, Bound::Finite(6), 0.6),
+        (FaultKind::Arbitrary, 2, Bound::Unbounded, 0.4),
+    ];
+    for (kind, f, t, rate) in cases {
+        for seed in 0..3u64 {
+            let store = Arc::new(Store::new(StoreConfig {
+                shards: 3,
+                backend: Backend::Robust,
+                fault: FaultConfig { kind, f, t, rate },
+                rotate_kinds: false,
+                checkpoint_interval: 16,
+                seed: 0xBEEF + seed,
+            }));
+            let clients = store_workload(&store, 4, 150);
+            let report = store.verify(clients);
+            assert!(
+                report.all_consistent(),
+                "{kind:?} seed {seed}: diverged shards {:?}",
+                report.diverged_shards()
+            );
+            // Checkpoints kept every shard's retained log bounded.
+            for shard in &report.per_shard {
+                assert!(
+                    shard.retained_len < 16,
+                    "{kind:?} seed {seed} shard {}: retained {} ≥ interval 16",
+                    shard.shard,
+                    shard.retained_len
+                );
+                assert!(shard.truncated_prefix > 0);
+            }
+            // Audit the fault stats against the declared (f, t) budget:
+            // faults flowed, every attempt is accounted, and only the
+            // declared faulty objects ever faulted.
+            let faulty_per_ensemble = if kind == FaultKind::Silent {
+                1
+            } else {
+                f as u64
+            };
+            for sf in store.shard_faults() {
+                assert!(
+                    sf.cas_ops > 0,
+                    "{kind:?} shard {}: no CAS traffic",
+                    sf.shard
+                );
+                assert!(
+                    sf.attempted > 0,
+                    "{kind:?} shard {}: rate {rate} attempted nothing",
+                    sf.shard
+                );
+                assert!(
+                    sf.observable <= sf.attempted,
+                    "{kind:?} shard {}: more observable than attempted",
+                    sf.shard
+                );
+                assert!(
+                    sf.faulty_objects <= faulty_per_ensemble,
+                    "{kind:?} shard {}: {} objects faulted, budget allows {}",
+                    sf.shard,
+                    sf.faulty_objects,
+                    faulty_per_ensemble
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn store_stress_naive_backend_eventually_diverges() {
+    let mut diverged = false;
+    for seed in 0..25u64 {
+        let store = Arc::new(Store::new(StoreConfig {
+            shards: 2,
+            backend: Backend::Naive,
+            fault: FaultConfig {
+                rate: 1.0,
+                ..FaultConfig::default()
+            },
+            checkpoint_interval: 8,
+            seed,
+            ..StoreConfig::default()
+        }));
+        let clients = store_workload(&store, 3, 60);
+        if !store.verify(clients).all_consistent() {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(
+        diverged,
+        "naive backend survived 25 seeds at 100% fault rate"
+    );
 }
 
 #[test]
