@@ -1,0 +1,355 @@
+//! Closed-loop benchmark of the network path: `NetClient`s over
+//! localhost TCP against a `NetServer`, same workload loop as `soak`.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin netbench -- \
+//!     --connections 4 --shards 4 --secs 5 --batch 8
+//! ```
+//!
+//! Two arms, mirroring the store soak:
+//!
+//! * **robust** — measured arm: ops/s and p50/p95/p99 over localhost,
+//!   faults firing at `--fault-rate`. Must stay consistent; the
+//!   process exits 1 if any shard diverges or any client errors.
+//! * **naive** — witness arm (skip with `--skip-naive`): short runs at
+//!   a fault rate of at least 0.2, retried over seeds until flagged —
+//!   a divergence error frame at a client or a failed post-drain
+//!   verify. Exits 1 if it is *never* flagged.
+//!
+//! The full report lands in `BENCH_net.json` (`--json-out` overrides).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ff_net::{NetClient, NetServer, ServerConfig};
+use ff_store::{
+    drive_clients, Backend, MetricsSnapshot, Store, StoreConfig, StoreError, StoreMetrics,
+    WorkloadMix,
+};
+use ff_workload::JsonValue;
+
+struct BenchConfig {
+    connections: usize,
+    shards: usize,
+    secs: f64,
+    batch: usize,
+    read_pct: u32,
+    keyspace: u32,
+    fault_rate: f64,
+    checkpoint_interval: usize,
+    seed: u64,
+    skip_naive: bool,
+    json_out: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            connections: 4,
+            shards: 4,
+            secs: 3.0,
+            batch: 8,
+            read_pct: 50,
+            keyspace: 1024,
+            fault_rate: 0.2,
+            checkpoint_interval: 64,
+            seed: 0xBE7,
+            skip_naive: false,
+            json_out: "BENCH_net.json".to_string(),
+        }
+    }
+}
+
+struct ArmReport {
+    backend: Backend,
+    snapshot: MetricsSnapshot,
+    ops_served: u64,
+    client_errors: Vec<String>,
+    divergence_errors: usize,
+    verify_consistent: bool,
+    diverged_shards: Vec<usize>,
+}
+
+impl ArmReport {
+    fn flagged(&self) -> bool {
+        self.divergence_errors > 0 || !self.verify_consistent
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "backend".into(),
+                JsonValue::String(self.backend.label().into()),
+            ),
+            (
+                "ops_served".into(),
+                JsonValue::Number(self.ops_served as f64),
+            ),
+            (
+                "ops_per_sec".into(),
+                JsonValue::Number(self.snapshot.total_ops_per_sec()),
+            ),
+            ("latency".into(), self.snapshot.to_json()),
+            (
+                "client_errors".into(),
+                JsonValue::Array(
+                    self.client_errors
+                        .iter()
+                        .map(|e| JsonValue::String(e.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "divergence_errors".into(),
+                JsonValue::Number(self.divergence_errors as f64),
+            ),
+            (
+                "verify_consistent".into(),
+                JsonValue::Bool(self.verify_consistent),
+            ),
+            (
+                "diverged_shards".into(),
+                JsonValue::Array(
+                    self.diverged_shards
+                        .iter()
+                        .map(|&s| JsonValue::Number(s as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One full arm: store + TCP server + closed-loop clients + drain +
+/// verify over the server's retired replicas.
+fn run_arm(
+    cfg: &BenchConfig,
+    backend: Backend,
+    fault_rate: f64,
+    secs: f64,
+    seed: u64,
+) -> ArmReport {
+    let store = Arc::new(Store::new(
+        StoreConfig::builder()
+            .shards(cfg.shards)
+            .backend(backend)
+            .fault_rate(if backend == Backend::Reliable {
+                0.0
+            } else {
+                fault_rate
+            })
+            .rotate_kinds(backend != Backend::Reliable)
+            .checkpoint_interval(cfg.checkpoint_interval)
+            .seed(seed)
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("invalid configuration: {e}");
+                std::process::exit(2);
+            }),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: cfg.connections + 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to bind: {e}");
+        std::process::exit(1);
+    });
+    let clients: Vec<NetClient> = (0..cfg.connections)
+        .map(|_| {
+            NetClient::connect(server.addr()).unwrap_or_else(|e| {
+                eprintln!("failed to connect: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+
+    let metrics = StoreMetrics::default();
+    let mix = WorkloadMix {
+        read_pct: cfg.read_pct,
+        keyspace: cfg.keyspace,
+        seed,
+        batch: cfg.batch,
+    };
+    let started = Instant::now();
+    let outcome = drive_clients(
+        clients,
+        &mix,
+        started + Duration::from_secs_f64(secs),
+        &metrics,
+        || {},
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+    let divergence_errors = outcome.divergence_errors();
+    let client_errors: Vec<String> = outcome.errors.iter().map(|e| e.to_string()).collect();
+    for e in &outcome.errors {
+        if !matches!(e, StoreError::Divergence { .. }) {
+            eprintln!("client error: {e}");
+        }
+    }
+    drop(outcome.clients);
+    let mut report = server.shutdown();
+    let verify = store.verify(&mut report.clients);
+    ArmReport {
+        backend,
+        snapshot: metrics.snapshot(elapsed, store.shard_faults()),
+        ops_served: report.ops_served,
+        client_errors,
+        divergence_errors,
+        verify_consistent: verify.all_consistent(),
+        diverged_shards: verify.diverged_shards(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netbench [--connections N] [--shards N] [--secs S] [--batch N]\n\
+         \x20              [--read-pct P] [--keyspace N] [--fault-rate R]\n\
+         \x20              [--checkpoint-interval N] [--seed N] [--skip-naive]\n\
+         \x20              [--json-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = BenchConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--connections" => {
+                cfg.connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => cfg.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--secs" => cfg.secs = value("--secs").parse().unwrap_or_else(|_| usage()),
+            "--batch" => cfg.batch = value("--batch").parse().unwrap_or_else(|_| usage()),
+            "--read-pct" => cfg.read_pct = value("--read-pct").parse().unwrap_or_else(|_| usage()),
+            "--keyspace" => cfg.keyspace = value("--keyspace").parse().unwrap_or_else(|_| usage()),
+            "--fault-rate" => {
+                cfg.fault_rate = value("--fault-rate").parse().unwrap_or_else(|_| usage())
+            }
+            "--checkpoint-interval" => {
+                cfg.checkpoint_interval = value("--checkpoint-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--skip-naive" => cfg.skip_naive = true,
+            "--json-out" => cfg.json_out = value("--json-out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    eprintln!(
+        "netbench: {} connection(s) x {} shard(s) over localhost TCP, {}s, \
+         batch {}, fault rate {} …",
+        cfg.connections, cfg.shards, cfg.secs, cfg.batch, cfg.fault_rate
+    );
+    let robust = run_arm(&cfg, Backend::Robust, cfg.fault_rate, cfg.secs, cfg.seed);
+    println!("{}", robust.snapshot.render_tables());
+    println!(
+        "robust arm: {} ops served, {:.0} ops/sec, consistent: {}",
+        robust.ops_served,
+        robust.snapshot.total_ops_per_sec(),
+        robust.verify_consistent
+    );
+
+    // The witness arm: short bursts at a meaningful fault rate until
+    // the naive backend is caught — the violation is existential, so
+    // retry over seeds with a cap, like E15/E16.
+    let naive_rate = cfg.fault_rate.max(0.2);
+    let mut naive: Option<ArmReport> = None;
+    let mut naive_attempts = 0u32;
+    if !cfg.skip_naive {
+        for attempt in 0..12u64 {
+            naive_attempts += 1;
+            let arm = run_arm(
+                &cfg,
+                Backend::Naive,
+                naive_rate,
+                (cfg.secs / 4.0).clamp(0.2, 1.0),
+                cfg.seed ^ (attempt.wrapping_add(1) << 32),
+            );
+            let flagged = arm.flagged();
+            naive = Some(arm);
+            if flagged {
+                break;
+            }
+        }
+        let n = naive.as_ref().expect("at least one attempt ran");
+        println!(
+            "naive arm (fault rate {naive_rate}): flagged after {naive_attempts} attempt(s): {} \
+             ({} divergence error(s) at clients, verify consistent: {})",
+            n.flagged(),
+            n.divergence_errors,
+            n.verify_consistent
+        );
+    }
+
+    let verdict = robust.verify_consistent
+        && robust.client_errors.is_empty()
+        && naive.as_ref().is_none_or(|n| n.flagged());
+
+    let mut doc = vec![
+        (
+            "config".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "connections".into(),
+                    JsonValue::Number(cfg.connections as f64),
+                ),
+                ("shards".into(), JsonValue::Number(cfg.shards as f64)),
+                ("secs".into(), JsonValue::Number(cfg.secs)),
+                ("batch".into(), JsonValue::Number(cfg.batch as f64)),
+                ("read_pct".into(), JsonValue::Number(cfg.read_pct as f64)),
+                ("keyspace".into(), JsonValue::Number(cfg.keyspace as f64)),
+                ("fault_rate".into(), JsonValue::Number(cfg.fault_rate)),
+                ("seed".into(), JsonValue::Number(cfg.seed as f64)),
+                (
+                    "transport".into(),
+                    JsonValue::String("tcp-localhost".into()),
+                ),
+            ]),
+        ),
+        ("robust".to_string(), robust.to_json()),
+    ];
+    if let Some(n) = &naive {
+        doc.push(("naive".to_string(), n.to_json()));
+        doc.push((
+            "naive_attempts".to_string(),
+            JsonValue::Number(naive_attempts as f64),
+        ));
+    }
+    doc.push(("consistent_verdict".to_string(), JsonValue::Bool(verdict)));
+    let json = JsonValue::Object(doc).render();
+    std::fs::write(&cfg.json_out, json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", cfg.json_out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", cfg.json_out);
+
+    if !robust.verify_consistent || !robust.client_errors.is_empty() {
+        eprintln!("DIVERGENCE in the robust arm — the construction failed its envelope");
+        std::process::exit(1);
+    }
+    if let Some(n) = &naive {
+        if !n.flagged() {
+            eprintln!("naive arm was never flagged — the witness did not reproduce");
+            std::process::exit(1);
+        }
+    }
+}

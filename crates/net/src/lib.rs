@@ -1,0 +1,35 @@
+//! `ff-net` — the network face of `ff-store`: a length-prefixed binary
+//! wire protocol and a std-only TCP service layer, behind the same
+//! [`Kv`](ff_store::Kv) API the in-process client implements.
+//!
+//! The point of serving the store over a socket is that the paper's
+//! guarantee survives the trip: a remote client of a robust-backend
+//! store gets linearizable answers while functional faults fire, and a
+//! remote client of a naive-backend store gets a **divergence error
+//! frame** — never silently wrong data. The error is computed from the
+//! same evidence the in-process client checks (broken consensus cells,
+//! boundary digest mismatches), just carried across the wire.
+//!
+//! | module | what it holds |
+//! |---|---|
+//! | [`wire`] | frame layout, encode/decode, streaming [`FrameBuffer`] |
+//! | [`server`] | [`NetServer`]: thread-per-connection, pipelining, burst batching, backpressure, graceful drain |
+//! | [`client`] | [`NetClient`]: pipelining TCP client implementing [`Kv`](ff_store::Kv) |
+//! | [`experiment`] | [`E16NetSoak`]: the E15 soak through the network path with live fault ramps |
+//!
+//! No async runtime and no serialization framework: `std::net`,
+//! threads, and hand-rolled little-endian frames keep the service
+//! layer as auditable as the consensus construction it fronts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod experiment;
+pub mod server;
+pub mod wire;
+
+pub use client::NetClient;
+pub use experiment::E16NetSoak;
+pub use server::{NetServer, ServerConfig, ServerReport};
+pub use wire::{FrameBuffer, Request, Response, StatsReply, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -1,0 +1,402 @@
+//! The ff-store TCP service: a std-only, thread-per-connection server.
+//!
+//! # Threading model
+//!
+//! One **accept thread** polls a nonblocking listener (~5 ms tick) and
+//! spawns one **handler thread per connection**. No async runtime: the
+//! repo's point is the consensus construction, and `std::net` plus
+//! threads keeps the service layer auditable. Each handler owns a
+//! private [`StoreClient`] — a full replica set, one log handle per
+//! shard — so connections never contend on client state; they contend
+//! only where the paper says they must, on the shards' consensus
+//! cells.
+//!
+//! # Pipelining and server-side batching
+//!
+//! A client may write any number of request frames before reading.
+//! The handler reads in ~16 KiB chunks and serves each chunk's frames
+//! as one **burst**: consecutive GET/PUT/DEL frames in a burst are
+//! coalesced into a single [`Kv::batch`] call, which groups same-shard
+//! operations into **one log pass per shard** instead of one traversal
+//! per request. Responses are written back in request order in a
+//! single `write_all`, so a pipelined burst costs one read, one batch,
+//! one write. An explicit BATCH frame is the same machinery with the
+//! grouping visible to the client.
+//!
+//! # Backpressure
+//!
+//! Three mechanisms, all cheap and all visible to the peer:
+//!
+//! * **Connection cap** — beyond [`ServerConfig::max_connections`],
+//!   new connections get one `Overloaded` error frame and are closed.
+//!   This also protects the store's hard 1024-client pid space.
+//! * **Write timeout** — a peer that stops draining responses stalls
+//!   its own handler's `write_all`, which eventually errors and drops
+//!   the connection; one slow reader cannot pin server memory.
+//! * **Bounded frames** — the decoder rejects frames over
+//!   [`MAX_FRAME_LEN`](crate::wire::MAX_FRAME_LEN) before buffering.
+//!
+//! # Graceful shutdown
+//!
+//! [`NetServer::shutdown`] flips a flag; handlers notice within one
+//! read-timeout tick, stop reading, serve the frames they had already
+//! buffered (in-flight requests drain rather than vanish), flush, and
+//! retire their [`StoreClient`] into the server's graveyard. The
+//! returned [`ServerReport`] hands those clients back so a harness can
+//! run [`Store::verify`] over *exactly* the replicas that served
+//! traffic.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ff_store::{Kv, KvOp, Store, StoreClient, StoreError};
+use parking_lot::Mutex;
+
+use crate::wire::{encode_response, ErrorCode, FrameBuffer, Request, Response, StatsReply};
+
+/// Tuning for a [`NetServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections beyond this are refused with `Overloaded`.
+    pub max_connections: usize,
+    /// Per-connection read timeout; doubles as the shutdown-poll tick,
+    /// so keep it small.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout — the backpressure bound on a peer
+    /// that stops draining responses.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Shared {
+    store: Arc<Store>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicU32,
+    ops_served: AtomicU64,
+    /// Clients of finished connections, kept for post-shutdown
+    /// verification.
+    retired: Mutex<Vec<StoreClient>>,
+}
+
+/// A running ff-store TCP server. Dropping it without calling
+/// [`NetServer::shutdown`] leaks the accept thread; shut it down.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+/// What a drained server hands back.
+pub struct ServerReport {
+    /// The per-connection replica clients, every one caught up on the
+    /// traffic it served — feed them to [`Store::verify`].
+    pub clients: Vec<StoreClient>,
+    /// Requests served over the server's lifetime.
+    pub ops_served: u64,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `store`.
+    pub fn start<A: ToSocketAddrs>(
+        store: Arc<Store>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicU32::new(0),
+            ops_served: AtomicU64::new(0),
+            retired: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> u32 {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread and
+    /// hand back the retired clients.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let handlers = self
+            .accept
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("accept thread never panics");
+        for h in handlers {
+            let _ = h.join();
+        }
+        let clients = std::mem::take(&mut *self.shared.retired.lock());
+        ServerReport {
+            clients,
+            ops_served: self.shared.ops_served.load(Ordering::SeqCst),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return handlers;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    refuse(
+                        stream,
+                        &shared,
+                        ErrorCode::ShuttingDown,
+                        "server shutting down",
+                    );
+                    return handlers;
+                }
+                if shared.active.load(Ordering::SeqCst) as usize >= shared.config.max_connections {
+                    refuse(
+                        stream,
+                        &shared,
+                        ErrorCode::Overloaded,
+                        "connection limit reached",
+                    );
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, conn_shared)
+                }));
+                handlers.retain(|h| !h.is_finished());
+            }
+            // Nonblocking accept: nobody waiting — poll again shortly.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Best-effort: tell the refused peer why before closing.
+fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut out = Vec::new();
+    encode_response(
+        &mut out,
+        0,
+        &Response::Error {
+            code,
+            detail: 0,
+            message: message.to_string(),
+        },
+    );
+    let _ = stream.write_all(&out);
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let client = shared.store.client();
+    let client = run_connection(stream, &shared, client);
+    shared.retired.lock().push(client);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Serve one connection until the peer closes, an error kills it, or a
+/// shutdown drains it. Always returns the client for the graveyard.
+fn run_connection(mut stream: TcpStream, shared: &Shared, mut client: StoreClient) -> StoreClient {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut fb = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if !draining {
+            match stream.read(&mut chunk) {
+                Ok(0) => return client, // peer closed
+                Ok(n) => fb.extend(&chunk[..n]),
+                // Read-timeout tick: fall through to recheck shutdown.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => return client,
+            }
+        }
+        let mut out = Vec::new();
+        let ok = serve_burst(&mut fb, &mut client, shared, &mut out);
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return client;
+        }
+        if !ok || draining {
+            let _ = stream.flush();
+            return client;
+        }
+    }
+}
+
+/// Serve every complete frame currently buffered, coalescing runs of
+/// single-op requests into one [`Kv::batch`]. Returns `false` if the
+/// stream is unrecoverable (decode error — framing is lost).
+fn serve_burst(
+    fb: &mut FrameBuffer,
+    client: &mut StoreClient,
+    shared: &Shared,
+    out: &mut Vec<u8>,
+) -> bool {
+    // (request id, op) pairs of the current coalescible run.
+    let mut run: Vec<(u32, KvOp)> = Vec::new();
+    loop {
+        match fb.pop_request() {
+            Ok(Some(frame)) => {
+                let single = match frame.req {
+                    Request::Get { key } => Some(KvOp::Get(key)),
+                    Request::Put { key, value } => Some(KvOp::Put(key, value)),
+                    Request::Del { key } => Some(KvOp::Del(key)),
+                    _ => None,
+                };
+                if let Some(op) = single {
+                    run.push((frame.id, op));
+                    continue;
+                }
+                // Anything else is a batching boundary.
+                flush_run(&mut run, client, shared, out);
+                match frame.req {
+                    Request::Batch(ops) => {
+                        let resp = match client.batch(&ops) {
+                            Ok(values) => {
+                                shared
+                                    .ops_served
+                                    .fetch_add(ops.len() as u64, Ordering::Relaxed);
+                                Response::Batch(values)
+                            }
+                            Err(e) => error_response(&e),
+                        };
+                        encode_response(out, frame.id, &resp);
+                    }
+                    Request::Stats => {
+                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
+                        encode_response(out, frame.id, &Response::Stats(stats(shared)));
+                    }
+                    Request::Ping => {
+                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
+                        encode_response(out, frame.id, &Response::Pong);
+                    }
+                    Request::Get { .. } | Request::Put { .. } | Request::Del { .. } => {
+                        unreachable!("handled as coalescible ops")
+                    }
+                }
+            }
+            Ok(None) => {
+                flush_run(&mut run, client, shared, out);
+                return true;
+            }
+            Err(e) => {
+                // Length-prefixed framing cannot resync after a bad
+                // frame: answer what we had, report, close.
+                flush_run(&mut run, client, shared, out);
+                encode_response(
+                    out,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        detail: 0,
+                        message: e.to_string(),
+                    },
+                );
+                return false;
+            }
+        }
+    }
+}
+
+/// Execute a coalesced run as one batch — one log pass per touched
+/// shard — and answer each request under its own id, in order.
+fn flush_run(
+    run: &mut Vec<(u32, KvOp)>,
+    client: &mut StoreClient,
+    shared: &Shared,
+    out: &mut Vec<u8>,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let ops: Vec<KvOp> = run.iter().map(|&(_, op)| op).collect();
+    match client.batch(&ops) {
+        Ok(values) => {
+            shared
+                .ops_served
+                .fetch_add(ops.len() as u64, Ordering::Relaxed);
+            for (&(id, _), value) in run.iter().zip(values) {
+                encode_response(out, id, &Response::Value(value));
+            }
+        }
+        // Validation fails the batch up front and divergence poisons
+        // the whole shard set, so every request in the run gets the
+        // error it would have hit alone.
+        Err(e) => {
+            let resp = error_response(&e);
+            for &(id, _) in run.iter() {
+                encode_response(out, id, &resp);
+            }
+        }
+    }
+    run.clear();
+}
+
+fn stats(shared: &Shared) -> StatsReply {
+    let store = &shared.store;
+    StatsReply {
+        shards: store.shards() as u32,
+        active_connections: shared.active.load(Ordering::SeqCst),
+        diverged: (0..store.shards()).any(|s| store.shard_log(s).divergence_detected()),
+        ops_served: shared.ops_served.load(Ordering::Relaxed),
+    }
+}
+
+/// Map a [`StoreError`] onto a wire error frame; the `detail` word
+/// carries the machine-readable part (shard, key, value).
+fn error_response(e: &StoreError) -> Response {
+    let (code, detail) = match *e {
+        StoreError::Divergence { shard } => (ErrorCode::Divergence, shard as u32),
+        StoreError::KeyOutOfRange { key } => (ErrorCode::KeyOutOfRange, key),
+        StoreError::ValueOutOfRange { value } => (ErrorCode::ValueOutOfRange, value),
+        StoreError::Io(_) | StoreError::Protocol(_) | StoreError::Server { .. } => {
+            (ErrorCode::Internal, 0)
+        }
+    };
+    Response::Error {
+        code,
+        detail,
+        message: e.to_string(),
+    }
+}

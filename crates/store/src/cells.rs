@@ -201,7 +201,7 @@ impl Backend {
 }
 
 /// Fault environment of one shard: kind, `(f, t)` budget, live rate.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
     /// The functional-fault kind to inject.
     pub kind: FaultKind,

@@ -74,6 +74,15 @@ impl OpMetrics {
         self.latency.record(nanos);
     }
 
+    /// Record one completed *batched* call covering `n` operations:
+    /// throughput counts all `n`, the latency histogram gets one sample
+    /// for the whole call (per-op latency is not observable inside a
+    /// batch).
+    pub fn record_many(&self, nanos: u64, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+        self.latency.record(nanos);
+    }
+
     /// Operations recorded so far.
     pub fn count(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
@@ -94,6 +103,9 @@ pub struct StoreMetrics {
     pub writes: OpMetrics,
     /// `del` operations.
     pub deletes: OpMetrics,
+    /// `batch` calls (ops counts operations covered; latency is per
+    /// whole batch call).
+    pub batches: OpMetrics,
 }
 
 /// Point-in-time percentile summary of one operation class.
@@ -139,6 +151,8 @@ pub struct MetricsSnapshot {
     pub writes: OpSummary,
     /// Delete (`del`) summary.
     pub deletes: OpSummary,
+    /// Batch summary (ops counts operations covered by batch calls).
+    pub batches: OpSummary,
     /// Per-shard fault accounting.
     pub faults: Vec<ShardFaults>,
 }
@@ -167,6 +181,7 @@ impl StoreMetrics {
             reads: Self::summarize(&self.reads, elapsed_secs),
             writes: Self::summarize(&self.writes, elapsed_secs),
             deletes: Self::summarize(&self.deletes, elapsed_secs),
+            batches: Self::summarize(&self.batches, elapsed_secs),
             faults,
         }
     }
@@ -175,12 +190,15 @@ impl StoreMetrics {
 impl MetricsSnapshot {
     /// Total operations across all classes.
     pub fn total_ops(&self) -> u64 {
-        self.reads.ops + self.writes.ops + self.deletes.ops
+        self.reads.ops + self.writes.ops + self.deletes.ops + self.batches.ops
     }
 
     /// Total throughput (ops/sec).
     pub fn total_ops_per_sec(&self) -> f64 {
-        self.reads.ops_per_sec + self.writes.ops_per_sec + self.deletes.ops_per_sec
+        self.reads.ops_per_sec
+            + self.writes.ops_per_sec
+            + self.deletes.ops_per_sec
+            + self.batches.ops_per_sec
     }
 
     /// Observable faults summed per kind label.
@@ -209,7 +227,11 @@ impl MetricsSnapshot {
             ("get", &self.reads),
             ("put", &self.writes),
             ("del", &self.deletes),
+            ("batch", &self.batches),
         ] {
+            if name == "batch" && s.ops == 0 {
+                continue; // only shown when batched calls actually ran
+            }
             latency.push_row(&[
                 name.to_string(),
                 s.ops.to_string(),
@@ -267,6 +289,7 @@ impl MetricsSnapshot {
             ("reads".into(), op(&self.reads)),
             ("writes".into(), op(&self.writes)),
             ("deletes".into(), op(&self.deletes)),
+            ("batches".into(), op(&self.batches)),
             (
                 "faults_by_kind".into(),
                 JsonValue::Object(

@@ -8,9 +8,10 @@
 //! from those objects stay *consistent* while faults are live" — and,
 //! on the naive arm, demonstrates that it does not.
 
-use crate::cells::{Backend, FaultConfig};
+use crate::cells::Backend;
+use crate::kv::{Kv, KvOp, StoreError};
 use crate::metrics::{MetricsSnapshot, StoreMetrics};
-use crate::{ConsistencyReport, Store, StoreClient, StoreConfig};
+use crate::{ConsistencyReport, Store, StoreClient, StoreConfig, KV_MAX};
 use ff_cas::splitmix64;
 use ff_workload::JsonValue;
 use std::sync::Arc;
@@ -69,7 +70,11 @@ pub struct SoakReport {
     pub max_retained_during_run: usize,
     /// Largest retained log length after verification settled.
     pub retained_after_verify: usize,
-    /// Did every shard verify consistent?
+    /// First error of each worker that stopped early (rendered);
+    /// divergence surfacing as a client *error* rather than wrong data
+    /// is part of the [`Kv`] contract.
+    pub client_errors: Vec<String>,
+    /// Did every shard verify consistent — and no worker hit an error?
     pub consistent: bool,
 }
 
@@ -165,6 +170,15 @@ impl SoakReport {
                 "retained_after_verify".into(),
                 JsonValue::Number(self.retained_after_verify as f64),
             ),
+            (
+                "client_errors".into(),
+                JsonValue::Array(
+                    self.client_errors
+                        .iter()
+                        .map(|e| JsonValue::String(e.clone()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -182,6 +196,9 @@ impl SoakReport {
             self.retained_after_verify,
             self.config.checkpoint_interval,
         ));
+        for e in &self.client_errors {
+            out.push_str(&format!("client error: {e}\n"));
+        }
         out
     }
 }
@@ -189,6 +206,138 @@ impl SoakReport {
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     splitmix64(*state)
+}
+
+/// The workload shape shared by every driver of a [`Kv`]
+/// implementation: the in-process soak, E16's over-TCP soak and
+/// `netbench` all describe their traffic with this and run it through
+/// [`drive_clients`] — the transport is the only difference.
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    /// Percentage of operations that are reads; the remainder splits
+    /// 2:1 between `put` and `del`.
+    pub read_pct: u32,
+    /// Keys are drawn uniformly from `0..keyspace`.
+    pub keyspace: u32,
+    /// Seed for the per-worker operation streams.
+    pub seed: u64,
+    /// Operations per [`Kv::batch`] call; 1 issues plain
+    /// `get`/`put`/`del` round trips.
+    pub batch: usize,
+}
+
+/// What [`drive_clients`] brought back: the clients (still connected /
+/// still holding their replicas, ready for verification) and the first
+/// error each failed worker hit.
+pub struct DriveOutcome<K> {
+    /// The clients, in worker order.
+    pub clients: Vec<K>,
+    /// First error per worker that failed (empty on a clean run). A
+    /// [`StoreError::Divergence`] here is the API surfacing broken
+    /// consensus instead of returning wrong data.
+    pub errors: Vec<StoreError>,
+}
+
+impl<K> DriveOutcome<K> {
+    /// How many workers stopped on a divergence error.
+    pub fn divergence_errors(&self) -> usize {
+        self.errors
+            .iter()
+            .filter(|e| matches!(e, StoreError::Divergence { .. }))
+            .count()
+    }
+}
+
+/// Drive `clients` closed-loop against any [`Kv`] until `deadline`,
+/// recording latencies into `metrics`. A worker that hits an error
+/// stops (divergence is sticky — hammering a corrupted shard teaches
+/// nothing) and its error is reported in the outcome. `during` runs
+/// every ~20 ms on the coordinating thread while workers are live —
+/// the soak samples retained log lengths there, E16 ramps fault knobs.
+pub fn drive_clients<K: Kv + Send>(
+    clients: Vec<K>,
+    mix_cfg: &WorkloadMix,
+    deadline: Instant,
+    metrics: &StoreMetrics,
+    mut during: impl FnMut(),
+) -> DriveOutcome<K> {
+    assert!(mix_cfg.read_pct <= 100, "read_pct is a percentage");
+    assert!(mix_cfg.batch >= 1, "batch of 0 operations makes no sense");
+    let outcomes: Vec<(K, Option<StoreError>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut client)| {
+                let mut rng = splitmix64(mix_cfg.seed ^ (w as u64) << 32);
+                let keyspace = mix_cfg.keyspace.max(1);
+                let read_pct = mix_cfg.read_pct;
+                let batch = mix_cfg.batch;
+                let metrics = &*metrics;
+                scope.spawn(move || {
+                    let mut error = None;
+                    'work: while Instant::now() < deadline {
+                        if batch > 1 {
+                            let ops: Vec<KvOp> = (0..batch)
+                                .map(|_| random_op(&mut rng, keyspace, read_pct))
+                                .collect();
+                            let start = Instant::now();
+                            match client.batch(&ops) {
+                                Ok(_) => metrics.batches.record_many(
+                                    start.elapsed().as_nanos() as u64,
+                                    ops.len() as u64,
+                                ),
+                                Err(e) => {
+                                    error = Some(e);
+                                    break 'work;
+                                }
+                            }
+                        } else {
+                            let op = random_op(&mut rng, keyspace, read_pct);
+                            let start = Instant::now();
+                            let (result, m) = match op {
+                                KvOp::Get(k) => (client.get(k), &metrics.reads),
+                                KvOp::Put(k, v) => (client.put(k, v), &metrics.writes),
+                                KvOp::Del(k) => (client.del(k), &metrics.deletes),
+                            };
+                            match result {
+                                Ok(_) => m.record(start.elapsed().as_nanos() as u64),
+                                Err(e) => {
+                                    error = Some(e);
+                                    break 'work;
+                                }
+                            }
+                        }
+                    }
+                    (client, error)
+                })
+            })
+            .collect();
+        while Instant::now() < deadline {
+            during();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut clients = Vec::with_capacity(outcomes.len());
+    let mut errors = Vec::new();
+    for (client, error) in outcomes {
+        clients.push(client);
+        errors.extend(error);
+    }
+    DriveOutcome { clients, errors }
+}
+
+fn random_op(rng: &mut u64, keyspace: u32, read_pct: u32) -> KvOp {
+    let r = mix(rng);
+    let key = (r >> 32) as u32 % keyspace;
+    let dice = (r % 100) as u32;
+    if dice < read_pct {
+        KvOp::Get(key)
+    } else if dice < read_pct + (100 - read_pct) * 2 / 3 {
+        KvOp::Put(key, (r as u32) & KV_MAX)
+    } else {
+        KvOp::Del(key)
+    }
 }
 
 /// Run one closed-loop soak per `config` and verify the outcome.
@@ -199,65 +348,40 @@ fn mix(state: &mut u64) -> u64 {
 /// while writers are live.
 pub fn run_soak(config: &SoakConfig) -> SoakReport {
     assert!(config.threads >= 1, "need at least one worker");
-    assert!(config.read_pct <= 100, "read_pct is a percentage");
-    let store = Arc::new(Store::new(StoreConfig {
-        shards: config.shards,
-        backend: config.backend,
-        fault: FaultConfig {
-            rate: config.fault_rate,
-            ..FaultConfig::default()
-        },
-        rotate_kinds: config.backend != Backend::Reliable,
-        checkpoint_interval: config.checkpoint_interval,
-        seed: config.seed,
-    }));
+    let store_config = StoreConfig::builder()
+        .shards(config.shards)
+        .backend(config.backend)
+        .fault_rate(config.fault_rate)
+        .rotate_kinds(config.backend != Backend::Reliable)
+        .checkpoint_interval(config.checkpoint_interval)
+        .seed(config.seed)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid soak configuration: {e}"));
+    let store = Arc::new(Store::new(store_config));
     let metrics = Arc::new(StoreMetrics::default());
     let deadline = Instant::now() + Duration::from_secs_f64(config.secs);
     let mut max_retained = 0usize;
 
-    let clients: Vec<StoreClient> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..config.threads)
-            .map(|w| {
-                let store = Arc::clone(&store);
-                let metrics = Arc::clone(&metrics);
-                let mut rng = splitmix64(config.seed ^ (w as u64) << 32);
-                let keyspace = config.keyspace.max(1);
-                let read_pct = config.read_pct;
-                scope.spawn(move || {
-                    let mut client = store.client();
-                    while Instant::now() < deadline {
-                        let r = mix(&mut rng);
-                        let key = (r >> 32) as u32 % keyspace;
-                        let dice = (r % 100) as u32;
-                        let start = Instant::now();
-                        let m = if dice < read_pct {
-                            client.get(key);
-                            &metrics.reads
-                        } else if dice < read_pct + (100 - read_pct) * 2 / 3 {
-                            client.put(key, (r as u32) & crate::KV_MAX);
-                            &metrics.writes
-                        } else {
-                            client.del(key);
-                            &metrics.deletes
-                        };
-                        m.record(start.elapsed().as_nanos() as u64);
-                    }
-                    client
-                })
-            })
-            .collect();
-        // Sample retained length while workers run: this is the live
-        // evidence that checkpoint truncation keeps logs bounded.
-        while Instant::now() < deadline {
-            max_retained = max_retained.max(store.max_retained_len());
-            std::thread::sleep(Duration::from_millis(20));
-        }
-        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    let clients: Vec<StoreClient> = (0..config.threads).map(|_| store.client()).collect();
+    let mix_cfg = WorkloadMix {
+        read_pct: config.read_pct,
+        keyspace: config.keyspace,
+        seed: config.seed,
+        batch: 1,
+    };
+    // The `during` hook samples retained length while workers run: live
+    // evidence that checkpoint truncation keeps logs bounded.
+    let outcome = drive_clients(clients, &mix_cfg, deadline, &metrics, || {
+        max_retained = max_retained.max(store.max_retained_len());
     });
+    let DriveOutcome {
+        mut clients,
+        errors,
+    } = outcome;
 
     let elapsed = config.secs;
     max_retained = max_retained.max(store.max_retained_len());
-    let report: ConsistencyReport = store.verify(clients);
+    let report: ConsistencyReport = store.verify(&mut clients);
     let consistency: Vec<ShardVerdict> = report
         .per_shard
         .iter()
@@ -284,7 +408,8 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
         consistency,
         max_retained_during_run: max_retained,
         retained_after_verify: store.max_retained_len(),
-        consistent: report.all_consistent(),
+        consistent: report.all_consistent() && errors.is_empty(),
+        client_errors: errors.iter().map(|e| e.to_string()).collect(),
     }
 }
 

@@ -678,6 +678,12 @@ impl<T: Replicated> Handle<T> {
     pub fn boundary_digests(&self) -> &[(usize, u64)] {
         &self.boundary_digests
     }
+
+    /// The shared log this handle replicates (for divergence checks and
+    /// retention inspection without going through the owning store).
+    pub fn log(&self) -> &Arc<UniversalLog> {
+        &self.core
+    }
 }
 
 impl<T: Replicated> Drop for Handle<T> {

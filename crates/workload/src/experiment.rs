@@ -5,6 +5,12 @@
 //! encodes the paper's prediction — "pass" means the reproduction
 //! *matches the theorem*, including the lower-bound experiments, where
 //! matching means a violation **was** found.
+//!
+//! The system-scale experiments live downstream of this crate and are
+//! registered by the `report` binary instead of [`registry`] (they
+//! depend on `ff-workload`, so naming them here would be a cycle):
+//! E15 (store soak) in `ff-store`, E16 (network soak over TCP) in
+//! `ff-net`.
 
 use crate::table::Table;
 

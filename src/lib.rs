@@ -20,7 +20,8 @@
 //! | [`adversary`] | `ff-adversary` | Theorem 18/19 adversaries, data-fault separation, hierarchy probes |
 //! | [`universal`] | `ff-universal` | Replicated objects over fault-tolerant consensus cells |
 //! | [`workload`] | `ff-workload` | The E1–E14 experiment harness and table rendering |
-//! | [`store`] | `ff-store` | Sharded replicated KV store with checkpointed logs, fault knobs, metrics, soak harness (E15) |
+//! | [`store`] | `ff-store` | Sharded replicated KV store with checkpointed logs, fault knobs, metrics, soak harness (E15), unified `Kv` client API |
+//! | [`net`] | `ff-net` | Binary wire protocol + std-only TCP server/client for the store; network soak (E16) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 pub use ff_adversary as adversary;
 pub use ff_cas as cas;
 pub use ff_consensus as consensus;
+pub use ff_net as net;
 pub use ff_sim as sim;
 pub use ff_spec as spec;
 pub use ff_store as store;
