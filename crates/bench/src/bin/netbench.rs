@@ -1,9 +1,10 @@
 //! Closed-loop benchmark of the network path: `NetClient`s over
-//! localhost TCP against a `NetServer`, same workload loop as `soak`.
+//! localhost TCP against the reactor `NetServer`.
 //!
 //! ```text
 //! cargo run --release -p ff-bench --bin netbench -- \
-//!     --connections 4 --shards 4 --secs 5 --batch 8
+//!     --connections 1000 --shards 4 --secs 5 --batch 8
+//! cargo run --release -p ff-bench --bin netbench -- --sweep
 //! ```
 //!
 //! Two arms, mirroring the store soak:
@@ -16,17 +17,74 @@
 //!   a divergence error frame at a client or a failed post-drain
 //!   verify. Exits 1 if it is *never* flagged.
 //!
+//! The robust arm is driven **multiplexed**: a handful of driver
+//! threads each own a slice of the connection fleet and keep exactly
+//! one BATCH frame in flight per connection via [`NetClient::send`] /
+//! [`NetClient::collect`] — send on every lane, then collect on every
+//! lane. That is how a 1-core box loads the reactor with thousands of
+//! connections; a thread per connection stopped being an option the
+//! moment `--connections` grew a third digit. The witness arm keeps
+//! the thread-per-client [`drive_clients`] loop (clamped to at most 4
+//! connections) so its divergence observation still flows through the
+//! plain [`Kv`] path.
+//!
+//! `--sweep` replaces the single robust run with the connection-scaling
+//! trajectory 100 → 1,000 → 10,000. Connections the OS refuses (fd
+//! limits at the top point) are reported as `achieved_connections`, not
+//! treated as failure. Every report embeds the retired
+//! thread-per-connection baseline (3 connections, ~305k ops/s, p99
+//! ≈ 262µs) so the JSON carries its own comparison.
+//!
 //! The full report lands in `BENCH_net.json` (`--json-out` overrides).
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ff_net::client::response_error;
+use ff_net::wire::{Request, Response};
 use ff_net::{NetClient, NetServer, ServerConfig};
 use ff_store::{
-    drive_clients, Backend, MetricsSnapshot, Store, StoreConfig, StoreError, StoreMetrics,
-    WorkloadMix,
+    drive_clients, Backend, KvOp, MetricsSnapshot, Store, StoreConfig, StoreError, StoreMetrics,
+    WorkloadMix, KV_MAX,
 };
 use ff_workload::JsonValue;
+
+/// The retired thread-per-connection server's best measured run (3
+/// connections, `drive_clients`, batch 8, 1-core CI box) — the bar the
+/// reactor has to clear while holding 100–10,000 connections.
+struct Baseline {
+    connections: usize,
+    ops_per_sec: f64,
+    p99_us: f64,
+}
+
+const BASELINE: Baseline = Baseline {
+    connections: 3,
+    ops_per_sec: 305_000.0,
+    p99_us: 262.0,
+};
+
+impl Baseline {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "driver".into(),
+                JsonValue::String("thread-per-connection".into()),
+            ),
+            (
+                "connections".into(),
+                JsonValue::Number(self.connections as f64),
+            ),
+            ("ops_per_sec".into(), JsonValue::Number(self.ops_per_sec)),
+            ("p99_us".into(), JsonValue::Number(self.p99_us)),
+        ])
+    }
+}
+
+/// The `--sweep` trajectory: two orders of magnitude past the old
+/// server's practical ceiling.
+const SWEEP_POINTS: [usize; 3] = [100, 1_000, 10_000];
 
 struct BenchConfig {
     connections: usize,
@@ -38,6 +96,10 @@ struct BenchConfig {
     fault_rate: f64,
     checkpoint_interval: usize,
     seed: u64,
+    loops: usize,
+    replica_budget: usize,
+    drivers: usize,
+    sweep: bool,
     skip_naive: bool,
     json_out: String,
 }
@@ -54,6 +116,14 @@ impl Default for BenchConfig {
             fault_rate: 0.2,
             checkpoint_interval: 64,
             seed: 0xBE7,
+            loops: 0,
+            // The bench default keeps every connection on the per-loop
+            // combiner replicas: at bench scale an exclusive replica
+            // per connection would put replica count — not the network
+            // path — on the measured critical path.
+            replica_budget: 0,
+            drivers: 0,
+            sweep: false,
             skip_naive: false,
             json_out: "BENCH_net.json".to_string(),
         }
@@ -64,6 +134,8 @@ struct ArmReport {
     backend: Backend,
     snapshot: MetricsSnapshot,
     ops_served: u64,
+    connections_requested: usize,
+    connections_achieved: usize,
     client_errors: Vec<String>,
     divergence_errors: usize,
     verify_consistent: bool,
@@ -82,12 +154,24 @@ impl ArmReport {
                 JsonValue::String(self.backend.label().into()),
             ),
             (
+                "connections".into(),
+                JsonValue::Number(self.connections_requested as f64),
+            ),
+            (
+                "achieved_connections".into(),
+                JsonValue::Number(self.connections_achieved as f64),
+            ),
+            (
                 "ops_served".into(),
                 JsonValue::Number(self.ops_served as f64),
             ),
             (
                 "ops_per_sec".into(),
                 JsonValue::Number(self.snapshot.total_ops_per_sec()),
+            ),
+            (
+                "speedup_vs_baseline".into(),
+                JsonValue::Number(self.snapshot.total_ops_per_sec() / BASELINE.ops_per_sec),
             ),
             ("latency".into(), self.snapshot.to_json()),
             (
@@ -118,16 +202,235 @@ impl ArmReport {
             ),
         ])
     }
+
+    fn print_summary(&self, label: &str) {
+        println!(
+            "{label}: {}/{} connection(s), {} ops served, {:.0} ops/sec \
+             (×{:.2} vs thread-per-connection baseline), \
+             p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs, consistent: {}",
+            self.connections_achieved,
+            self.connections_requested,
+            self.ops_served,
+            self.snapshot.total_ops_per_sec(),
+            self.snapshot.total_ops_per_sec() / BASELINE.ops_per_sec,
+            self.snapshot.batches.p50_ns as f64 / 1000.0,
+            self.snapshot.batches.p95_ns as f64 / 1000.0,
+            self.snapshot.batches.p99_ns as f64 / 1000.0,
+            self.verify_consistent,
+        );
+    }
 }
 
-/// One full arm: store + TCP server + closed-loop clients + drain +
-/// verify over the server's retired replicas.
+// ---------------------------------------------------------------------------
+// Multiplexed driver
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — the same generator the soak workers use, so the two
+/// drivers issue statistically identical workloads.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mirrors the soak's operation mix: `read_pct` gets, the remainder
+/// split 2:1 between puts and dels.
+fn random_op(rng: &mut u64, keyspace: u32, read_pct: u32) -> KvOp {
+    let r = mix(rng);
+    let key = (r >> 32) as u32 % keyspace;
+    let dice = (r % 100) as u32;
+    if dice < read_pct {
+        KvOp::Get(key)
+    } else if dice < read_pct + (100 - read_pct) * 2 / 3 {
+        KvOp::Put(key, (r as u32) & KV_MAX)
+    } else {
+        KvOp::Del(key)
+    }
+}
+
+/// One driven connection: its client, its private workload stream, and
+/// the first error that retired it (errors are sticky, like the soak's
+/// workers — hammering a diverged shard teaches nothing).
+struct Lane {
+    client: NetClient,
+    rng: u64,
+    error: Option<StoreError>,
+}
+
+struct MuxOutcome {
+    clients: Vec<NetClient>,
+    errors: Vec<StoreError>,
+}
+
+/// Drive `clients` closed-loop until `deadline` from `drivers` threads,
+/// each cycling send-on-every-lane → collect-on-every-lane so every
+/// connection keeps exactly one BATCH frame in flight. Latency is the
+/// full send→collect round trip, recorded per batch into
+/// `metrics.batches` exactly as [`drive_clients`] records it.
+fn drive_multiplexed(
+    clients: Vec<NetClient>,
+    mix_cfg: &WorkloadMix,
+    deadline: Instant,
+    metrics: &StoreMetrics,
+    drivers: usize,
+) -> MuxOutcome {
+    let drivers = drivers.clamp(1, clients.len().max(1));
+    let mut groups: Vec<Vec<Lane>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (i, client) in clients.into_iter().enumerate() {
+        groups[i % drivers].push(Lane {
+            client,
+            rng: mix_cfg.seed ^ (i as u64) << 32,
+            error: None,
+        });
+    }
+    let batch = mix_cfg.batch.max(1);
+    let keyspace = mix_cfg.keyspace.max(1);
+    let read_pct = mix_cfg.read_pct;
+
+    let groups: Vec<Vec<Lane>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = groups
+            .into_iter()
+            .map(|mut lanes| {
+                let metrics = &*metrics;
+                scope.spawn(move || {
+                    while Instant::now() < deadline {
+                        // Send phase: one BATCH frame per live lane.
+                        let mut round = Vec::with_capacity(lanes.len());
+                        for (li, lane) in lanes.iter_mut().enumerate() {
+                            if lane.error.is_some() {
+                                continue;
+                            }
+                            let ops: Vec<KvOp> = (0..batch)
+                                .map(|_| random_op(&mut lane.rng, keyspace, read_pct))
+                                .collect();
+                            let start = Instant::now();
+                            match lane.client.send(&[Request::Batch(ops)]) {
+                                Ok(ticket) => round.push((li, ticket, start)),
+                                Err(e) => lane.error = Some(e),
+                            }
+                        }
+                        if round.is_empty() {
+                            break; // every lane is dead
+                        }
+                        // Collect phase: redeem in send order.
+                        for (li, ticket, start) in round {
+                            let lane = &mut lanes[li];
+                            match lane.client.collect(ticket) {
+                                Ok(mut resps) => match resps.pop() {
+                                    Some(Response::Batch(values)) if values.len() == batch => {
+                                        metrics.batches.record_many(
+                                            start.elapsed().as_nanos() as u64,
+                                            batch as u64,
+                                        );
+                                    }
+                                    Some(Response::Batch(values)) => {
+                                        lane.error = Some(StoreError::Protocol(format!(
+                                            "batch of {batch} ops answered with {} values",
+                                            values.len()
+                                        )));
+                                    }
+                                    Some(other) => lane.error = Some(response_error(other)),
+                                    None => unreachable!("one frame per ticket"),
+                                },
+                                Err(e) => lane.error = Some(e),
+                            }
+                        }
+                    }
+                    lanes
+                })
+            })
+            .collect();
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut clients = Vec::new();
+    let mut errors = Vec::new();
+    for lane in groups.into_iter().flatten() {
+        clients.push(lane.client);
+        errors.extend(lane.error);
+    }
+    MuxOutcome { clients, errors }
+}
+
+/// Socket timeout for the measured fleet. At the top of the sweep a
+/// closed-loop round trip is seconds, not microseconds — the server
+/// scans every connection per tick — so the default 10 s client
+/// timeout would misreport tail latency as an I/O error.
+const FLEET_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The soft fd limit, from `/proc/self/limits` (None off Linux — then
+/// the only guard is the connect loop's own failure handling).
+fn fd_budget() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Connect up to `want` clients, tolerating the OS running out of file
+/// descriptors near the top of the sweep: the achieved fleet is driven
+/// and reported instead of aborting the run.
+///
+/// Client and server share one process here, so every connection costs
+/// **two** descriptors. Exhausting the table is asymmetric: the
+/// client-side `connect` still succeeds through the listener backlog
+/// while the server-side `accept` fails, leaving lanes that connected
+/// but will never be served. Capping against the soft limit up front
+/// keeps the whole achieved fleet answerable.
+fn connect_fleet(addr: SocketAddr, want: usize) -> Vec<NetClient> {
+    let want = match fd_budget() {
+        Some(budget) => {
+            let cap = budget.saturating_sub(256) / 2;
+            if cap < want {
+                eprintln!(
+                    "netbench: fd limit {budget} caps the fleet at {cap} of {want} \
+                     requested connection(s)"
+                );
+            }
+            want.min(cap.max(1))
+        }
+        None => want,
+    };
+    let mut clients: Vec<NetClient> = Vec::with_capacity(want);
+    while clients.len() < want {
+        let mut attempts = 0;
+        match loop {
+            match NetClient::connect_with_timeout(addr, FLEET_TIMEOUT) {
+                Ok(c) => break Some(c),
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= 5 {
+                        eprintln!(
+                            "netbench: connected {}/{want} ({e}); driving the achieved fleet",
+                            clients.len()
+                        );
+                        break None;
+                    }
+                    // Transient refusals (accept backlog) deserve a
+                    // beat; fd exhaustion will fail all 5 and fall out.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        } {
+            Some(c) => clients.push(c),
+            None => break,
+        }
+    }
+    clients
+}
+
+/// One full arm: store + reactor server + closed-loop clients + drain +
+/// verify over the server's retired replicas (exclusive leases and
+/// loop combiners alike).
 fn run_arm(
     cfg: &BenchConfig,
     backend: Backend,
     fault_rate: f64,
     secs: f64,
     seed: u64,
+    connections: usize,
+    multiplexed: bool,
 ) -> ArmReport {
     let store = Arc::new(Store::new(
         StoreConfig::builder()
@@ -151,7 +454,9 @@ fn run_arm(
         Arc::clone(&store),
         "127.0.0.1:0",
         ServerConfig {
-            max_connections: cfg.connections + 4,
+            max_connections: connections + 16,
+            loops: cfg.loops,
+            replica_budget: cfg.replica_budget,
             ..ServerConfig::default()
         },
     )
@@ -159,45 +464,54 @@ fn run_arm(
         eprintln!("failed to bind: {e}");
         std::process::exit(1);
     });
-    let clients: Vec<NetClient> = (0..cfg.connections)
-        .map(|_| {
-            NetClient::connect(server.addr()).unwrap_or_else(|e| {
-                eprintln!("failed to connect: {e}");
-                std::process::exit(1);
-            })
-        })
-        .collect();
+    let clients = connect_fleet(server.addr(), connections);
+    if clients.is_empty() {
+        eprintln!("no connection could be established");
+        std::process::exit(1);
+    }
+    let achieved = clients.len();
 
     let metrics = StoreMetrics::default();
-    let mix = WorkloadMix {
+    let mix_cfg = WorkloadMix {
         read_pct: cfg.read_pct,
         keyspace: cfg.keyspace,
         seed,
         batch: cfg.batch,
     };
     let started = Instant::now();
-    let outcome = drive_clients(
-        clients,
-        &mix,
-        started + Duration::from_secs_f64(secs),
-        &metrics,
-        || {},
-    );
+    let deadline = started + Duration::from_secs_f64(secs);
+    let (driven_clients, errors) = if multiplexed {
+        let drivers = if cfg.drivers > 0 {
+            cfg.drivers
+        } else {
+            achieved.clamp(1, 4)
+        };
+        let outcome = drive_multiplexed(clients, &mix_cfg, deadline, &metrics, drivers);
+        (outcome.clients, outcome.errors)
+    } else {
+        let outcome = drive_clients(clients, &mix_cfg, deadline, &metrics, || {});
+        (outcome.clients, outcome.errors)
+    };
     let elapsed = started.elapsed().as_secs_f64();
-    let divergence_errors = outcome.divergence_errors();
-    let client_errors: Vec<String> = outcome.errors.iter().map(|e| e.to_string()).collect();
-    for e in &outcome.errors {
+    let divergence_errors = errors
+        .iter()
+        .filter(|e| matches!(e, StoreError::Divergence { .. }))
+        .count();
+    let client_errors: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+    for e in &errors {
         if !matches!(e, StoreError::Divergence { .. }) {
             eprintln!("client error: {e}");
         }
     }
-    drop(outcome.clients);
+    drop(driven_clients);
     let mut report = server.shutdown();
     let verify = store.verify(&mut report.clients);
     ArmReport {
         backend,
         snapshot: metrics.snapshot(elapsed, store.shard_faults()),
         ops_served: report.ops_served,
+        connections_requested: connections,
+        connections_achieved: achieved,
         client_errors,
         divergence_errors,
         verify_consistent: verify.all_consistent(),
@@ -209,8 +523,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: netbench [--connections N] [--shards N] [--secs S] [--batch N]\n\
          \x20              [--read-pct P] [--keyspace N] [--fault-rate R]\n\
-         \x20              [--checkpoint-interval N] [--seed N] [--skip-naive]\n\
-         \x20              [--json-out PATH]"
+         \x20              [--checkpoint-interval N] [--seed N] [--loops N]\n\
+         \x20              [--replica-budget N] [--drivers N] [--sweep]\n\
+         \x20              [--skip-naive] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -244,6 +559,14 @@ fn main() {
                     .unwrap_or_else(|_| usage())
             }
             "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--loops" => cfg.loops = value("--loops").parse().unwrap_or_else(|_| usage()),
+            "--replica-budget" => {
+                cfg.replica_budget = value("--replica-budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--drivers" => cfg.drivers = value("--drivers").parse().unwrap_or_else(|_| usage()),
+            "--sweep" => cfg.sweep = true,
             "--skip-naive" => cfg.skip_naive = true,
             "--json-out" => cfg.json_out = value("--json-out"),
             "--help" | "-h" => usage(),
@@ -254,24 +577,44 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "netbench: {} connection(s) x {} shard(s) over localhost TCP, {}s, \
-         batch {}, fault rate {} …",
-        cfg.connections, cfg.shards, cfg.secs, cfg.batch, cfg.fault_rate
-    );
-    let robust = run_arm(&cfg, Backend::Robust, cfg.fault_rate, cfg.secs, cfg.seed);
-    println!("{}", robust.snapshot.render_tables());
-    println!(
-        "robust arm: {} ops served, {:.0} ops/sec, consistent: {}",
-        robust.ops_served,
-        robust.snapshot.total_ops_per_sec(),
-        robust.verify_consistent
-    );
+    // The measured robust arm(s): one multiplexed run at --connections,
+    // or the full scaling trajectory under --sweep.
+    let points: Vec<usize> = if cfg.sweep {
+        SWEEP_POINTS.to_vec()
+    } else {
+        vec![cfg.connections]
+    };
+    let mut robust_arms: Vec<ArmReport> = Vec::new();
+    for &p in &points {
+        eprintln!(
+            "netbench: robust arm, {} connection(s) x {} shard(s) over localhost TCP, \
+             {}s, batch {}, fault rate {} …",
+            p, cfg.shards, cfg.secs, cfg.batch, cfg.fault_rate
+        );
+        let arm = run_arm(
+            &cfg,
+            Backend::Robust,
+            cfg.fault_rate,
+            cfg.secs,
+            cfg.seed ^ (p as u64) << 8,
+            p,
+            true,
+        );
+        println!("{}", arm.snapshot.render_tables());
+        arm.print_summary("robust arm");
+        robust_arms.push(arm);
+    }
+    let robust_ok = robust_arms
+        .iter()
+        .all(|a| a.verify_consistent && a.client_errors.is_empty());
 
     // The witness arm: short bursts at a meaningful fault rate until
     // the naive backend is caught — the violation is existential, so
-    // retry over seeds with a cap, like E15/E16.
+    // retry over seeds with a cap, like E15/E16. A handful of
+    // thread-per-client connections keeps the observation on the plain
+    // Kv path.
     let naive_rate = cfg.fault_rate.max(0.2);
+    let naive_connections = cfg.connections.clamp(1, 4);
     let mut naive: Option<ArmReport> = None;
     let mut naive_attempts = 0u32;
     if !cfg.skip_naive {
@@ -283,6 +626,8 @@ fn main() {
                 naive_rate,
                 (cfg.secs / 4.0).clamp(0.2, 1.0),
                 cfg.seed ^ (attempt.wrapping_add(1) << 32),
+                naive_connections,
+                false,
             );
             let flagged = arm.flagged();
             naive = Some(arm);
@@ -300,9 +645,7 @@ fn main() {
         );
     }
 
-    let verdict = robust.verify_consistent
-        && robust.client_errors.is_empty()
-        && naive.as_ref().is_none_or(|n| n.flagged());
+    let verdict = robust_ok && naive.as_ref().is_none_or(|n| n.flagged());
 
     let mut doc = vec![
         (
@@ -319,14 +662,35 @@ fn main() {
                 ("keyspace".into(), JsonValue::Number(cfg.keyspace as f64)),
                 ("fault_rate".into(), JsonValue::Number(cfg.fault_rate)),
                 ("seed".into(), JsonValue::Number(cfg.seed as f64)),
+                ("loops".into(), JsonValue::Number(cfg.loops as f64)),
+                (
+                    "replica_budget".into(),
+                    JsonValue::Number(cfg.replica_budget as f64),
+                ),
+                ("sweep".into(), JsonValue::Bool(cfg.sweep)),
                 (
                     "transport".into(),
                     JsonValue::String("tcp-localhost".into()),
                 ),
+                (
+                    "driver".into(),
+                    JsonValue::String("multiplexed-reactor".into()),
+                ),
             ]),
         ),
-        ("robust".to_string(), robust.to_json()),
+        ("baseline".to_string(), BASELINE.to_json()),
     ];
+    if cfg.sweep {
+        doc.push((
+            "sweep".to_string(),
+            JsonValue::Array(robust_arms.iter().map(|a| a.to_json()).collect()),
+        ));
+    }
+    // The headline robust entry: the largest completed sweep point, or
+    // the single measured run.
+    if let Some(headline) = robust_arms.last() {
+        doc.push(("robust".to_string(), headline.to_json()));
+    }
     if let Some(n) = &naive {
         doc.push(("naive".to_string(), n.to_json()));
         doc.push((
@@ -342,7 +706,7 @@ fn main() {
     });
     eprintln!("wrote {}", cfg.json_out);
 
-    if !robust.verify_consistent || !robust.client_errors.is_empty() {
+    if !robust_ok {
         eprintln!("DIVERGENCE in the robust arm — the construction failed its envelope");
         std::process::exit(1);
     }

@@ -12,6 +12,14 @@
 //! responses. [`Kv::batch`] instead sends one BATCH frame, which the
 //! server executes as one log pass per touched shard; both cost a
 //! single round trip, but BATCH also coalesces consensus work.
+//!
+//! `pipeline` is itself built from the split halves
+//! [`NetClient::send`] / [`NetClient::collect`]: `send` writes the
+//! frames and returns a [`PipelineTicket`], `collect` redeems it for
+//! the responses. The split lets a driver thread keep one batch in
+//! flight on each of *many* connections — send on all, then collect
+//! on all — which is how the bench harness loads a reactor with
+//! thousands of connections from a handful of threads.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -26,6 +34,30 @@ pub struct NetClient {
     stream: TcpStream,
     fb: FrameBuffer,
     next_id: u32,
+    /// Encode scratch reused across sends.
+    obuf: Vec<u8>,
+}
+
+/// A receipt for request frames written by [`NetClient::send`] but not
+/// yet answered. Redeem it with [`NetClient::collect`]. Tickets must
+/// be collected in the order they were issued — the server answers in
+/// request order.
+#[must_use = "uncollected pipelined requests leave responses on the socket"]
+pub struct PipelineTicket {
+    first: u32,
+    count: usize,
+}
+
+impl PipelineTicket {
+    /// How many responses this ticket will redeem.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the ticket covers no requests at all.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
 fn io_err(e: std::io::Error) -> StoreError {
@@ -52,6 +84,7 @@ impl NetClient {
             stream,
             fb: FrameBuffer::new(),
             next_id: 1,
+            obuf: Vec::new(),
         })
     }
 
@@ -59,29 +92,49 @@ impl NetClient {
     /// order. The server answers in request order, so a mismatched id
     /// is a protocol violation, not a reordering to tolerate.
     pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, StoreError> {
+        let ticket = self.send(reqs)?;
+        self.collect(ticket)
+    }
+
+    /// Write `reqs` as one burst of frames without waiting for the
+    /// answers. Redeem the returned ticket with
+    /// [`NetClient::collect`]; multiple tickets may be outstanding but
+    /// must be collected in issue order.
+    pub fn send(&mut self, reqs: &[Request]) -> Result<PipelineTicket, StoreError> {
         // Ids must never collide with 0 (reserved for connection-level
         // errors); restart the sequence rather than wrap into it.
         if u32::MAX - self.next_id < reqs.len() as u32 {
             self.next_id = 1;
         }
         let first = self.next_id;
-        let mut out = Vec::new();
+        self.obuf.clear();
         for req in reqs {
-            encode_request(&mut out, self.next_id, req);
+            encode_request(&mut self.obuf, self.next_id, req);
             self.next_id = self.next_id.wrapping_add(1);
         }
-        self.stream.write_all(&out).map_err(io_err)?;
-        let mut resps = Vec::with_capacity(reqs.len());
-        for i in 0..reqs.len() {
+        self.stream.write_all(&self.obuf).map_err(io_err)?;
+        Ok(PipelineTicket {
+            first,
+            count: reqs.len(),
+        })
+    }
+
+    /// Read the in-order responses to a previously [`send`]-written
+    /// burst.
+    ///
+    /// [`send`]: NetClient::send
+    pub fn collect(&mut self, ticket: PipelineTicket) -> Result<Vec<Response>, StoreError> {
+        let mut resps = Vec::with_capacity(ticket.count);
+        for i in 0..ticket.count {
             let frame = self.read_frame()?;
-            let want = first.wrapping_add(i as u32);
+            let want = ticket.first.wrapping_add(i as u32);
             if frame.id != want {
                 // Id 0 is reserved for connection-level errors the
                 // server sends unprompted (overloaded, shutting down,
                 // unrecoverable framing) before closing.
                 if frame.id == 0 {
                     if let Response::Error { .. } = frame.resp {
-                        return Err(unexpected(frame.resp));
+                        return Err(response_error(frame.resp));
                     }
                 }
                 return Err(StoreError::Protocol(format!(
@@ -123,7 +176,7 @@ impl NetClient {
     pub fn ping(&mut self) -> Result<(), StoreError> {
         match self.roundtrip(Request::Ping)? {
             Response::Pong => Ok(()),
-            other => Err(unexpected(other)),
+            other => Err(response_error(other)),
         }
     }
 
@@ -131,21 +184,25 @@ impl NetClient {
     pub fn stats(&mut self) -> Result<StatsReply, StoreError> {
         match self.roundtrip(Request::Stats)? {
             Response::Stats(s) => Ok(s),
-            other => Err(unexpected(other)),
+            other => Err(response_error(other)),
         }
     }
 
     fn value_of(&mut self, req: Request) -> Result<Option<u32>, StoreError> {
         match self.roundtrip(req)? {
             Response::Value(v) => Ok(v),
-            other => Err(unexpected(other)),
+            other => Err(response_error(other)),
         }
     }
 }
 
 /// An error frame maps back onto the [`StoreError`] the in-process
 /// client would have returned; anything else is a protocol violation.
-fn unexpected(resp: Response) -> StoreError {
+///
+/// Public so drivers built directly on [`NetClient::send`] /
+/// [`NetClient::collect`] (the bench harness) share the client's exact
+/// error semantics instead of re-deriving the code → error mapping.
+pub fn response_error(resp: Response) -> StoreError {
     match resp {
         Response::Error {
             code,
@@ -191,7 +248,7 @@ impl Kv for NetClient {
                 }
                 Ok(values)
             }
-            other => Err(unexpected(other)),
+            other => Err(response_error(other)),
         }
     }
 }

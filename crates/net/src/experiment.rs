@@ -36,9 +36,17 @@ struct ArmOutcome {
     diverged_shards: Vec<usize>,
 }
 
-/// One soak arm: store + server + 3 TCP clients driven to `deadline`,
-/// then a drain and a full verify over the server's retired replicas.
-fn run_arm(backend: Backend, secs: f64, seed: u64) -> ArmOutcome {
+/// One soak arm: store + server + `connections` TCP clients driven to
+/// `deadline`, then a drain and a full verify over the server's
+/// retired replicas (per-connection exclusives and loop combiners
+/// alike).
+fn run_arm(
+    backend: Backend,
+    secs: f64,
+    seed: u64,
+    connections: usize,
+    server_config: ServerConfig,
+) -> ArmOutcome {
     let store = Arc::new(Store::new(
         StoreConfig::builder()
             .shards(3)
@@ -50,9 +58,9 @@ fn run_arm(backend: Backend, secs: f64, seed: u64) -> ArmOutcome {
             .build()
             .expect("arm config is valid"),
     ));
-    let server = NetServer::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default())
+    let server = NetServer::start(Arc::clone(&store), "127.0.0.1:0", server_config)
         .expect("bind ephemeral port");
-    let clients: Vec<NetClient> = (0..3)
+    let clients: Vec<NetClient> = (0..connections)
         .map(|_| NetClient::connect(server.addr()).expect("connect to own server"))
         .collect();
 
@@ -112,7 +120,7 @@ impl Experiment for E16NetSoak {
         );
         let mut notes = Vec::new();
 
-        let robust = run_arm(Backend::Robust, 0.5, 0xE16);
+        let robust = run_arm(Backend::Robust, 0.5, 0xE16, 3, ServerConfig::default());
         table.push_row(&[
             "robust".to_string(),
             robust.ops.to_string(),
@@ -131,7 +139,13 @@ impl Experiment for E16NetSoak {
         let mut naive_flagged = false;
         let mut naive_ops = 0;
         for attempt in 0..12u64 {
-            let naive = run_arm(Backend::Naive, 0.2, 0x16E ^ (attempt << 8));
+            let naive = run_arm(
+                Backend::Naive,
+                0.2,
+                0x16E ^ (attempt << 8),
+                3,
+                ServerConfig::default(),
+            );
             naive_ops += naive.ops;
             let flagged = naive.divergence_seen_remotely || !naive.verify_consistent;
             if flagged {
@@ -176,6 +190,126 @@ impl Experiment for E16NetSoak {
     }
 }
 
+/// E17: the E16 claim through the reactor's hard paths — more
+/// connections than the replica budget, so operations from different
+/// clients coalesce onto shared per-loop combiner replicas while the
+/// fault knobs ramp live.
+pub struct E17ReactorSoak;
+
+/// A server shape that forces every reactor mechanism at once: two
+/// event loops, a replica budget below the connection count (mixed
+/// exclusive/shared leases → every merged run executes on a loop
+/// combiner), and the default backpressure bounds.
+fn reactor_config() -> ServerConfig {
+    ServerConfig {
+        max_connections: 32,
+        loops: 2,
+        replica_budget: 4,
+        ..ServerConfig::default()
+    }
+}
+
+/// Connections per E17 arm — deliberately past `replica_budget`.
+const E17_CONNECTIONS: usize = 8;
+
+impl Experiment for E17ReactorSoak {
+    fn id(&self) -> &'static str {
+        "e17"
+    }
+
+    fn title(&self) -> &'static str {
+        "Reactor soak: cross-connection batching on shared replicas under live fault ramps"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        let mut table = Table::new(
+            "Reactor soak (8 connections, 2 loops, replica budget 4, ramped fault rate 0→0.5→0)",
+            &[
+                "backend",
+                "ops served",
+                "remote divergence",
+                "verify consistent",
+            ],
+        );
+        let mut notes = Vec::new();
+
+        let robust = run_arm(
+            Backend::Robust,
+            0.5,
+            0xE17,
+            E17_CONNECTIONS,
+            reactor_config(),
+        );
+        table.push_row(&[
+            "robust".to_string(),
+            robust.ops.to_string(),
+            robust.divergence_seen_remotely.to_string(),
+            robust.verify_consistent.to_string(),
+        ]);
+        let robust_ok = robust.verify_consistent && robust.client_errors.is_empty();
+        if !robust_ok {
+            for e in &robust.client_errors {
+                notes.push(format!("robust arm client error: {e}"));
+            }
+        }
+
+        // Existential violation, like E15/E16: the junk decision has
+        // to land observably — retry over seeds.
+        let mut naive_flagged = false;
+        let mut naive_ops = 0;
+        for attempt in 0..12u64 {
+            let naive = run_arm(
+                Backend::Naive,
+                0.2,
+                0x17E ^ (attempt << 8),
+                E17_CONNECTIONS,
+                reactor_config(),
+            );
+            naive_ops += naive.ops;
+            let flagged = naive.divergence_seen_remotely || !naive.verify_consistent;
+            if flagged {
+                naive_flagged = true;
+                table.push_row(&[
+                    "naive".to_string(),
+                    naive.ops.to_string(),
+                    naive.divergence_seen_remotely.to_string(),
+                    naive.verify_consistent.to_string(),
+                ]);
+                notes.push(format!(
+                    "naive arm flagged at attempt {attempt}: {} (shards {:?})",
+                    if naive.divergence_seen_remotely {
+                        "client received a divergence error over the wire"
+                    } else {
+                        "post-drain verify found inconsistent shards"
+                    },
+                    naive.diverged_shards,
+                ));
+                break;
+            }
+        }
+        if !naive_flagged {
+            notes.push(format!(
+                "naive arm stayed clean across 12 attempts ({naive_ops} ops) — violation not observed"
+            ));
+        }
+        notes.push(
+            "8 connections share 4 exclusive replicas + per-loop combiners, so every \
+             merged run crosses connection boundaries; divergence still arrives as a \
+             typed error frame, never as data"
+                .to_string(),
+        );
+
+        ExperimentResult {
+            id: "e17".into(),
+            title: self.title().into(),
+            paper_ref: "Sections 4–6 at system scale, through the readiness-driven reactor".into(),
+            tables: vec![table],
+            notes,
+            pass: robust_ok && naive_flagged,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +318,11 @@ mod tests {
     fn e16_passes() {
         let result = E16NetSoak.run();
         assert!(result.pass, "E16 failed:\n{}", result.render());
+    }
+
+    #[test]
+    fn e17_passes() {
+        let result = E17ReactorSoak.run();
+        assert!(result.pass, "E17 failed:\n{}", result.render());
     }
 }

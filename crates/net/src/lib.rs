@@ -12,10 +12,13 @@
 //!
 //! | module | what it holds |
 //! |---|---|
-//! | [`wire`] | frame layout, encode/decode, streaming [`FrameBuffer`] |
-//! | [`server`] | [`NetServer`]: thread-per-connection, pipelining, burst batching, backpressure, graceful drain |
+//! | [`wire`] | frame layout, encode/decode (owned and zero-copy), streaming [`FrameBuffer`] |
+//! | [`server`] | [`NetServer`]: the readiness-driven reactor — N event loops, replica leases, cross-connection batching, backpressure, graceful drain |
+//! | `poll` (private) | the std-only readiness abstraction the loops run on |
+//! | `buffer` (private) | per-loop pools for connection read/write buffers |
+//! | `reactor` (private) | the event-loop state machine itself |
 //! | [`client`] | [`NetClient`]: pipelining TCP client implementing [`Kv`](ff_store::Kv) |
-//! | [`experiment`] | [`E16NetSoak`]: the E15 soak through the network path with live fault ramps |
+//! | [`experiment`] | [`E16NetSoak`] and [`E17ReactorSoak`]: the fault-ramp soak over TCP, thread-per-request shape and reactor shape |
 //!
 //! No async runtime and no serialization framework: `std::net`,
 //! threads, and hand-rolled little-endian frames keep the service
@@ -24,12 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 pub mod client;
 pub mod experiment;
+mod poll;
+mod reactor;
 pub mod server;
 pub mod wire;
 
-pub use client::NetClient;
-pub use experiment::E16NetSoak;
-pub use server::{NetServer, ServerConfig, ServerReport};
+pub use client::{NetClient, PipelineTicket};
+pub use experiment::{E16NetSoak, E17ReactorSoak};
+pub use server::{NetServer, ServerConfig, ServerReport, ShutdownError};
 pub use wire::{FrameBuffer, Request, Response, StatsReply, MAX_FRAME_LEN, PROTOCOL_VERSION};

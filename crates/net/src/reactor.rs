@@ -1,0 +1,605 @@
+//! The event loops behind [`NetServer`](crate::NetServer): nonblocking
+//! connection state machines multiplexed over the [`poll`](crate::poll)
+//! abstraction.
+//!
+//! # One tick
+//!
+//! 1. **Admit** — drain this loop's inbox of freshly accepted,
+//!    already-nonblocking sockets; grant each a replica lease
+//!    (exclusive [`StoreClient`] within the budget, shared combiner
+//!    beyond it) and pooled buffers.
+//! 2. **Poll** — probe read readiness for every open, unpaused
+//!    connection; connections with unflushed responses bound the wait.
+//! 3. **Read** — pull up to 16 KiB per readable connection straight
+//!    into its frame buffer (no intermediate chunk copy).
+//! 4. **Stage** — decode complete frames **in place** with the
+//!    zero-copy [`peek_frame`](crate::wire::FrameBuffer::peek_frame)
+//!    path. Valid GET/PUT/DEL/BATCH operations from *every*
+//!    connection merge into one run; STATS/PING and per-frame
+//!    validation errors become immediate response slots. A decode
+//!    error stages one id-0 `Malformed` frame and marks the
+//!    connection closing — length-prefixed framing cannot resync.
+//! 5. **Execute** — the merged run goes through one
+//!    [`Kv::batch`](ff_store::Kv::batch) call: one log pass per
+//!    touched shard for the whole tick, across connections. If every
+//!    contributor holds an exclusive lease the first contributor's
+//!    replica executes it (so small fleets keep exactly the old
+//!    per-connection replica graveyard); otherwise the loop's
+//!    lazily-minted combiner does.
+//! 6. **Resolve** — encode each slot's response into its connection's
+//!    write buffer, in per-connection request order. A run error
+//!    (divergence poisons the shard set; nothing partial is usable)
+//!    answers every run slot with the same typed error.
+//! 7. **Flush** — attempted-write model: write until `WouldBlock`,
+//!    killing peers stalled past the write timeout.
+//! 8. **Reap** — dead connections return buffers to the pool, retire
+//!    exclusive replicas to the graveyard, release their lease and
+//!    drop the active count.
+//!
+//! On shutdown a loop runs one final stage/execute/flush pass over
+//! everything already buffered — bounded by the write timeout — then
+//! retires every lease, including the combiner.
+
+use std::io::{ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ff_store::{Kv, KvOp, StoreClient, StoreError, KV_MAX};
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::poll::{Interest, PollSource, Poller, Readiness, ScanPoller};
+use crate::server::{error_response, stats, Shared};
+use crate::wire::{encode_response, Decoded, ErrorCode, FrameBuffer, RequestRef, Response};
+
+/// Most bytes read per connection per tick — round-robin fairness, not
+/// a frame bound.
+const READ_CHUNK: usize = 16 * 1024;
+/// A connection whose unflushed responses exceed this stops being read
+/// until the peer drains it.
+const PAUSE_WBUF: usize = 256 * 1024;
+/// Upper bound on one poll call, so the loop re-checks its inbox and
+/// the shutdown flag promptly.
+const POLL_TICK: Duration = Duration::from_millis(5);
+/// Sleep when the loop owns no connections at all.
+const IDLE_EMPTY: Duration = Duration::from_millis(2);
+
+/// The slice of server state one event loop and the acceptor share.
+#[derive(Default)]
+pub(crate) struct LoopShared {
+    /// Freshly accepted nonblocking sockets pinned to this loop.
+    pub(crate) inbox: Mutex<Vec<TcpStream>>,
+}
+
+/// How a connection reaches the store.
+enum Lease {
+    /// A private replica set, retired to the graveyard on close —
+    /// the old thread-per-connection semantics.
+    Exclusive(StoreClient),
+    /// Operations execute on the loop's shared combiner replica.
+    Shared,
+}
+
+/// One nonblocking connection's state.
+struct Conn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    lease: Lease,
+    /// Peer half-closed; serve what's buffered, flush, then close.
+    eof: bool,
+    /// Framing lost (decode error): stop serving, flush, close.
+    closing: bool,
+    /// Reap this connection at the end of the tick.
+    dead: bool,
+    /// When the current blocked write becomes fatal.
+    write_deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    fn paused(&self) -> bool {
+        self.pending_write() > PAUSE_WBUF
+    }
+}
+
+/// Where one staged frame's answer comes from.
+enum SlotKind {
+    /// `run[off]` — a coalesced single-op frame.
+    Single { off: usize },
+    /// `run[off..off+n]` — a BATCH frame merged into the run.
+    Batch { off: usize, n: usize },
+    /// Server counters, snapshotted after the run executes.
+    Stats,
+    /// PING.
+    Pong,
+    /// Already decided at stage time (validation error, malformed).
+    Ready(Response),
+}
+
+/// One response owed to a connection, in staging order.
+struct Slot {
+    conn: usize,
+    id: u32,
+    kind: SlotKind,
+}
+
+/// Per-tick scratch, allocated once per loop.
+struct Scratch {
+    run_ops: Vec<KvOp>,
+    slots: Vec<Slot>,
+    readiness: Vec<Readiness>,
+    polled: Vec<usize>,
+}
+
+/// The body of one event-loop worker thread.
+pub(crate) fn event_loop(shared: Arc<Shared>, index: usize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pool = BufferPool::new();
+    let mut poller = ScanPoller::new();
+    let mut combiner: Option<StoreClient> = None;
+    let mut scratch = Scratch {
+        run_ops: Vec::new(),
+        slots: Vec::new(),
+        readiness: Vec::new(),
+        polled: Vec::new(),
+    };
+    loop {
+        admit(&shared, index, &mut conns, &mut pool);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drain_all(&shared, conns, &mut combiner, &mut scratch);
+            if let Some(c) = combiner.take() {
+                shared.retired.lock().push(c);
+            }
+            return;
+        }
+        tick(
+            &shared,
+            &mut conns,
+            &mut pool,
+            &mut poller,
+            &mut combiner,
+            &mut scratch,
+        );
+    }
+}
+
+/// Move freshly pinned sockets from the inbox into the live set.
+fn admit(shared: &Shared, index: usize, conns: &mut Vec<Conn>, pool: &mut BufferPool) {
+    let mut inbox = shared.loops[index].inbox.lock();
+    if inbox.is_empty() {
+        return;
+    }
+    let streams: Vec<TcpStream> = inbox.drain(..).collect();
+    drop(inbox);
+    for stream in streams {
+        conns.push(Conn {
+            stream,
+            rbuf: pool.take_read(),
+            wbuf: pool.take_write(),
+            wpos: 0,
+            lease: grant_lease(shared),
+            eof: false,
+            closing: false,
+            dead: false,
+            write_deadline: None,
+        });
+    }
+}
+
+/// Exclusive replica within the budget (and while pid space lasts),
+/// shared combiner beyond it.
+fn grant_lease(shared: &Shared) -> Lease {
+    let budget = shared.config.replica_budget;
+    let granted = shared
+        .exclusive_leases
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < budget).then_some(n + 1)
+        })
+        .is_ok();
+    if granted {
+        match shared.store.try_client() {
+            Some(client) => return Lease::Exclusive(client),
+            None => {
+                shared.exclusive_leases.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    Lease::Shared
+}
+
+fn tick(
+    shared: &Shared,
+    conns: &mut Vec<Conn>,
+    pool: &mut BufferPool,
+    poller: &mut ScanPoller,
+    combiner: &mut Option<StoreClient>,
+    scratch: &mut Scratch,
+) {
+    // Poll: read interest for open unpaused connections; write
+    // interest (pacing only — writes are their own probe) for pending
+    // response bytes.
+    scratch.polled.clear();
+    {
+        let mut sources: Vec<PollSource<'_>> = Vec::with_capacity(conns.len());
+        for (i, c) in conns.iter().enumerate() {
+            if c.dead {
+                continue;
+            }
+            let interest = Interest {
+                read: !c.eof && !c.closing && !c.paused(),
+                write: c.pending_write() > 0,
+            };
+            if interest.read || interest.write {
+                scratch.polled.push(i);
+                sources.push(PollSource {
+                    stream: &c.stream,
+                    interest,
+                });
+            }
+        }
+        if sources.is_empty() {
+            std::thread::sleep(IDLE_EMPTY);
+        } else {
+            scratch
+                .readiness
+                .resize(sources.len(), Readiness::default());
+            let timeout = POLL_TICK.min(shared.config.read_timeout.max(Duration::from_millis(1)));
+            poller.poll(&sources, &mut scratch.readiness, timeout);
+        }
+    }
+
+    // Read every readable connection.
+    for (slot, &i) in scratch.polled.iter().enumerate() {
+        if !scratch.readiness[slot].readable {
+            continue;
+        }
+        let c = &mut conns[i];
+        match c.rbuf.read_from(&mut c.stream, READ_CHUNK) {
+            Ok(0) => c.eof = true,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {}
+            Err(_) => c.dead = true,
+        }
+    }
+
+    serve_buffered(shared, conns, combiner, scratch, false);
+
+    for c in conns.iter_mut() {
+        flush(c, shared);
+    }
+
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].dead {
+            reap(conns.swap_remove(i), shared, pool);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Stage every buffered complete frame, execute the merged run, and
+/// encode all responses. `ignore_pause` lets the shutdown drain serve
+/// backpressured connections too.
+fn serve_buffered(
+    shared: &Shared,
+    conns: &mut [Conn],
+    combiner: &mut Option<StoreClient>,
+    scratch: &mut Scratch,
+    ignore_pause: bool,
+) {
+    scratch.run_ops.clear();
+    scratch.slots.clear();
+    let mut all_exclusive = true;
+    let mut leader: Option<usize> = None;
+    for (i, c) in conns.iter_mut().enumerate() {
+        if c.dead || c.closing || (!ignore_pause && c.paused()) {
+            continue;
+        }
+        if stage_conn(i, c, &mut scratch.run_ops, &mut scratch.slots, shared) {
+            match c.lease {
+                Lease::Exclusive(_) => {
+                    if leader.is_none() {
+                        leader = Some(i);
+                    }
+                }
+                Lease::Shared => all_exclusive = false,
+            }
+        }
+    }
+    let outcome = if scratch.run_ops.is_empty() {
+        None
+    } else {
+        let result = execute_run(
+            shared,
+            conns,
+            leader.filter(|_| all_exclusive),
+            combiner,
+            &scratch.run_ops,
+        );
+        if result.is_ok() {
+            shared
+                .ops_served
+                .fetch_add(scratch.run_ops.len() as u64, Ordering::Relaxed);
+        }
+        Some(result)
+    };
+    for slot in scratch.slots.drain(..) {
+        let resp = match slot.kind {
+            SlotKind::Single { off } => match &outcome {
+                Some(Ok(values)) => Response::Value(values[off]),
+                Some(Err(e)) => error_response(e),
+                None => unreachable!("run slots imply a nonempty run"),
+            },
+            SlotKind::Batch { off, n } => match &outcome {
+                Some(Ok(values)) => Response::Batch(values[off..off + n].to_vec()),
+                Some(Err(e)) => error_response(e),
+                None => unreachable!("run slots imply a nonempty run"),
+            },
+            SlotKind::Stats => Response::Stats(stats(shared)),
+            SlotKind::Pong => Response::Pong,
+            SlotKind::Ready(resp) => resp,
+        };
+        encode_response(&mut conns[slot.conn].wbuf, slot.id, &resp);
+    }
+}
+
+/// Stage one connection's buffered complete frames. Returns whether it
+/// contributed operations to the merged run.
+fn stage_conn(
+    i: usize,
+    c: &mut Conn,
+    run_ops: &mut Vec<KvOp>,
+    slots: &mut Vec<Slot>,
+    shared: &Shared,
+) -> bool {
+    let mut contributed = false;
+    loop {
+        let consumed = match c.rbuf.peek_frame() {
+            Ok(Decoded::NeedMoreData) => break,
+            Ok(Decoded::Frame { frame, consumed }) => {
+                let id = frame.id;
+                match frame.req {
+                    RequestRef::Get { key } => {
+                        contributed |= stage_op(i, id, KvOp::Get(key), run_ops, slots);
+                    }
+                    RequestRef::Put { key, value } => {
+                        contributed |= stage_op(i, id, KvOp::Put(key, value), run_ops, slots);
+                    }
+                    RequestRef::Del { key } => {
+                        contributed |= stage_op(i, id, KvOp::Del(key), run_ops, slots);
+                    }
+                    RequestRef::Batch(b) => match b.iter().try_for_each(validate) {
+                        Ok(()) => {
+                            let off = run_ops.len();
+                            run_ops.extend(b.iter());
+                            slots.push(Slot {
+                                conn: i,
+                                id,
+                                kind: SlotKind::Batch { off, n: b.len() },
+                            });
+                            contributed = true;
+                        }
+                        // A batch either joins the run whole or is
+                        // rejected whole — same contract as
+                        // `StoreClient::batch`, checked here so one
+                        // client's bad frame can't poison the merged
+                        // run.
+                        Err(e) => slots.push(Slot {
+                            conn: i,
+                            id,
+                            kind: SlotKind::Ready(error_response(&e)),
+                        }),
+                    },
+                    RequestRef::Stats => {
+                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot {
+                            conn: i,
+                            id,
+                            kind: SlotKind::Stats,
+                        });
+                    }
+                    RequestRef::Ping => {
+                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot {
+                            conn: i,
+                            id,
+                            kind: SlotKind::Pong,
+                        });
+                    }
+                }
+                consumed
+            }
+            Err(e) => {
+                // Length-prefixed framing cannot resync after a bad
+                // frame: answer what we staged, send one id-0 error,
+                // close.
+                slots.push(Slot {
+                    conn: i,
+                    id: 0,
+                    kind: SlotKind::Ready(Response::Error {
+                        code: ErrorCode::Malformed,
+                        detail: 0,
+                        message: e.to_string(),
+                    }),
+                });
+                c.rbuf.reset();
+                c.closing = true;
+                break;
+            }
+        };
+        c.rbuf.consume(consumed);
+    }
+    contributed
+}
+
+/// Stage one coalescible single-op frame: into the merged run if it
+/// validates, an immediate typed error slot if not.
+fn stage_op(i: usize, id: u32, op: KvOp, run_ops: &mut Vec<KvOp>, slots: &mut Vec<Slot>) -> bool {
+    match validate(op) {
+        Ok(()) => {
+            slots.push(Slot {
+                conn: i,
+                id,
+                kind: SlotKind::Single { off: run_ops.len() },
+            });
+            run_ops.push(op);
+            true
+        }
+        Err(e) => {
+            slots.push(Slot {
+                conn: i,
+                id,
+                kind: SlotKind::Ready(error_response(&e)),
+            });
+            false
+        }
+    }
+}
+
+/// The same up-front validation `StoreClient::batch` applies, hoisted
+/// before run merging so each frame fails alone.
+fn validate(op: KvOp) -> Result<(), StoreError> {
+    let key = op.key();
+    if key > KV_MAX {
+        return Err(StoreError::KeyOutOfRange { key });
+    }
+    if let KvOp::Put(_, value) = op {
+        if value > KV_MAX {
+            return Err(StoreError::ValueOutOfRange { value });
+        }
+    }
+    Ok(())
+}
+
+/// Run the merged operations through one replica: the first
+/// contributor's exclusive client when every contributor is exclusive
+/// (keeping the per-connection graveyard exact for small fleets), the
+/// loop combiner otherwise.
+fn execute_run(
+    shared: &Shared,
+    conns: &mut [Conn],
+    leader: Option<usize>,
+    combiner: &mut Option<StoreClient>,
+    ops: &[KvOp],
+) -> Result<Vec<Option<u32>>, StoreError> {
+    if let Some(i) = leader {
+        if let Lease::Exclusive(client) = &mut conns[i].lease {
+            return client.batch(ops);
+        }
+    }
+    let client = match combiner {
+        Some(client) => client,
+        None => match shared.store.try_client() {
+            Some(client) => combiner.insert(client),
+            None => {
+                return Err(StoreError::Server {
+                    code: ErrorCode::Internal as u8,
+                    message: "replica id space exhausted; cannot mint a combiner".to_string(),
+                })
+            }
+        },
+    };
+    client.batch(ops)
+}
+
+/// Attempted-write model: push buffered response bytes until done or
+/// `WouldBlock`; a peer blocked past the write timeout is cut off.
+fn flush(c: &mut Conn, shared: &Shared) {
+    if c.dead {
+        return;
+    }
+    while c.wpos < c.wbuf.len() {
+        match c.stream.write(&c.wbuf[c.wpos..]) {
+            Ok(0) => {
+                c.dead = true;
+                return;
+            }
+            Ok(n) => {
+                c.wpos += n;
+                c.write_deadline = None;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                let deadline = *c
+                    .write_deadline
+                    .get_or_insert_with(|| Instant::now() + shared.config.write_timeout);
+                if Instant::now() >= deadline {
+                    // The peer stopped draining; its responses are
+                    // undeliverable backpressure.
+                    c.dead = true;
+                }
+                return;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+    c.wbuf.clear();
+    c.wpos = 0;
+    c.write_deadline = None;
+    if c.closing {
+        c.dead = true;
+    } else if c.eof && !matches!(c.rbuf.peek_frame(), Ok(Decoded::Frame { .. })) {
+        // Half-closed peer, everything serveable served and flushed; a
+        // trailing partial frame can never complete.
+        c.dead = true;
+    }
+}
+
+/// Retire a finished connection: replica to the graveyard, buffers to
+/// the pool, lease and active slot released.
+fn reap(c: Conn, shared: &Shared, pool: &mut BufferPool) {
+    if let Lease::Exclusive(client) = c.lease {
+        shared.retired.lock().push(client);
+        shared.exclusive_leases.fetch_sub(1, Ordering::SeqCst);
+    }
+    pool.put_read(c.rbuf);
+    pool.put_write(c.wbuf);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// The shutdown drain: one final serve pass over everything already
+/// buffered (backpressured connections included), a bounded flush, and
+/// then every lease retires. In-flight requests drain; nothing new is
+/// read.
+fn drain_all(
+    shared: &Shared,
+    mut conns: Vec<Conn>,
+    combiner: &mut Option<StoreClient>,
+    scratch: &mut Scratch,
+) {
+    serve_buffered(shared, &mut conns, combiner, scratch, true);
+    let deadline = Instant::now() + shared.config.write_timeout;
+    loop {
+        let mut pending = false;
+        for c in conns.iter_mut() {
+            flush(c, shared);
+            if !c.dead && c.pending_write() > 0 {
+                pending = true;
+            }
+        }
+        if !pending || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let mut retired = shared.retired.lock();
+    for c in conns {
+        if let Lease::Exclusive(client) = c.lease {
+            retired.push(client);
+            shared.exclusive_leases.fetch_sub(1, Ordering::SeqCst);
+        }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}

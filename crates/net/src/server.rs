@@ -1,74 +1,102 @@
-//! The ff-store TCP service: a std-only, thread-per-connection server.
+//! The ff-store TCP service: a std-only, readiness-driven reactor.
 //!
 //! # Threading model
 //!
 //! One **accept thread** polls a nonblocking listener (~5 ms tick) and
-//! spawns one **handler thread per connection**. No async runtime: the
-//! repo's point is the consensus construction, and `std::net` plus
-//! threads keeps the service layer auditable. Each handler owns a
-//! private [`StoreClient`] — a full replica set, one log handle per
-//! shard — so connections never contend on client state; they contend
-//! only where the paper says they must, on the shards' consensus
-//! cells.
+//! hash-pins each accepted connection to one of N **event loops** (one
+//! worker thread each, [`ServerConfig::loops`]). Every socket is
+//! nonblocking; a loop multiplexes all of its connections through the
+//! [`poll`](crate::poll) abstraction, so ten thousand mostly-idle
+//! connections cost ten thousand readiness probes per tick — not ten
+//! thousand parked threads. No async runtime: the repo's point is the
+//! consensus construction, and `std::net` plus a handful of threads
+//! keeps the service layer auditable.
 //!
-//! # Pipelining and server-side batching
+//! # Replica leases
+//!
+//! The old thread-per-connection server gave every connection a
+//! private [`StoreClient`] — a full replica set whose apply cost grows
+//! with the number of replicas, and whose 10-bit pid space caps out at
+//! 1023 clients. The reactor makes that a **lease**: the first
+//! [`ServerConfig::replica_budget`] connections get an exclusive
+//! client (preserving the old semantics for small fleets, and the
+//! graveyard the shutdown tests verify), and connections beyond the
+//! budget share one lazily-minted **combiner** client per loop. Either
+//! way every replica that served traffic retires into the graveyard
+//! for [`Store::verify`].
+//!
+//! # Pipelining and cross-connection batching
 //!
 //! A client may write any number of request frames before reading.
-//! The handler reads in ~16 KiB chunks and serves each chunk's frames
-//! as one **burst**: consecutive GET/PUT/DEL frames in a burst are
-//! coalesced into a single [`Kv::batch`] call, which groups same-shard
-//! operations into **one log pass per shard** instead of one traversal
-//! per request. Responses are written back in request order in a
-//! single `write_all`, so a pipelined burst costs one read, one batch,
-//! one write. An explicit BATCH frame is the same machinery with the
-//! grouping visible to the client.
+//! Each loop tick reads every readable connection, decodes frames in
+//! place (zero-copy [`peek_frame`](crate::wire::FrameBuffer::peek_frame)),
+//! and merges **all** valid GET/PUT/DEL and BATCH operations from
+//! **all** connections into one [`Kv::batch`](ff_store::Kv::batch)
+//! call — one log pass per touched shard per tick, across clients.
+//! This generalizes the old server's per-connection burst coalescing:
+//! under high connection counts the store sees a few large batches
+//! instead of thousands of tiny ones. Responses are answered under the
+//! right request ids, in per-connection request order.
 //!
 //! # Backpressure
 //!
-//! Three mechanisms, all cheap and all visible to the peer:
-//!
 //! * **Connection cap** — beyond [`ServerConfig::max_connections`],
 //!   new connections get one `Overloaded` error frame and are closed.
-//!   This also protects the store's hard 1024-client pid space.
-//! * **Write timeout** — a peer that stops draining responses stalls
-//!   its own handler's `write_all`, which eventually errors and drops
-//!   the connection; one slow reader cannot pin server memory.
+//! * **Write pause** — a connection whose response buffer exceeds
+//!   256 KiB stops being read (and served) until the peer drains it; a
+//!   peer that stays blocked past [`ServerConfig::write_timeout`] is
+//!   disconnected. One slow reader cannot pin server memory.
 //! * **Bounded frames** — the decoder rejects frames over
 //!   [`MAX_FRAME_LEN`](crate::wire::MAX_FRAME_LEN) before buffering.
 //!
 //! # Graceful shutdown
 //!
-//! [`NetServer::shutdown`] flips a flag; handlers notice within one
-//! read-timeout tick, stop reading, serve the frames they had already
-//! buffered (in-flight requests drain rather than vanish), flush, and
-//! retire their [`StoreClient`] into the server's graveyard. The
-//! returned [`ServerReport`] hands those clients back so a harness can
-//! run [`Store::verify`] over *exactly* the replicas that served
-//! traffic.
+//! [`NetServer::shutdown`] (or the idempotent
+//! [`NetServer::begin_shutdown`]) flips a flag; each loop notices
+//! within one poll tick, stops reading, serves the complete frames it
+//! had already buffered (in-flight requests drain rather than vanish),
+//! flushes within the write timeout, and retires every leased replica
+//! into the graveyard. The returned [`ServerReport`] hands those
+//! clients back so a harness can run [`Store::verify`] over *exactly*
+//! the replicas that served traffic. Nothing on the shutdown path
+//! panics: thread failures surface as typed [`ShutdownError`]s in the
+//! report.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ff_store::{Kv, KvOp, Store, StoreClient, StoreError};
+use ff_store::{Store, StoreClient, StoreError};
 use parking_lot::Mutex;
 
-use crate::wire::{encode_response, ErrorCode, FrameBuffer, Request, Response, StatsReply};
+use crate::reactor::{self, LoopShared};
+use crate::wire::{encode_response, ErrorCode, Response, StatsReply};
 
 /// Tuning for a [`NetServer`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Connections beyond this are refused with `Overloaded`.
     pub max_connections: usize,
-    /// Per-connection read timeout; doubles as the shutdown-poll tick,
-    /// so keep it small.
+    /// Upper bound on how long a quiet loop sleeps between readiness
+    /// scans; bounds shutdown-notice latency. (The name predates the
+    /// reactor: sockets are nonblocking now, nothing blocks in `read`.)
     pub read_timeout: Duration,
-    /// Per-connection write timeout — the backpressure bound on a peer
-    /// that stops draining responses.
+    /// Per-connection write stall bound — the backpressure limit on a
+    /// peer that stops draining responses, and the drain deadline at
+    /// shutdown.
     pub write_timeout: Duration,
+    /// Event loops (worker threads). `0` means auto: one per available
+    /// core, clamped to at most 8.
+    pub loops: usize,
+    /// How many connections get an **exclusive** [`StoreClient`]
+    /// replica before later ones share a per-loop combiner client.
+    /// The default keeps the old one-replica-per-connection semantics
+    /// for small fleets; benches scaling to thousands of connections
+    /// set it to 0 so apply cost stays flat.
+    pub replica_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,36 +105,77 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(2),
+            loops: 0,
+            replica_budget: 64,
         }
     }
 }
 
-struct Shared {
-    store: Arc<Store>,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    active: AtomicU32,
-    ops_served: AtomicU64,
+/// Why part of a shutdown was not clean. Carried in
+/// [`ServerReport::shutdown_errors`] instead of panicking the caller —
+/// a crash-shaped exit of one worker must not abort the process that
+/// is trying to verify what that worker served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShutdownError {
+    /// The accept thread panicked; its panic payload is lost but every
+    /// connection it had already pinned to a loop still drains.
+    AcceptorPanicked,
+    /// Event loop `index` panicked; its connections' replicas may be
+    /// missing from the graveyard.
+    LoopPanicked {
+        /// Which loop died.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownError::AcceptorPanicked => write!(f, "accept thread panicked"),
+            ShutdownError::LoopPanicked { index } => write!(f, "event loop {index} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+pub(crate) struct Shared {
+    pub(crate) store: Arc<Store>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicU32,
+    pub(crate) ops_served: AtomicU64,
+    /// Exclusive replica leases currently held by live connections;
+    /// bounded by `config.replica_budget`.
+    pub(crate) exclusive_leases: AtomicUsize,
     /// Clients of finished connections, kept for post-shutdown
     /// verification.
-    retired: Mutex<Vec<StoreClient>>,
+    pub(crate) retired: Mutex<Vec<StoreClient>>,
+    /// One inbox per event loop; the acceptor pins connections here.
+    pub(crate) loops: Vec<LoopShared>,
 }
 
 /// A running ff-store TCP server. Dropping it without calling
-/// [`NetServer::shutdown`] leaks the accept thread; shut it down.
+/// [`NetServer::shutdown`] signals shutdown but detaches the threads;
+/// call [`NetServer::shutdown`] to join them and collect the report.
 pub struct NetServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 /// What a drained server hands back.
 pub struct ServerReport {
-    /// The per-connection replica clients, every one caught up on the
-    /// traffic it served — feed them to [`Store::verify`].
+    /// Every replica client that served traffic — per-connection
+    /// exclusives and per-loop combiners alike, each caught up on what
+    /// it executed — feed them to [`Store::verify`].
     pub clients: Vec<StoreClient>,
     /// Requests served over the server's lifetime.
     pub ops_served: u64,
+    /// Anything unclean about the shutdown itself. Empty on the happy
+    /// path; never a panic.
+    pub shutdown_errors: Vec<ShutdownError>,
 }
 
 impl NetServer {
@@ -120,20 +189,30 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let nloops = effective_loops(&config);
         let shared = Arc::new(Shared {
             store,
             config,
             shutdown: AtomicBool::new(false),
             active: AtomicU32::new(0),
             ops_served: AtomicU64::new(0),
+            exclusive_leases: AtomicUsize::new(0),
             retired: Mutex::new(Vec::new()),
+            loops: (0..nloops).map(|_| LoopShared::default()).collect(),
         });
+        let workers = (0..nloops)
+            .map(|index| {
+                let loop_shared = Arc::clone(&shared);
+                std::thread::spawn(move || reactor::event_loop(loop_shared, index))
+            })
+            .collect();
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
         Ok(NetServer {
             shared,
             addr,
             accept: Some(accept),
+            workers,
         })
     }
 
@@ -147,35 +226,79 @@ impl NetServer {
         self.shared.active.load(Ordering::SeqCst)
     }
 
+    /// Signal shutdown without joining: idempotent and non-consuming.
+    /// Returns `true` the first time, `false` on every repeat — a
+    /// doubly-signaled shutdown is a no-op, not a panic.
+    pub fn begin_shutdown(&self) -> bool {
+        !self.shared.shutdown.swap(true, Ordering::SeqCst)
+    }
+
     /// Stop accepting, drain in-flight requests, join every thread and
-    /// hand back the retired clients.
+    /// hand back the retired clients. Never panics: a worker that died
+    /// is reported as a [`ShutdownError`] in the report.
     pub fn shutdown(mut self) -> ServerReport {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        let handlers = self
-            .accept
-            .take()
-            .expect("shutdown runs once")
-            .join()
-            .expect("accept thread never panics");
-        for h in handlers {
-            let _ = h.join();
+        self.begin_shutdown();
+        let mut shutdown_errors = Vec::new();
+        if let Some(accept) = self.accept.take() {
+            if accept.join().is_err() {
+                shutdown_errors.push(ShutdownError::AcceptorPanicked);
+            }
+        }
+        for (index, worker) in self.workers.drain(..).enumerate() {
+            if worker.join().is_err() {
+                shutdown_errors.push(ShutdownError::LoopPanicked { index });
+            }
+        }
+        // The acceptor may have pinned a last connection after its
+        // loop already drained; with every thread joined, closing the
+        // stragglers is race-free.
+        for l in &self.shared.loops {
+            l.inbox.lock().clear();
         }
         let clients = std::mem::take(&mut *self.shared.retired.lock());
         ServerReport {
             clients,
             ops_served: self.shared.ops_served.load(Ordering::SeqCst),
+            shutdown_errors,
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // Signal-only: threads notice within a tick and drain. Joining
+        // here would turn a leaked server into a hang.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn effective_loops(config: &ServerConfig) -> usize {
+    if config.loops > 0 {
+        return config.loops;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+/// SplitMix64: decorrelates the accept counter so connection pinning
+/// spreads over the loops even under striped arrival patterns.
+fn pin_hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut counter: u64 = 0;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return handlers;
+            return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     refuse(
                         stream,
@@ -183,7 +306,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                         ErrorCode::ShuttingDown,
                         "server shutting down",
                     );
-                    return handlers;
+                    return;
                 }
                 if shared.active.load(Ordering::SeqCst) as usize >= shared.config.max_connections {
                     refuse(
@@ -194,12 +317,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                     );
                     continue;
                 }
+                // A blocking socket in a readiness loop would wedge
+                // every connection pinned to that loop: if the switch
+                // to nonblocking fails, refuse loudly instead of
+                // serving wrong.
+                if let Err(e) = stream.set_nonblocking(true) {
+                    eprintln!(
+                        "ff-net: refusing connection from {peer}: set_nonblocking failed: {e}"
+                    );
+                    refuse(stream, &shared, ErrorCode::Internal, "socket setup failed");
+                    continue;
+                }
+                // Nagle is a latency tune, not a correctness knob —
+                // keep the connection but say what happened.
+                if let Err(e) = stream.set_nodelay(true) {
+                    eprintln!("ff-net: set_nodelay failed for {peer} (serving anyway): {e}");
+                }
                 shared.active.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&shared);
-                handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, conn_shared)
-                }));
-                handlers.retain(|h| !h.is_finished());
+                let index = (pin_hash(counter) % shared.loops.len() as u64) as usize;
+                counter = counter.wrapping_add(1);
+                shared.loops[index].inbox.lock().push(stream);
             }
             // Nonblocking accept: nobody waiting — poll again shortly.
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -210,9 +347,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
     }
 }
 
-/// Best-effort: tell the refused peer why before closing.
+/// Tell the refused peer why before closing, on the (still blocking)
+/// just-accepted socket.
 fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str) {
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    if let Err(e) = stream.set_write_timeout(Some(shared.config.write_timeout)) {
+        // Without a bound, a hostile peer could park the acceptor in
+        // this write forever. Close frameless rather than risk it.
+        eprintln!(
+            "ff-net: closing refused connection without a frame: set_write_timeout failed: {e}"
+        );
+        return;
+    }
     let mut out = Vec::new();
     encode_response(
         &mut out,
@@ -223,157 +368,12 @@ fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str
             message: message.to_string(),
         },
     );
+    // Best-effort by design: the peer may already be gone, and the
+    // close itself carries the refusal.
     let _ = stream.write_all(&out);
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let client = shared.store.client();
-    let client = run_connection(stream, &shared, client);
-    shared.retired.lock().push(client);
-    shared.active.fetch_sub(1, Ordering::SeqCst);
-}
-
-/// Serve one connection until the peer closes, an error kills it, or a
-/// shutdown drains it. Always returns the client for the graveyard.
-fn run_connection(mut stream: TcpStream, shared: &Shared, mut client: StoreClient) -> StoreClient {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut fb = FrameBuffer::new();
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        let draining = shared.shutdown.load(Ordering::SeqCst);
-        if !draining {
-            match stream.read(&mut chunk) {
-                Ok(0) => return client, // peer closed
-                Ok(n) => fb.extend(&chunk[..n]),
-                // Read-timeout tick: fall through to recheck shutdown.
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-                Err(_) => return client,
-            }
-        }
-        let mut out = Vec::new();
-        let ok = serve_burst(&mut fb, &mut client, shared, &mut out);
-        if !out.is_empty() && stream.write_all(&out).is_err() {
-            return client;
-        }
-        if !ok || draining {
-            let _ = stream.flush();
-            return client;
-        }
-    }
-}
-
-/// Serve every complete frame currently buffered, coalescing runs of
-/// single-op requests into one [`Kv::batch`]. Returns `false` if the
-/// stream is unrecoverable (decode error — framing is lost).
-fn serve_burst(
-    fb: &mut FrameBuffer,
-    client: &mut StoreClient,
-    shared: &Shared,
-    out: &mut Vec<u8>,
-) -> bool {
-    // (request id, op) pairs of the current coalescible run.
-    let mut run: Vec<(u32, KvOp)> = Vec::new();
-    loop {
-        match fb.pop_request() {
-            Ok(Some(frame)) => {
-                let single = match frame.req {
-                    Request::Get { key } => Some(KvOp::Get(key)),
-                    Request::Put { key, value } => Some(KvOp::Put(key, value)),
-                    Request::Del { key } => Some(KvOp::Del(key)),
-                    _ => None,
-                };
-                if let Some(op) = single {
-                    run.push((frame.id, op));
-                    continue;
-                }
-                // Anything else is a batching boundary.
-                flush_run(&mut run, client, shared, out);
-                match frame.req {
-                    Request::Batch(ops) => {
-                        let resp = match client.batch(&ops) {
-                            Ok(values) => {
-                                shared
-                                    .ops_served
-                                    .fetch_add(ops.len() as u64, Ordering::Relaxed);
-                                Response::Batch(values)
-                            }
-                            Err(e) => error_response(&e),
-                        };
-                        encode_response(out, frame.id, &resp);
-                    }
-                    Request::Stats => {
-                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
-                        encode_response(out, frame.id, &Response::Stats(stats(shared)));
-                    }
-                    Request::Ping => {
-                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
-                        encode_response(out, frame.id, &Response::Pong);
-                    }
-                    Request::Get { .. } | Request::Put { .. } | Request::Del { .. } => {
-                        unreachable!("handled as coalescible ops")
-                    }
-                }
-            }
-            Ok(None) => {
-                flush_run(&mut run, client, shared, out);
-                return true;
-            }
-            Err(e) => {
-                // Length-prefixed framing cannot resync after a bad
-                // frame: answer what we had, report, close.
-                flush_run(&mut run, client, shared, out);
-                encode_response(
-                    out,
-                    0,
-                    &Response::Error {
-                        code: ErrorCode::Malformed,
-                        detail: 0,
-                        message: e.to_string(),
-                    },
-                );
-                return false;
-            }
-        }
-    }
-}
-
-/// Execute a coalesced run as one batch — one log pass per touched
-/// shard — and answer each request under its own id, in order.
-fn flush_run(
-    run: &mut Vec<(u32, KvOp)>,
-    client: &mut StoreClient,
-    shared: &Shared,
-    out: &mut Vec<u8>,
-) {
-    if run.is_empty() {
-        return;
-    }
-    let ops: Vec<KvOp> = run.iter().map(|&(_, op)| op).collect();
-    match client.batch(&ops) {
-        Ok(values) => {
-            shared
-                .ops_served
-                .fetch_add(ops.len() as u64, Ordering::Relaxed);
-            for (&(id, _), value) in run.iter().zip(values) {
-                encode_response(out, id, &Response::Value(value));
-            }
-        }
-        // Validation fails the batch up front and divergence poisons
-        // the whole shard set, so every request in the run gets the
-        // error it would have hit alone.
-        Err(e) => {
-            let resp = error_response(&e);
-            for &(id, _) in run.iter() {
-                encode_response(out, id, &resp);
-            }
-        }
-    }
-    run.clear();
-}
-
-fn stats(shared: &Shared) -> StatsReply {
+pub(crate) fn stats(shared: &Shared) -> StatsReply {
     let store = &shared.store;
     StatsReply {
         shards: store.shards() as u32,
@@ -385,7 +385,7 @@ fn stats(shared: &Shared) -> StatsReply {
 
 /// Map a [`StoreError`] onto a wire error frame; the `detail` word
 /// carries the machine-readable part (shard, key, value).
-fn error_response(e: &StoreError) -> Response {
+pub(crate) fn error_response(e: &StoreError) -> Response {
     let (code, detail) = match *e {
         StoreError::Divergence { shard } => (ErrorCode::Divergence, shard as u32),
         StoreError::KeyOutOfRange { key } => (ErrorCode::KeyOutOfRange, key),

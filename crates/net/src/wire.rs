@@ -175,6 +175,104 @@ pub struct RequestFrame {
     pub req: Request,
 }
 
+/// A borrowed view of one decoded request frame — the zero-copy
+/// counterpart of [`RequestFrame`], produced by [`decode_frame`].
+///
+/// Nothing is allocated and no payload bytes are copied: a
+/// [`RequestRef::Batch`] keeps a validated slice of the input buffer
+/// and decodes its operations lazily. The reactor's hot path stages
+/// operations straight out of a connection's read buffer through this
+/// view; [`decode_request`] is now a thin `to_owned` wrapper over it,
+/// so every totality property proven for one decoder holds for both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// Client-chosen id, echoed in the response.
+    pub id: u32,
+    /// The request, borrowing the input buffer.
+    pub req: RequestRef<'a>,
+}
+
+impl FrameRef<'_> {
+    /// Copy this view into an owned [`RequestFrame`].
+    pub fn to_owned_frame(&self) -> RequestFrame {
+        RequestFrame {
+            id: self.id,
+            req: match self.req {
+                RequestRef::Get { key } => Request::Get { key },
+                RequestRef::Put { key, value } => Request::Put { key, value },
+                RequestRef::Del { key } => Request::Del { key },
+                RequestRef::Batch(b) => Request::Batch(b.iter().collect()),
+                RequestRef::Stats => Request::Stats,
+                RequestRef::Ping => Request::Ping,
+            },
+        }
+    }
+}
+
+/// A client → server message, borrowing the decode buffer. See
+/// [`Request`] for the semantics of each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Read a key.
+    Get {
+        /// Key to read.
+        key: u32,
+    },
+    /// Write `key → value`.
+    Put {
+        /// Key to write.
+        key: u32,
+        /// Value to store.
+        value: u32,
+    },
+    /// Remove a key.
+    Del {
+        /// Key to remove.
+        key: u32,
+    },
+    /// Many operations in one frame, decoded lazily from the buffer.
+    Batch(BatchRef<'a>),
+    /// Ask for server-side counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// The operations of a BATCH frame, still in wire form. The payload
+/// was fully validated by [`decode_frame`] (count matches the frame
+/// length, every tag is known, get/del carry a zero value word), so
+/// iteration is infallible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRef<'a> {
+    /// `len() * 9` bytes of `(tag u8, key u32 LE, value u32 LE)`.
+    ops: &'a [u8],
+}
+
+impl<'a> BatchRef<'a> {
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len() / 9
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Decode the operations in order, straight off the wire bytes.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = KvOp> + 'a {
+        self.ops.chunks_exact(9).map(|op| {
+            let key = u32::from_le_bytes(op[1..5].try_into().unwrap());
+            let value = u32::from_le_bytes(op[5..9].try_into().unwrap());
+            match op[0] {
+                OP_PUT => KvOp::Put(key, value),
+                OP_GET => KvOp::Get(key),
+                _ => KvOp::Del(key),
+            }
+        })
+    }
+}
+
 /// One decoded server → client frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResponseFrame {
@@ -415,8 +513,14 @@ fn raw_frame(buf: &[u8]) -> Result<Decoded<RawFrame<'_>>, DecodeError> {
     })
 }
 
-/// Decode one request frame from the front of `buf`.
-pub fn decode_request(buf: &[u8]) -> Result<Decoded<RequestFrame>, DecodeError> {
+/// Decode one request frame from the front of `buf` **without copying
+/// the payload**: the returned [`FrameRef`] borrows `buf`. This is the
+/// reactor's hot decode path; like [`decode_request`] it is total —
+/// arbitrary bytes decode, report [`Decoded::NeedMoreData`], or return
+/// a [`DecodeError`], never panic. A BATCH payload is fully validated
+/// here (count vs length, op tags, zero value words on get/del) so the
+/// [`BatchRef`] iterator is infallible.
+pub fn decode_frame(buf: &[u8]) -> Result<Decoded<FrameRef<'_>>, DecodeError> {
     let (ftype, id, payload, consumed) = match raw_frame(buf)? {
         Decoded::NeedMoreData => return Ok(Decoded::NeedMoreData),
         Decoded::Frame {
@@ -426,12 +530,12 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<RequestFrame>, DecodeError> 
     };
     let mut c = Cursor::new(payload);
     let req = match ftype {
-        T_GET => Request::Get { key: c.u32()? },
-        T_PUT => Request::Put {
+        T_GET => RequestRef::Get { key: c.u32()? },
+        T_PUT => RequestRef::Put {
             key: c.u32()?,
             value: c.u32()?,
         },
-        T_DEL => Request::Del { key: c.u32()? },
+        T_DEL => RequestRef::Del { key: c.u32()? },
         T_BATCH => {
             let count = c.u32()? as usize;
             // 9 bytes per op; the count must be consistent with the
@@ -440,31 +544,40 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<RequestFrame>, DecodeError> 
             if payload.len() != 4 + count * 9 {
                 return Err(DecodeError::Malformed("batch count disagrees with length"));
             }
-            let mut ops = Vec::with_capacity(count);
-            for _ in 0..count {
-                let tag = c.u8()?;
-                let key = c.u32()?;
-                let value = c.u32()?;
-                ops.push(match tag {
-                    OP_PUT => KvOp::Put(key, value),
-                    OP_GET if value == 0 => KvOp::Get(key),
-                    OP_DEL if value == 0 => KvOp::Del(key),
+            let ops = c.take(count * 9)?;
+            for op in ops.chunks_exact(9) {
+                let value = u32::from_le_bytes(op[5..9].try_into().unwrap());
+                match op[0] {
+                    OP_PUT => {}
+                    OP_GET | OP_DEL if value == 0 => {}
                     OP_GET | OP_DEL => {
                         return Err(DecodeError::Malformed("nonzero value on get/del"))
                     }
                     _ => return Err(DecodeError::Malformed("unknown batch op tag")),
-                });
+                }
             }
-            Request::Batch(ops)
+            RequestRef::Batch(BatchRef { ops })
         }
-        T_STATS => Request::Stats,
-        T_PING => Request::Ping,
+        T_STATS => RequestRef::Stats,
+        T_PING => RequestRef::Ping,
         other => return Err(DecodeError::UnknownType(other)),
     };
     c.finish()?;
     Ok(Decoded::Frame {
-        frame: RequestFrame { id, req },
+        frame: FrameRef { id, req },
         consumed,
+    })
+}
+
+/// Decode one request frame from the front of `buf` into an owned
+/// [`RequestFrame`] — [`decode_frame`] plus a copy-out.
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<RequestFrame>, DecodeError> {
+    Ok(match decode_frame(buf)? {
+        Decoded::NeedMoreData => Decoded::NeedMoreData,
+        Decoded::Frame { frame, consumed } => Decoded::Frame {
+            frame: frame.to_owned_frame(),
+            consumed,
+        },
     })
 }
 
@@ -556,17 +669,60 @@ impl FrameBuffer {
 
     /// Feed freshly read bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
-        // Compact lazily: only when the dead prefix dominates.
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read up to `max` bytes from `r` directly into the buffer — no
+    /// intermediate chunk copy. Returns what `r.read` returned
+    /// (`Ok(0)` is end-of-stream, as usual).
+    pub fn read_from(&mut self, r: &mut impl std::io::Read, max: usize) -> std::io::Result<usize> {
+        self.compact();
+        let len = self.buf.len();
+        self.buf.resize(len + max, 0);
+        let res = r.read(&mut self.buf[len..]);
+        let n = *res.as_ref().unwrap_or(&0);
+        self.buf.truncate(len + n);
+        res
+    }
+
+    // Compact lazily: only when the dead prefix dominates.
+    fn compact(&mut self) {
         if self.start > 4096 && self.start * 2 > self.buf.len() {
             self.buf.drain(..self.start);
             self.start = 0;
         }
-        self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes buffered but not yet consumed by a popped frame.
     pub fn pending(&self) -> usize {
         self.buf.len() - self.start
+    }
+
+    /// Decode the next request frame **in place** — the zero-copy
+    /// counterpart of [`FrameBuffer::pop_request`]. The returned
+    /// [`FrameRef`] borrows the buffer; once its contents are staged,
+    /// advance past it with [`FrameBuffer::consume`].
+    pub fn peek_frame(&self) -> Result<Decoded<FrameRef<'_>>, DecodeError> {
+        decode_frame(&self.buf[self.start..])
+    }
+
+    /// Advance past `n` bytes previously reported by a
+    /// [`Decoded::Frame`]'s `consumed`.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.pending(), "consuming past the buffered bytes");
+        self.start += n.min(self.pending());
+    }
+
+    /// Drop all buffered bytes but keep the allocation (for pooling).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Current allocation size (for pool shrink decisions).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     fn pop<T>(
@@ -787,6 +943,84 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_decode_agrees_with_owned_decode() {
+        for (id, req) in requests().into_iter().enumerate() {
+            let id = id as u32 + 7;
+            let mut bytes = Vec::new();
+            encode_request(&mut bytes, id, &req);
+            let Decoded::Frame { frame, consumed } = decode_frame(&bytes).unwrap() else {
+                panic!("complete frame reported as truncated");
+            };
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(frame.to_owned_frame(), RequestFrame { id, req });
+        }
+    }
+
+    #[test]
+    fn batch_ref_iterates_ops_in_order_without_allocation() {
+        let ops = vec![KvOp::Put(1, 2), KvOp::Get(3), KvOp::Del(4), KvOp::Put(5, 6)];
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, 1, &Request::Batch(ops.clone()));
+        let Decoded::Frame { frame, .. } = decode_frame(&bytes).unwrap() else {
+            panic!("truncated");
+        };
+        let RequestRef::Batch(b) = frame.req else {
+            panic!("not a batch");
+        };
+        assert_eq!(b.len(), ops.len());
+        assert!(!b.is_empty());
+        assert_eq!(b.iter().collect::<Vec<_>>(), ops);
+    }
+
+    #[test]
+    fn peek_consume_walks_a_pipelined_burst() {
+        let reqs = requests();
+        let mut fb = FrameBuffer::new();
+        let mut stream = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            encode_request(&mut stream, i as u32, r);
+        }
+        fb.extend(&stream);
+        let mut seen = Vec::new();
+        loop {
+            let consumed = match fb.peek_frame().unwrap() {
+                Decoded::NeedMoreData => break,
+                Decoded::Frame { frame, consumed } => {
+                    seen.push(frame.to_owned_frame());
+                    consumed
+                }
+            };
+            fb.consume(consumed);
+        }
+        assert_eq!(fb.pending(), 0);
+        assert_eq!(seen.len(), reqs.len());
+        for (i, (frame, req)) in seen.into_iter().zip(reqs).enumerate() {
+            assert_eq!(frame.id, i as u32);
+            assert_eq!(frame.req, req);
+        }
+    }
+
+    #[test]
+    fn read_from_fills_the_buffer_like_extend() {
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, 3, &Request::Put { key: 8, value: 9 });
+        let mut fb = FrameBuffer::new();
+        // Deliver through the io::Read path in two ragged chunks.
+        let mut src: &[u8] = &bytes;
+        let n = fb
+            .read_from(&mut std::io::Read::take(&mut src, 5), 16)
+            .unwrap();
+        assert_eq!(n, 5);
+        assert!(matches!(fb.peek_frame(), Ok(Decoded::NeedMoreData)));
+        let n = fb.read_from(&mut src, 1024).unwrap();
+        assert_eq!(n, bytes.len() - 5);
+        assert!(fb.pop_request().unwrap().is_some());
+        assert_eq!(fb.pending(), 0);
+        // End of stream reads 0 and buffers nothing.
+        assert_eq!(fb.read_from(&mut src, 16).unwrap(), 0);
+    }
+
+    #[test]
     fn frame_buffer_compacts_without_losing_frames() {
         let mut fb = FrameBuffer::new();
         let mut one = Vec::new();
@@ -848,18 +1082,63 @@ mod proptests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(512))]
 
-        // The core safety property: the decoder is total. Arbitrary
-        // bytes never panic it — they decode, want more, or error.
+        // The core safety property: the decoders are total. Arbitrary
+        // bytes never panic them — they decode, want more, or error.
+        // `decode_request` is a wrapper over the zero-copy
+        // `decode_frame`, so this pins down both; the explicit
+        // `decode_frame` call also exercises the borrowed path's lazy
+        // batch iterator.
         #[test]
         fn arbitrary_bytes_never_panic_the_decoders(seed in any::<u64>(), len in 0usize..256) {
             let mut s = seed;
             let bytes = random_bytes(&mut s, len);
             let _ = decode_request(&bytes);
             let _ = decode_response(&bytes);
+            if let Ok(Decoded::Frame { frame, .. }) = decode_frame(&bytes) {
+                if let RequestRef::Batch(b) = frame.req {
+                    // The lazy iterator must be infallible after decode.
+                    prop_assert_eq!(b.iter().count(), b.len());
+                }
+            }
             let mut fb = FrameBuffer::new();
             fb.extend(&bytes);
             // Drain until the buffer stalls or errors; must terminate.
             while let Ok(Some(_)) = fb.pop_request() {}
+        }
+
+        // The zero-copy and owned decoders agree bit-for-bit on
+        // arbitrary input: same errors, same NeedMoreData verdicts,
+        // same frames, same consumed counts.
+        #[test]
+        fn zero_copy_and_owned_decoders_agree(seed in any::<u64>(), len in 0usize..256) {
+            let mut s = seed;
+            let bytes = random_bytes(&mut s, len);
+            let owned = decode_request(&bytes);
+            let borrowed = decode_frame(&bytes).map(|d| match d {
+                Decoded::NeedMoreData => Decoded::NeedMoreData,
+                Decoded::Frame { frame, consumed } => Decoded::Frame {
+                    frame: frame.to_owned_frame(),
+                    consumed,
+                },
+            });
+            prop_assert_eq!(owned, borrowed);
+        }
+
+        // Same agreement on well-formed frames (random_bytes rarely
+        // forms a valid frame, so also drive the structured generator
+        // through both paths).
+        #[test]
+        fn zero_copy_decodes_every_valid_frame(seed in any::<u64>()) {
+            let mut s = seed;
+            let req = random_request(&mut s);
+            let id = mix(&mut s) as u32;
+            let mut bytes = Vec::new();
+            encode_request(&mut bytes, id, &req);
+            let Decoded::Frame { frame, consumed } = decode_frame(&bytes).unwrap() else {
+                panic!("complete frame reported as truncated");
+            };
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(frame.to_owned_frame(), RequestFrame { id, req });
         }
 
         // Arbitrary random requests round-trip exactly.

@@ -1,0 +1,192 @@
+//! Partial-read adversaries against the reactor: peers that dribble,
+//! stall, vanish mid-frame, or send garbage. The property under test
+//! is the one threads gave the old server for free and the reactor has
+//! to earn: **no client can block the event loop**. Every test runs a
+//! single-loop server so the adversary and the well-behaved client
+//! provably share one loop.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ff_net::wire::{encode_request, ErrorCode, Request, Response};
+use ff_net::{FrameBuffer, NetClient, NetServer, ServerConfig};
+use ff_store::{Backend, Kv, Store, StoreConfig};
+
+/// A reliable-backend store behind a deliberately single-loop reactor:
+/// everything in a test contends on the same event loop.
+fn one_loop_server() -> (Arc<Store>, NetServer) {
+    let store = Arc::new(Store::new(
+        StoreConfig::builder()
+            .shards(2)
+            .backend(Backend::Reliable)
+            .build()
+            .unwrap(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig {
+            loops: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    (store, server)
+}
+
+/// Read response frames off a raw socket until `want` arrive.
+fn read_responses(stream: &mut TcpStream, want: usize) -> Vec<(u32, Response)> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut fb = FrameBuffer::new();
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while got.len() < want {
+        let n = stream.read(&mut chunk).expect("server answered in time");
+        assert!(n > 0, "server closed before answering");
+        fb.extend(&chunk[..n]);
+        while let Some(frame) = fb.pop_response().expect("well-formed response frames") {
+            got.push((frame.id, frame.resp));
+        }
+    }
+    got
+}
+
+/// Byte-at-a-time delivery: frames arrive one byte per write, with a
+/// fast client hammering pings on the same loop between every byte.
+/// The zero-copy decoder must report NeedMoreData at every split and
+/// decode both frames once complete; the loop must never stall on the
+/// dribbling peer.
+#[test]
+fn byte_at_a_time_frames_decode_while_the_loop_keeps_serving() {
+    let (_store, server) = one_loop_server();
+    let mut fast = NetClient::connect(server.addr()).unwrap();
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    slow.set_nodelay(true).unwrap();
+
+    let mut bytes = Vec::new();
+    encode_request(&mut bytes, 1, &Request::Put { key: 3, value: 33 });
+    encode_request(&mut bytes, 2, &Request::Get { key: 3 });
+    for &b in &bytes {
+        slow.write_all(&[b]).unwrap();
+        // One byte of adversary, one full round trip of victim: if the
+        // loop ever blocked on the partial frame, this ping would too.
+        fast.ping().unwrap();
+    }
+
+    let got = read_responses(&mut slow, 2);
+    assert_eq!(got[0], (1, Response::Value(None)));
+    assert_eq!(got[1], (2, Response::Value(Some(33))));
+    let report = server.shutdown();
+    assert!(report.shutdown_errors.is_empty());
+}
+
+/// A peer that dies mid-frame: the half-delivered operation must never
+/// execute, the connection must be reaped (freeing its slot), and the
+/// rest of the server must not notice.
+#[test]
+fn mid_frame_disconnect_is_reaped_without_applying_the_partial_op() {
+    let (store, server) = one_loop_server();
+    let mut fast = NetClient::connect(server.addr()).unwrap();
+    fast.ping().unwrap();
+
+    {
+        let mut dying = TcpStream::connect(server.addr()).unwrap();
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, 9, &Request::Put { key: 1, value: 2 });
+        dying.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        dying.flush().unwrap();
+        // Give the loop a chance to buffer the fragment before the
+        // close lands.
+        std::thread::sleep(Duration::from_millis(30));
+    } // dropped: TCP close mid-frame
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() != 1 {
+        assert!(Instant::now() < deadline, "dead connection never reaped");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The fragment carried PUT(1, 2); it must have vanished with the
+    // connection, not executed.
+    assert_eq!(fast.get(1).unwrap(), None);
+
+    let mut report = server.shutdown();
+    assert!(report.shutdown_errors.is_empty());
+    assert!(store.verify(&mut report.clients).all_consistent());
+}
+
+/// Slow-loris: several connections each trickling an incomplete frame
+/// forever. A well-behaved client on the same loop must keep getting
+/// prompt answers the whole time.
+#[test]
+fn slow_loris_peers_cannot_starve_a_fast_client() {
+    let (_store, server) = one_loop_server();
+    let mut fast = NetClient::connect(server.addr()).unwrap();
+
+    let mut frame = Vec::new();
+    encode_request(
+        &mut frame,
+        1,
+        &Request::Batch(vec![ff_store::KvOp::Put(1, 1); 64]),
+    );
+    let mut lorises: Vec<(TcpStream, usize)> = (0..4)
+        .map(|_| (TcpStream::connect(server.addr()).unwrap(), 0))
+        .collect();
+
+    let start = Instant::now();
+    let mut pings = 0u32;
+    let mut worst = Duration::ZERO;
+    while start.elapsed() < Duration::from_millis(400) {
+        for (stream, pos) in lorises.iter_mut() {
+            // One byte each tick — never enough to complete the frame.
+            if *pos + 1 < frame.len() {
+                stream.write_all(&frame[*pos..=*pos]).unwrap();
+                *pos += 1;
+            }
+        }
+        let t = Instant::now();
+        fast.ping().unwrap();
+        worst = worst.max(t.elapsed());
+        pings += 1;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(pings >= 20, "fast client starved: only {pings} pings");
+    assert!(
+        worst < Duration::from_secs(1),
+        "a ping stalled {worst:?} behind slow-loris peers"
+    );
+    let report = server.shutdown();
+    assert!(report.shutdown_errors.is_empty());
+}
+
+/// Garbage after the length prefix: the server answers staged frames,
+/// sends exactly one id-0 Malformed error, and closes — framing cannot
+/// resync, and the loop moves on.
+#[test]
+fn garbage_bytes_get_one_malformed_frame_then_close() {
+    let (_store, server) = one_loop_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    // A complete frame header claiming length 6, with a nonsense type
+    // byte: total decoder verdict is an error, not a panic or a hang.
+    let mut bytes = vec![6, 0, 0, 0];
+    bytes.push(ff_net::PROTOCOL_VERSION);
+    bytes.push(0xEE); // no such frame type
+    bytes.extend_from_slice(&7u32.to_le_bytes());
+    s.write_all(&bytes).unwrap();
+
+    let got = read_responses(&mut s, 1);
+    match &got[0] {
+        (0, Response::Error { code, .. }) => assert_eq!(*code, ErrorCode::Malformed),
+        other => panic!("expected id-0 malformed error, got {other:?}"),
+    }
+    // Then the connection closes: EOF, not more frames.
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut rest = Vec::new();
+    let n = s.read_to_end(&mut rest).expect("clean close after refusal");
+    assert_eq!(n, 0, "no frames after the malformed refusal");
+    let report = server.shutdown();
+    assert!(report.shutdown_errors.is_empty());
+}

@@ -225,6 +225,33 @@ fn connection_cap_refuses_with_overloaded_frame() {
     server.shutdown();
 }
 
+/// Regression for the old shutdown path's `.expect("shutdown runs
+/// once")` / `.expect("accept thread never panics")`: signaling
+/// shutdown twice (or racing a signal with the draining join) must be
+/// a no-op, and a clean shutdown must report zero [`ShutdownError`]s —
+/// never abort the process.
+#[test]
+fn shutdown_is_idempotent_and_reports_typed_errors_instead_of_panicking() {
+    let (_store, server) = serve(reliable_config(), ServerConfig::default());
+    let mut c = NetClient::connect(server.addr()).unwrap();
+    assert_eq!(c.put(1, 1).unwrap(), None);
+
+    assert!(server.begin_shutdown(), "first signal flips the flag");
+    assert!(!server.begin_shutdown(), "second signal is a no-op");
+    assert!(!server.begin_shutdown(), "and so is every later one");
+
+    // Shutdown after the flag is already set still drains and joins
+    // cleanly — the in-flight connection retires its replica.
+    let report = server.shutdown();
+    assert!(
+        report.shutdown_errors.is_empty(),
+        "clean drain reported errors: {:?}",
+        report.shutdown_errors
+    );
+    assert_eq!(report.clients.len(), 1);
+    assert!(report.ops_served >= 1);
+}
+
 #[test]
 fn graceful_shutdown_retires_every_replica_for_verification() {
     let (store, server) = serve(

@@ -393,19 +393,33 @@ impl Store {
 
     /// A new client (one per worker thread). Each client is a full
     /// replica set: one log handle per shard.
+    ///
+    /// Panics when the pid space is exhausted; callers that mint
+    /// clients on behalf of untrusted input (a network server, say)
+    /// should use [`Store::try_client`] instead.
     pub fn client(&self) -> StoreClient {
-        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            pid < 1024,
-            "operation ids carry 10-bit pids: at most 1024 clients"
-        );
-        StoreClient {
+        self.try_client()
+            .expect("operation ids carry 10-bit pids: at most 1023 clients")
+    }
+
+    /// Like [`Store::client`], but returns `None` once the 10-bit pid
+    /// space is exhausted instead of panicking. Pid 1023 is reserved
+    /// for the fresh observer [`Store::verify`] spins up, so at most
+    /// 1023 clients can be minted per store.
+    pub fn try_client(&self) -> Option<StoreClient> {
+        let pid = self
+            .next_pid
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |pid| {
+                (pid < 1023).then_some(pid + 1)
+            })
+            .ok()?;
+        Some(StoreClient {
             handles: self
                 .shards
                 .iter()
                 .map(|s| Handle::new(Arc::clone(&s.log), pid as u16, KvMap::default()))
                 .collect(),
-        }
+        })
     }
 
     /// Catch every replica of `clients` up to the end of each shard's
@@ -510,30 +524,6 @@ impl StoreClient {
             }
             KvOp::Del(k) => KvMap::del_op(k),
         })
-    }
-
-    /// Read `key` without validation or divergence checks — the pre-
-    /// [`Kv`] API.
-    #[deprecated(note = "use `Kv::get`, which validates keys and surfaces divergence as an error")]
-    pub fn get_opt(&mut self, key: u32) -> Option<u32> {
-        let s = self.shard_for(key);
-        KvMap::decode_response(self.handles[s].invoke(KvMap::get_op(key)))
-    }
-
-    /// Write `key → value` without validation or divergence checks —
-    /// the pre-[`Kv`] API.
-    #[deprecated(note = "use `Kv::put`, which validates keys and surfaces divergence as an error")]
-    pub fn put_opt(&mut self, key: u32, value: u32) -> Option<u32> {
-        let s = self.shard_for(key);
-        KvMap::decode_response(self.handles[s].invoke(KvMap::put_op(key, value)))
-    }
-
-    /// Remove `key` without validation or divergence checks — the pre-
-    /// [`Kv`] API.
-    #[deprecated(note = "use `Kv::del`, which validates keys and surfaces divergence as an error")]
-    pub fn del_opt(&mut self, key: u32) -> Option<u32> {
-        let s = self.shard_for(key);
-        KvMap::decode_response(self.handles[s].invoke(KvMap::del_op(key)))
     }
 
     /// This client's replica of shard `s` (for tests/verification).
@@ -752,21 +742,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_shims_agree_with_kv() {
+    fn try_client_refuses_rather_than_colliding_with_the_observer() {
         let store = Store::new(
             StoreConfig::builder()
-                .shards(2)
+                .shards(1)
                 .backend(Backend::Reliable)
                 .build()
                 .unwrap(),
         );
-        let mut c = store.client();
-        assert_eq!(c.put_opt(5, 50), None);
-        assert_eq!(c.get(5).unwrap(), Some(50));
-        assert_eq!(c.get_opt(5), Some(50));
-        assert_eq!(c.del_opt(5), Some(50));
-        assert_eq!(c.get(5).unwrap(), None);
+        // The 10-bit pid space holds 1024 ids; pid 1023 belongs to the
+        // fresh observer `verify` spins up, so exactly 1023 clients can
+        // be minted — and the next mint is a refusal, not a panic.
+        let mut clients: Vec<StoreClient> = Vec::new();
+        while let Some(c) = store.try_client() {
+            clients.push(c);
+        }
+        assert_eq!(clients.len(), 1023);
+        assert!(store.try_client().is_none());
+        let mut last = clients.pop().unwrap();
+        assert_eq!(last.put(7, 70).unwrap(), None);
+        assert_eq!(last.get(7).unwrap(), Some(70));
+        clients.push(last);
+        assert!(store.verify(&mut clients[1020..]).all_consistent());
     }
 
     #[test]
