@@ -1,0 +1,25 @@
+use std::sync::Arc;
+use ff_net::{NetClient, NetServer, ServerConfig};
+use ff_store::{Backend, Kv, Store, StoreConfig};
+
+#[test]
+fn empty_batch_frame_gets_empty_response() {
+    let store = Arc::new(Store::new(
+        StoreConfig::builder()
+            .shards(2)
+            .backend(Backend::Reliable)
+            .build()
+            .unwrap(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig { loops: 1, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut c = NetClient::connect(server.addr()).unwrap();
+    let out = c.batch(&[]).unwrap();
+    assert!(out.is_empty());
+    let report = server.shutdown();
+    assert!(report.shutdown_errors.is_empty());
+}
