@@ -53,6 +53,11 @@ use ff_workload::JsonValue;
 /// The retired thread-per-connection server's best measured run (3
 /// connections, `drive_clients`, batch 8, 1-core CI box) — the bar the
 /// reactor has to clear while holding 100–10,000 connections.
+///
+/// **Historical**: that server was deleted when the reactor landed, so
+/// this number can never be regenerated — the JSON marks it
+/// `"historical": true` so downstream tooling doesn't mistake it for a
+/// measured arm of the current run.
 struct Baseline {
     connections: usize,
     ops_per_sec: f64,
@@ -72,6 +77,7 @@ impl Baseline {
                 "driver".into(),
                 JsonValue::String("thread-per-connection".into()),
             ),
+            ("historical".into(), JsonValue::Bool(true)),
             (
                 "connections".into(),
                 JsonValue::Number(self.connections as f64),
@@ -99,6 +105,7 @@ struct BenchConfig {
     loops: usize,
     replica_budget: usize,
     drivers: usize,
+    combining: bool,
     sweep: bool,
     skip_naive: bool,
     json_out: String,
@@ -123,6 +130,7 @@ impl Default for BenchConfig {
             // path — on the measured critical path.
             replica_budget: 0,
             drivers: 0,
+            combining: false,
             sweep: false,
             skip_naive: false,
             json_out: "BENCH_net.json".to_string(),
@@ -204,6 +212,14 @@ impl ArmReport {
     }
 
     fn print_summary(&self, label: &str) {
+        // Frame round-trip percentiles: every class records the same
+        // frame samples, so read whichever class saw the most ops (the
+        // thread-per-client witness arm still lands in `batches`).
+        let s = &self.snapshot;
+        let busiest = [&s.reads, &s.writes, &s.deletes, &s.batches]
+            .into_iter()
+            .max_by_key(|c| c.ops)
+            .expect("four candidate classes");
         println!(
             "{label}: {}/{} connection(s), {} ops served, {:.0} ops/sec \
              (×{:.2} vs thread-per-connection baseline), \
@@ -211,11 +227,11 @@ impl ArmReport {
             self.connections_achieved,
             self.connections_requested,
             self.ops_served,
-            self.snapshot.total_ops_per_sec(),
-            self.snapshot.total_ops_per_sec() / BASELINE.ops_per_sec,
-            self.snapshot.batches.p50_ns as f64 / 1000.0,
-            self.snapshot.batches.p95_ns as f64 / 1000.0,
-            self.snapshot.batches.p99_ns as f64 / 1000.0,
+            s.total_ops_per_sec(),
+            s.total_ops_per_sec() / BASELINE.ops_per_sec,
+            busiest.p50_ns as f64 / 1000.0,
+            busiest.p95_ns as f64 / 1000.0,
+            busiest.p99_ns as f64 / 1000.0,
             self.verify_consistent,
         );
     }
@@ -266,9 +282,17 @@ struct MuxOutcome {
 
 /// Drive `clients` closed-loop until `deadline` from `drivers` threads,
 /// each cycling send-on-every-lane → collect-on-every-lane so every
-/// connection keeps exactly one BATCH frame in flight. Latency is the
-/// full send→collect round trip, recorded per batch into
-/// `metrics.batches` exactly as [`drive_clients`] records it.
+/// connection keeps exactly one BATCH frame in flight.
+///
+/// Latency is the full send→collect round trip, attributed **at
+/// collect time to every operation class the frame carried** — the
+/// driver knows what it put in each frame, so GETs land in `reads`,
+/// PUTs in `writes`, DELs in `deletes`, each class getting the frame's
+/// round trip as its batched-call sample (per-op latency inside one
+/// frame is not independently observable). Op throughput is accounted
+/// per class too, so `metrics.batches` intentionally stays empty for
+/// this driver: recording the same operations there as well would
+/// double-count them in `total_ops_per_sec`.
 fn drive_multiplexed(
     clients: Vec<NetClient>,
     mix_cfg: &WorkloadMix,
@@ -305,9 +329,17 @@ fn drive_multiplexed(
                             let ops: Vec<KvOp> = (0..batch)
                                 .map(|_| random_op(&mut lane.rng, keyspace, read_pct))
                                 .collect();
+                            let mut classes = [0u64; 3];
+                            for op in &ops {
+                                match op {
+                                    KvOp::Get(_) => classes[0] += 1,
+                                    KvOp::Put(..) => classes[1] += 1,
+                                    KvOp::Del(_) => classes[2] += 1,
+                                }
+                            }
                             let start = Instant::now();
                             match lane.client.send(&[Request::Batch(ops)]) {
-                                Ok(ticket) => round.push((li, ticket, start)),
+                                Ok(ticket) => round.push((li, ticket, start, classes)),
                                 Err(e) => lane.error = Some(e),
                             }
                         }
@@ -315,15 +347,22 @@ fn drive_multiplexed(
                             break; // every lane is dead
                         }
                         // Collect phase: redeem in send order.
-                        for (li, ticket, start) in round {
+                        for (li, ticket, start, classes) in round {
                             let lane = &mut lanes[li];
                             match lane.client.collect(ticket) {
                                 Ok(mut resps) => match resps.pop() {
                                     Some(Response::Batch(values)) if values.len() == batch => {
-                                        metrics.batches.record_many(
-                                            start.elapsed().as_nanos() as u64,
-                                            batch as u64,
-                                        );
+                                        let nanos = start.elapsed().as_nanos() as u64;
+                                        let [gets, puts, dels] = classes;
+                                        if gets > 0 {
+                                            metrics.reads.record_many(nanos, gets);
+                                        }
+                                        if puts > 0 {
+                                            metrics.writes.record_many(nanos, puts);
+                                        }
+                                        if dels > 0 {
+                                            metrics.deletes.record_many(nanos, dels);
+                                        }
                                     }
                                     Some(Response::Batch(values)) => {
                                         lane.error = Some(StoreError::Protocol(format!(
@@ -443,6 +482,7 @@ fn run_arm(
             })
             .rotate_kinds(backend != Backend::Reliable)
             .checkpoint_interval(cfg.checkpoint_interval)
+            .combining(cfg.combining)
             .seed(seed)
             .build()
             .unwrap_or_else(|e| {
@@ -508,7 +548,9 @@ fn run_arm(
     let verify = store.verify(&mut report.clients);
     ArmReport {
         backend,
-        snapshot: metrics.snapshot(elapsed, store.shard_faults()),
+        snapshot: metrics
+            .snapshot(elapsed, store.shard_faults())
+            .with_combining(store.combine_snapshot()),
         ops_served: report.ops_served,
         connections_requested: connections,
         connections_achieved: achieved,
@@ -524,8 +566,8 @@ fn usage() -> ! {
         "usage: netbench [--connections N] [--shards N] [--secs S] [--batch N]\n\
          \x20              [--read-pct P] [--keyspace N] [--fault-rate R]\n\
          \x20              [--checkpoint-interval N] [--seed N] [--loops N]\n\
-         \x20              [--replica-budget N] [--drivers N] [--sweep]\n\
-         \x20              [--skip-naive] [--json-out PATH]"
+         \x20              [--replica-budget N] [--drivers N] [--combining]\n\
+         \x20              [--sweep] [--skip-naive] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -566,6 +608,7 @@ fn main() {
                     .unwrap_or_else(|_| usage())
             }
             "--drivers" => cfg.drivers = value("--drivers").parse().unwrap_or_else(|_| usage()),
+            "--combining" => cfg.combining = true,
             "--sweep" => cfg.sweep = true,
             "--skip-naive" => cfg.skip_naive = true,
             "--json-out" => cfg.json_out = value("--json-out"),
@@ -667,6 +710,7 @@ fn main() {
                     "replica_budget".into(),
                     JsonValue::Number(cfg.replica_budget as f64),
                 ),
+                ("combining".into(), JsonValue::Bool(cfg.combining)),
                 ("sweep".into(), JsonValue::Bool(cfg.sweep)),
                 (
                     "transport".into(),

@@ -11,15 +11,23 @@
 //! machine-readable report to `BENCH_store.json` (override with
 //! `--json-out`). Exits nonzero if any shard diverged — which the
 //! `--backend naive` arm exists to demonstrate.
+//!
+//! `--combining` routes every worker through the flat-combining shard
+//! cores. `--ab` runs the same configuration twice in one process —
+//! first uncombined, then combined — writes both arms into one JSON
+//! document, and exits nonzero unless both arms verified consistent
+//! *and* the combined arm was at least as fast; CI's combining smoke
+//! is exactly this mode.
 
-use ff_store::{run_soak, Backend, SoakConfig};
+use ff_store::{run_soak, Backend, SoakConfig, SoakReport};
+use ff_workload::JsonValue;
 
 fn usage() -> ! {
     eprintln!(
         "usage: soak [--threads N] [--shards N] [--secs S] [--fault-rate R]\n\
          \x20           [--backend reliable|robust|naive] [--read-pct P]\n\
          \x20           [--keyspace N] [--checkpoint-interval N] [--seed N]\n\
-         \x20           [--json-out PATH]"
+         \x20           [--combining] [--ab] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -27,6 +35,7 @@ fn usage() -> ! {
 fn main() {
     let mut config = SoakConfig::default();
     let mut json_out = "BENCH_store.json".to_string();
+    let mut ab = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
@@ -67,6 +76,8 @@ fn main() {
                     .unwrap_or_else(|_| usage())
             }
             "--seed" => config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--combining" => config.combining = true,
+            "--ab" => ab = true,
             "--json-out" => json_out = value("--json-out"),
             "--help" | "-h" => usage(),
             other => {
@@ -76,23 +87,73 @@ fn main() {
         }
     }
 
+    if ab {
+        run_ab(config, &json_out);
+        return;
+    }
+
+    let report = soak_arm(&config);
+    write_json(&json_out, report.to_json());
+    check_consistent(&report);
+}
+
+fn soak_arm(config: &SoakConfig) -> SoakReport {
     eprintln!(
-        "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {} …",
+        "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {}, combining {} …",
         config.threads,
         config.shards,
         config.secs,
         config.backend.label(),
-        config.fault_rate
+        config.fault_rate,
+        config.combining,
     );
-    let report = run_soak(&config);
+    let report = run_soak(config);
     println!("{}", report.render());
+    report
+}
 
-    std::fs::write(&json_out, report.to_json().render()).unwrap_or_else(|e| {
-        eprintln!("failed to write {json_out}: {e}");
+/// The CI combining smoke: same configuration, uncombined then
+/// combined, in one process — so the comparison shares a build, a
+/// machine state and a warm page cache. Fails unless both arms verify
+/// consistent and combining did not lose throughput.
+fn run_ab(mut config: SoakConfig, json_out: &str) {
+    config.combining = false;
+    let uncombined = soak_arm(&config);
+    config.combining = true;
+    let combined = soak_arm(&config);
+
+    let base = uncombined.metrics.total_ops_per_sec();
+    let with = combined.metrics.total_ops_per_sec();
+    let speedup = if base > 0.0 { with / base } else { 0.0 };
+    println!("\nA/B: uncombined {base:.0} ops/sec, combined {with:.0} ops/sec (×{speedup:.2})");
+
+    write_json(
+        json_out,
+        JsonValue::Object(vec![
+            ("mode".into(), JsonValue::String("ab".into())),
+            ("uncombined".into(), uncombined.to_json()),
+            ("combined".into(), combined.to_json()),
+            ("speedup".into(), JsonValue::Number(speedup)),
+        ]),
+    );
+
+    check_consistent(&uncombined);
+    check_consistent(&combined);
+    if with < base {
+        eprintln!("REGRESSION: combined arm slower than uncombined (×{speedup:.2})");
+        std::process::exit(1);
+    }
+}
+
+fn write_json(path: &str, json: JsonValue) {
+    std::fs::write(path, json.render()).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
         std::process::exit(1);
     });
-    eprintln!("wrote {json_out}");
+    eprintln!("wrote {path}");
+}
 
+fn check_consistent(report: &SoakReport) {
     if !report.consistent {
         eprintln!("DIVERGENCE: shards did not agree (expected only under --backend naive)");
         std::process::exit(1);

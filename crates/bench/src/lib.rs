@@ -1,0 +1,192 @@
+//! Experiments that need the whole stack at once.
+//!
+//! Most experiments live next to the layer they exercise (`ff-workload`
+//! E1–E14, `ff-store` E15, `ff-net` E16/E17). E18 compares the
+//! flat-combining shard cores against the uncombined submission path
+//! *and* re-checks the combining model grid — store and simulator
+//! together — so it lives here, in the one crate that depends on both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ff_sim::{check_combining, combining_grid, CombineModelConfig};
+use ff_store::{run_soak, SoakConfig};
+use ff_workload::{Experiment, ExperimentResult, Table};
+
+/// E18: flat-combining cores vs the uncombined path, plus the
+/// exhaustive small-config model check of the combining protocol.
+pub struct E18Combining;
+
+impl Experiment for E18Combining {
+    fn id(&self) -> &'static str {
+        "e18"
+    }
+
+    fn title(&self) -> &'static str {
+        "Flat-combining shard cores: A/B soak, read fast path, model grid"
+    }
+
+    fn run(&self) -> ExperimentResult {
+        run_e18(&combining_grid(), 0.6)
+    }
+}
+
+/// The body of E18, parameterized so the unit test can run a trimmed
+/// grid and shorter arms (`ff-sim` already exhausts the full grid in
+/// its own tests; re-walking the 3-client configs under the debug
+/// profile would dominate the suite for no new coverage).
+fn run_e18(grid: &[CombineModelConfig], secs: f64) -> ExperimentResult {
+    let mut notes = Vec::new();
+    let mut pass = true;
+
+    // Arm 1+2 — the same faulty soak, uncombined then combined. One
+    // process, one machine state: the honest version of the comparison.
+    let base_config = SoakConfig {
+        threads: 3,
+        shards: 4,
+        secs,
+        fault_rate: 0.2,
+        checkpoint_interval: 16,
+        ..SoakConfig::default()
+    };
+    let mut ab = Table::new(
+        "combined vs uncombined soak (threads=3, shards=4, fault rate 0.2, mixed kinds)",
+        &["path", "ops", "ops/sec", "combine passes", "consistent"],
+    );
+    let mut speedup = (0.0, 0.0);
+    for combining in [false, true] {
+        let report = run_soak(&SoakConfig {
+            combining,
+            ..base_config.clone()
+        });
+        let ops_per_sec = report.metrics.total_ops_per_sec();
+        if combining {
+            speedup.1 = ops_per_sec;
+        } else {
+            speedup.0 = ops_per_sec;
+        }
+        ab.push_row(&[
+            if combining { "combined" } else { "uncombined" }.to_string(),
+            report.metrics.total_ops().to_string(),
+            format!("{ops_per_sec:.0}"),
+            report
+                .metrics
+                .combining
+                .as_ref()
+                .map_or_else(|| "—".to_string(), |c| c.passes.to_string()),
+            report.consistent.to_string(),
+        ]);
+        pass &= report.consistent;
+    }
+    if speedup.0 > 0.0 {
+        notes.push(format!(
+            "combined/uncombined throughput ratio: ×{:.2} (ratio is machine- and \
+             profile-dependent; CI's release-mode `soak --ab` gate enforces ≥1)",
+            speedup.1 / speedup.0
+        ));
+    }
+
+    // Arm 3 — read-share sweep over the combined path: the wait-free
+    // snapshot read should absorb nearly every GET, and the heavier the
+    // read mix the more of the workload never touches the log.
+    let mut sweep = Table::new(
+        "combined path vs read share (threads=3, shards=4, fault rate 0.2)",
+        &[
+            "read %",
+            "ops/sec",
+            "fastpath hits",
+            "fallbacks",
+            "hit rate",
+        ],
+    );
+    for read_pct in [50u32, 70, 95] {
+        let report = run_soak(&SoakConfig {
+            combining: true,
+            read_pct,
+            ..base_config.clone()
+        });
+        pass &= report.consistent;
+        let c = report
+            .metrics
+            .combining
+            .expect("combining soak must snapshot combiner counters");
+        sweep.push_row(&[
+            read_pct.to_string(),
+            format!("{:.0}", report.metrics.total_ops_per_sec()),
+            c.fastpath_hits.to_string(),
+            c.fastpath_misses.to_string(),
+            format!("{:.1}%", c.hit_rate() * 100.0),
+        ]);
+        if read_pct == 95 {
+            // The acceptance bar: a read-heavy workload must be served
+            // almost entirely by the wait-free path.
+            if c.hit_rate() <= 0.9 {
+                notes.push(format!(
+                    "FAIL: 95%-GET arm fast-path hit rate {:.1}% ≤ 90%",
+                    c.hit_rate() * 100.0
+                ));
+                pass = false;
+            } else {
+                notes.push(format!(
+                    "95%-GET arm answered {:.1}% of reads wait-free",
+                    c.hit_rate() * 100.0
+                ));
+            }
+        }
+    }
+
+    // Arm 4 — the exhaustive model grid: no stale read past the decided
+    // tail, no lost or duplicated op under combiner hand-off, across
+    // every interleaving of every small configuration.
+    let mut model = Table::new(
+        "combining model grid (exhaustive; stutters = tolerated cell faults)",
+        &[
+            "clients", "rounds", "stutters", "states", "stale", "lost", "dup",
+        ],
+    );
+    for cfg in grid {
+        let report = check_combining(cfg);
+        pass &= report.clean();
+        model.push_row(&[
+            cfg.clients.to_string(),
+            cfg.rounds.to_string(),
+            format!("{:?}", cfg.stutter_budget),
+            report.states.to_string(),
+            report.stale_reads.to_string(),
+            report.lost_ops.to_string(),
+            report.duplicated_ops.to_string(),
+        ]);
+    }
+
+    ExperimentResult {
+        id: "e18".into(),
+        title: E18Combining.title().into(),
+        paper_ref: "flat combining over the robust universal construction (Sections 4–6)".into(),
+        tables: vec![ab, sweep, model],
+        notes,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_spec::Bound;
+
+    /// E18 with the 2-client model configs and short soak arms — the
+    /// full grid runs in ff-sim's tests and in the release-mode report
+    /// binary; this checks the experiment's own plumbing and verdicts.
+    #[test]
+    fn e18_passes_on_trimmed_grid() {
+        let grid: Vec<CombineModelConfig> = combining_grid()
+            .into_iter()
+            .filter(|c| c.clients == 2 && c.rounds == 1)
+            .collect();
+        assert!(!grid.is_empty());
+        assert!(grid
+            .iter()
+            .all(|c| matches!(c.stutter_budget, Bound::Finite(_))));
+        let result = run_e18(&grid, 0.3);
+        assert!(result.pass, "E18 failed:\n{}", result.render());
+    }
+}

@@ -330,8 +330,22 @@ fn serve_buffered(
                 .ops_served
                 .fetch_add(scratch.run_ops.len() as u64, Ordering::Relaxed);
         }
+        // Coalescing observability: how many frames fed how many merged
+        // runs of what size (STATS surfaces the ratios).
+        shared.runs_executed.fetch_add(1, Ordering::Relaxed);
+        shared
+            .run_ops
+            .fetch_add(scratch.run_ops.len() as u64, Ordering::Relaxed);
+        shared
+            .max_run_ops
+            .fetch_max(scratch.run_ops.len() as u32, Ordering::Relaxed);
         Some(result)
     };
+    if !scratch.slots.is_empty() {
+        shared
+            .frames_staged
+            .fetch_add(scratch.slots.len() as u64, Ordering::Relaxed);
+    }
     for slot in scratch.slots.drain(..) {
         let resp = match slot.kind {
             SlotKind::Single { off } => match &outcome {
@@ -376,6 +390,19 @@ fn stage_conn(
                     }
                     RequestRef::Del { key } => {
                         contributed |= stage_op(i, id, KvOp::Del(key), run_ops, slots);
+                    }
+                    RequestRef::Batch(b) if b.is_empty() => {
+                        // Nothing to execute: answer now. Joining the
+                        // run would stage a response slot without any
+                        // backing operations — a tick where no other
+                        // frame contributes would then have an empty
+                        // run to resolve it from.
+                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot {
+                            conn: i,
+                            id,
+                            kind: SlotKind::Ready(Response::Batch(Vec::new())),
+                        });
                     }
                     RequestRef::Batch(b) => match b.iter().try_for_each(validate) {
                         Ok(()) => {

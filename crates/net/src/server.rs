@@ -145,6 +145,14 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) active: AtomicU32,
     pub(crate) ops_served: AtomicU64,
+    /// Merged runs executed across all loops (serve passes with ops).
+    pub(crate) runs_executed: AtomicU64,
+    /// Operations that went through merged runs.
+    pub(crate) run_ops: AtomicU64,
+    /// Largest single merged run any loop executed.
+    pub(crate) max_run_ops: AtomicU32,
+    /// Request frames staged for a response across all serve passes.
+    pub(crate) frames_staged: AtomicU64,
     /// Exclusive replica leases currently held by live connections;
     /// bounded by `config.replica_budget`.
     pub(crate) exclusive_leases: AtomicUsize,
@@ -196,6 +204,10 @@ impl NetServer {
             shutdown: AtomicBool::new(false),
             active: AtomicU32::new(0),
             ops_served: AtomicU64::new(0),
+            runs_executed: AtomicU64::new(0),
+            run_ops: AtomicU64::new(0),
+            max_run_ops: AtomicU32::new(0),
+            frames_staged: AtomicU64::new(0),
             exclusive_leases: AtomicUsize::new(0),
             retired: Mutex::new(Vec::new()),
             loops: (0..nloops).map(|_| LoopShared::default()).collect(),
@@ -375,11 +387,18 @@ fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str
 
 pub(crate) fn stats(shared: &Shared) -> StatsReply {
     let store = &shared.store;
+    let combine = store.combine_snapshot();
     StatsReply {
         shards: store.shards() as u32,
         active_connections: shared.active.load(Ordering::SeqCst),
         diverged: (0..store.shards()).any(|s| store.shard_log(s).divergence_detected()),
         ops_served: shared.ops_served.load(Ordering::Relaxed),
+        runs_executed: shared.runs_executed.load(Ordering::Relaxed),
+        run_ops: shared.run_ops.load(Ordering::Relaxed),
+        max_run_ops: shared.max_run_ops.load(Ordering::Relaxed),
+        frames_staged: shared.frames_staged.load(Ordering::Relaxed),
+        combine_passes: combine.as_ref().map_or(0, |c| c.passes),
+        combine_ops: combine.as_ref().map_or(0, |c| c.combined_ops),
     }
 }
 

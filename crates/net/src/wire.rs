@@ -142,6 +142,22 @@ pub struct StatsReply {
     pub diverged: bool,
     /// Requests served since the server started.
     pub ops_served: u64,
+    /// Merged cross-connection runs the reactor executed (one per
+    /// serve pass that carried operations).
+    pub runs_executed: u64,
+    /// Operations that went through merged runs; the mean merged-batch
+    /// size is `run_ops / runs_executed`.
+    pub run_ops: u64,
+    /// Largest single merged run.
+    pub max_run_ops: u32,
+    /// Request frames staged for a response across all serve passes;
+    /// frames-per-tick is `frames_staged / runs_executed`.
+    pub frames_staged: u64,
+    /// Flat-combining passes the store's shard cores ran (0 unless the
+    /// store was built with `combining`).
+    pub combine_passes: u64,
+    /// Operations those combining passes batched.
+    pub combine_ops: u64,
 }
 
 /// A server → client message.
@@ -405,6 +421,12 @@ pub fn encode_response(out: &mut Vec<u8>, id: u32, resp: &Response) {
             p.extend_from_slice(&s.active_connections.to_le_bytes());
             p.push(s.diverged as u8);
             p.extend_from_slice(&s.ops_served.to_le_bytes());
+            p.extend_from_slice(&s.runs_executed.to_le_bytes());
+            p.extend_from_slice(&s.run_ops.to_le_bytes());
+            p.extend_from_slice(&s.max_run_ops.to_le_bytes());
+            p.extend_from_slice(&s.frames_staged.to_le_bytes());
+            p.extend_from_slice(&s.combine_passes.to_le_bytes());
+            p.extend_from_slice(&s.combine_ops.to_le_bytes());
             T_STATS_RESP
         }
         Response::Pong => T_PONG,
@@ -623,6 +645,12 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<ResponseFrame>, DecodeError
             active_connections: c.u32()?,
             diverged: c.bool()?,
             ops_served: c.u64()?,
+            runs_executed: c.u64()?,
+            run_ops: c.u64()?,
+            max_run_ops: c.u32()?,
+            frames_staged: c.u64()?,
+            combine_passes: c.u64()?,
+            combine_ops: c.u64()?,
         }),
         T_PONG => Response::Pong,
         T_ERROR => {
@@ -778,7 +806,14 @@ mod tests {
                 active_connections: 3,
                 diverged: true,
                 ops_served: u64::MAX,
+                runs_executed: 41,
+                run_ops: 9000,
+                max_run_ops: 512,
+                frames_staged: 8192,
+                combine_passes: 77,
+                combine_ops: 616,
             }),
+            Response::Stats(StatsReply::default()),
             Response::Pong,
             Response::Error {
                 code: ErrorCode::Divergence,

@@ -57,6 +57,15 @@ fn kv_over_tcp_matches_in_process_semantics() {
     assert_eq!(stats.shards, 2);
     assert!(!stats.diverged);
     assert!(stats.ops_served > 0);
+    // Coalescing observability: the serves above ran through merged
+    // runs, and every answered frame was staged.
+    assert!(stats.runs_executed > 0);
+    assert!(stats.run_ops > 0);
+    assert!(stats.max_run_ops >= 1);
+    assert!(stats.frames_staged >= stats.runs_executed);
+    // Not a combining store: the combiner counters stay zero.
+    assert_eq!(stats.combine_passes, 0);
+    assert_eq!(stats.combine_ops, 0);
     c.ping().unwrap();
 
     drop(c);
@@ -250,6 +259,61 @@ fn shutdown_is_idempotent_and_reports_typed_errors_instead_of_panicking() {
     );
     assert_eq!(report.clients.len(), 1);
     assert!(report.ops_served >= 1);
+}
+
+/// A flat-combining store behind the reactor: ops from several
+/// connections drain through the shard cores' combine passes, STATS
+/// surfaces the combiner counters, and the post-drain verify holds.
+#[test]
+fn combining_store_serves_and_reports_combiner_counters() {
+    let (store, server) = serve(
+        StoreConfig::builder()
+            .shards(2)
+            .backend(Backend::Robust)
+            .fault_rate(0.2)
+            .rotate_kinds(true)
+            .checkpoint_interval(16)
+            .combining(true)
+            .build()
+            .unwrap(),
+        ServerConfig::default(),
+    );
+    let clients: Vec<NetClient> = (0..3)
+        .map(|_| NetClient::connect(server.addr()).unwrap())
+        .collect();
+    let metrics = StoreMetrics::default();
+    let mix = WorkloadMix {
+        read_pct: 60,
+        keyspace: 64,
+        seed: 0xC0B1,
+        batch: 2,
+    };
+    let outcome = drive_clients(
+        clients,
+        &mix,
+        Instant::now() + Duration::from_millis(300),
+        &metrics,
+        || {},
+    );
+    assert!(
+        outcome.errors.is_empty(),
+        "tolerated faults must stay silent: {:?}",
+        outcome.errors
+    );
+    let mut probe = NetClient::connect(server.addr()).unwrap();
+    let stats = probe.stats().unwrap();
+    assert!(!stats.diverged);
+    assert!(stats.runs_executed > 0);
+    assert!(stats.frames_staged >= stats.runs_executed);
+    assert!(
+        stats.combine_passes > 0,
+        "a combining store served over TCP must run combine passes: {stats:?}"
+    );
+    assert!(stats.combine_ops >= stats.combine_passes);
+    drop(probe);
+    drop(outcome.clients);
+    let mut report = server.shutdown();
+    assert!(store.verify(&mut report.clients).all_consistent());
 }
 
 #[test]

@@ -1,6 +1,6 @@
-use std::sync::Arc;
 use ff_net::{NetClient, NetServer, ServerConfig};
 use ff_store::{Backend, Kv, Store, StoreConfig};
+use std::sync::Arc;
 
 #[test]
 fn empty_batch_frame_gets_empty_response() {
@@ -14,7 +14,10 @@ fn empty_batch_frame_gets_empty_response() {
     let server = NetServer::start(
         Arc::clone(&store),
         "127.0.0.1:0",
-        ServerConfig { loops: 1, ..ServerConfig::default() },
+        ServerConfig {
+            loops: 1,
+            ..ServerConfig::default()
+        },
     )
     .unwrap();
     let mut c = NetClient::connect(server.addr()).unwrap();

@@ -1,0 +1,536 @@
+//! Exhaustive small-config model of ff-store's flat-combining protocol
+//! and wait-free read fast path.
+//!
+//! The protocol under check is the one `ff-store`'s `combine` module
+//! implements: clients publish pending ops into per-client announce
+//! slots, any client whose op is still pending may run a combine pass
+//! (claim every pending slot by CAS, append the claimed batch to the
+//! shard log as *one* decided entry, advance the shared replica,
+//! distribute results), and a read may complete wait-free from the
+//! shared replica when the replica's applied index covers the tail the
+//! reader observed. The model is deliberately small — a handful of
+//! clients, a register-shaped log — but the *interleavings* are
+//! explored exhaustively, including the adversarial ones the live
+//! system cannot be steered into on demand: a combiner parked between
+//! append and apply, racing combiners splitting a pending set, a
+//! takeover mid-claim. Combiner concurrency is bounded at two, which is
+//! what the implementation admits: the advisory busy flag lets one pass
+//! run and the forced-takeover path can add exactly one more.
+//!
+//! Tolerated cell faults are abstracted as **bounded append stutters**:
+//! a combine pass's append step may fail and be retried up to the
+//! budget ([`ff_spec::Bound::Finite`]), with the adversary choosing
+//! when. That is what the robust log constructions reduce tolerated
+//! fault kinds to — extra propose rounds and adversarial ordering,
+//! never a wrong decision (the reduction itself is verified by the
+//! explorer's consensus models; broken *un*tolerated cells are covered
+//! by ff-store's divergence tests, not here).
+//!
+//! Two properties are checked on every reachable state:
+//!
+//! 1. **Freshness** — no fast-path read returns a state staler than the
+//!    shard's decided tail at the moment the read began.
+//! 2. **Hand-off integrity** — no pending op is ever lost (every run
+//!    quiesces with every published op decided exactly once) or
+//!    duplicated (no op appears twice in the log), no matter which
+//!    combiner drains it or how many takeovers interleave.
+//!
+//! Setting [`CombineModelConfig::guarded`] to `false` removes the
+//! freshness guard (reads answer from the replica unconditionally),
+//! which must make the checker report stale reads — the standard
+//! broken-variant sanity check that the model can see violations at
+//! all.
+
+use ff_spec::Bound;
+use std::collections::HashSet;
+
+/// One small configuration of the combining model.
+#[derive(Clone, Copy, Debug)]
+pub struct CombineModelConfig {
+    /// Number of clients (each owns one announce slot).
+    pub clients: usize,
+    /// Rounds per client; each round is one write followed by one read.
+    pub rounds: usize,
+    /// Tolerated append stutters for the whole run (the cell-fault
+    /// abstraction). Must be [`Bound::Finite`] — unbounded stutter
+    /// admits infinite runs, which is exactly the nontermination the
+    /// paper's tolerated-fault budgets exclude.
+    pub stutter_budget: Bound,
+    /// Keep the read fast path's freshness guard. `false` checks the
+    /// deliberately broken variant (reads answer unconditionally) and
+    /// must produce stale-read violations.
+    pub guarded: bool,
+}
+
+/// What exhaustive exploration of one configuration found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombineModelReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Distinct quiescent (terminal) states.
+    pub terminals: usize,
+    /// Fast-path reads that returned a state staler than the decided
+    /// tail observed at read start (property 1 violations).
+    pub stale_reads: usize,
+    /// Terminal states where a published op never reached the log, or
+    /// where a run wedged with work still pending (property 2: lost).
+    pub lost_ops: usize,
+    /// States where an op appears more than once in the log
+    /// (property 2: duplicated).
+    pub duplicated_ops: usize,
+}
+
+impl CombineModelReport {
+    /// No property was violated anywhere in the state space.
+    pub fn clean(&self) -> bool {
+        self.stale_reads == 0 && self.lost_ops == 0 && self.duplicated_ops == 0
+    }
+}
+
+/// Announce-slot lifecycle, exactly the implementation's.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Slot {
+    Empty,
+    /// Published, up for grabs by any combiner.
+    Pending(u8),
+    /// Taken by some combiner's claim CAS.
+    Claimed(u8),
+    /// Executed; payload is the log length right after the batch
+    /// carrying this op was appended (its linearization prefix).
+    Done(u8),
+}
+
+/// Per-client control state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Between operations.
+    Ready,
+    /// A read sampled the decided tail (`observed`) and is about to
+    /// check the replica — the adversarial gap is between that sample
+    /// and the replica check.
+    FastCheck { observed: u8 },
+    /// Op published; waiting for a combiner to deliver (the decided
+    /// tail at publish lives in `State::dstart` so it survives a
+    /// combine pass).
+    Waiting,
+    /// Running a combine pass: claim CAS over slots `0..idx` done so
+    /// far, `claimed` holds the indices won.
+    Claiming { idx: u8, claimed: Vec<u8> },
+    /// Claim phase finished; the batched append is next (this is where
+    /// stutters — and parked-combiner schedules — bite).
+    Execute { claimed: Vec<u8> },
+    /// Batch appended at log position `pos`; the replica apply (and
+    /// result distribution) is next. A reader scheduled here sees the
+    /// tail grown but the replica lagging — the window the freshness
+    /// guard exists for.
+    Apply { claimed: Vec<u8>, pos: u8 },
+}
+
+/// One explorable state of the whole system.
+#[derive(Clone)]
+struct State {
+    phase: Vec<Phase>,
+    /// Next program index per client.
+    pc: Vec<u8>,
+    slots: Vec<Slot>,
+    /// Decided log: each entry is one combine pass's batch.
+    log: Vec<Vec<u8>>,
+    /// Batches the shared replica has applied.
+    applied: u8,
+    /// Per client: the decided tail when its in-flight op began (for
+    /// the freshness cross-check on delivered reads).
+    dstart: Vec<u8>,
+    /// Remaining tolerated append stutters.
+    budget: u8,
+}
+
+/// Client `c`'s `k`-th operation id. Even ids are writes, odd are
+/// reads (each round is write-then-read), and ids are globally unique.
+fn op_id(c: usize, k: u8) -> u8 {
+    (c as u8) << 4 | k
+}
+
+fn is_write(pc: u8) -> bool {
+    pc.is_multiple_of(2)
+}
+
+fn claim_mask(claimed: &[u8]) -> u128 {
+    claimed.iter().fold(0u128, |m, &sl| m | 1 << sl)
+}
+
+/// Compact memoization key. The Vec-shaped [`State`] packs exactly into
+/// 132 bits: 24 per client (phase tag + two 4-bit payloads + pc + the
+/// freshness mark + slot state), 12 of globals, and 4 bits of decided
+/// position per op (slot op payloads are derivable — slot `i` always
+/// carries client `i`'s current op). Memoizing on this instead of the
+/// heap-heavy state cuts the seen-set cost by more than an order of
+/// magnitude, which is what makes the 3-client grid configs explorable.
+fn key(st: &State, prog_len: u8) -> (u128, u64) {
+    let mut hi: u128 = 0;
+    for (i, ph) in st.phase.iter().enumerate() {
+        let (tag, f1, f2): (u128, u128, u128) = match ph {
+            Phase::Ready => (0, 0, 0),
+            Phase::FastCheck { observed } => (1, *observed as u128, 0),
+            Phase::Waiting => (2, 0, 0),
+            Phase::Claiming { idx, claimed } => (3, *idx as u128, claim_mask(claimed)),
+            Phase::Execute { claimed } => (4, claim_mask(claimed), 0),
+            Phase::Apply { claimed, pos } => (5, claim_mask(claimed), *pos as u128),
+        };
+        let (stag, spos): (u128, u128) = match st.slots[i] {
+            Slot::Empty => (0, 0),
+            Slot::Pending(_) => (1, 0),
+            Slot::Claimed(_) => (2, 0),
+            Slot::Done(pos) => (3, pos as u128),
+        };
+        debug_assert!(f1 < 16 && f2 < 16 && st.pc[i] < 8 && st.dstart[i] < 16 && spos < 16);
+        let cell = tag
+            | f1 << 3
+            | f2 << 7
+            | (st.pc[i] as u128) << 11
+            | (st.dstart[i] as u128) << 14
+            | stag << 18
+            | spos << 20;
+        hi |= cell << (24 * i);
+    }
+    debug_assert!(st.applied < 16 && st.budget < 16 && st.log.len() < 16);
+    hi |= ((st.applied as u128) << 96)
+        | ((st.budget as u128) << 100)
+        | ((st.log.len() as u128) << 104);
+    let mut lo: u64 = 0;
+    for (b, batch) in st.log.iter().enumerate() {
+        for &op in batch {
+            let c = (op >> 4) as u64;
+            let k = (op & 0xf) as u64;
+            lo |= (b as u64 + 1) << (4 * (c * prog_len as u64 + k));
+        }
+    }
+    (hi, lo)
+}
+
+fn explore(cfg: &CombineModelConfig) -> CombineModelReport {
+    let n = cfg.clients;
+    let prog_len = (cfg.rounds * 2) as u8;
+    let budget = match cfg.stutter_budget {
+        Bound::Finite(t) => u8::try_from(t).expect("stutter budget fits in u8"),
+        _ => panic!("the combining model needs a finite stutter budget"),
+    };
+    assert!((1..=4).contains(&n), "small configs only (1..=4 clients)");
+
+    let init = State {
+        phase: vec![Phase::Ready; n],
+        pc: vec![0; n],
+        slots: vec![Slot::Empty; n],
+        log: Vec::new(),
+        applied: 0,
+        dstart: vec![0; n],
+        budget,
+    };
+
+    let mut report = CombineModelReport::default();
+    let mut seen: HashSet<(u128, u64)> = HashSet::new();
+    let mut stack = vec![init];
+    while let Some(st) = stack.pop() {
+        if !seen.insert(key(&st, prog_len)) {
+            continue;
+        }
+        report.states += 1;
+        let flat: Vec<u8> = st.log.iter().flatten().copied().collect();
+        for &op in &flat {
+            if flat.iter().filter(|&&o| o == op).count() > 1 {
+                report.duplicated_ops += 1;
+                break;
+            }
+        }
+        let succs = successors(&st, cfg, prog_len);
+        if succs.is_empty() {
+            report.terminals += 1;
+            // Quiescence: every client finished and every write decided
+            // exactly once (duplicates were counted above); a wedged
+            // run or a missing write is a lost op.
+            let all_done =
+                (0..n).all(|i| st.pc[i] == prog_len && matches!(st.phase[i], Phase::Ready));
+            let writes_present = (0..n).all(|c| {
+                (0..prog_len)
+                    .filter(|&k| is_write(k))
+                    .all(|k| flat.contains(&op_id(c, k)))
+            });
+            if !all_done || !writes_present {
+                report.lost_ops += 1;
+            }
+        } else {
+            for (succ, stale) in succs {
+                if stale {
+                    report.stale_reads += 1;
+                }
+                stack.push(succ);
+            }
+        }
+    }
+    report
+}
+
+/// All enabled transitions from `st`; the `bool` marks a completed read
+/// that violated freshness (returned a prefix older than the decided
+/// tail at read start).
+fn successors(st: &State, cfg: &CombineModelConfig, prog_len: u8) -> Vec<(State, bool)> {
+    let n = st.phase.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        match &st.phase[i] {
+            Phase::Ready => {
+                if st.pc[i] >= prog_len {
+                    continue;
+                }
+                let id = op_id(i, st.pc[i]);
+                let started = st.log.len() as u8;
+                if is_write(st.pc[i]) {
+                    let mut s = st.clone();
+                    s.slots[i] = Slot::Pending(id);
+                    s.dstart[i] = started;
+                    s.phase[i] = Phase::Waiting;
+                    out.push((s, false));
+                } else {
+                    // A read may try the fast path (sample the tail) or
+                    // publish straight away like any other op.
+                    let mut fast = st.clone();
+                    fast.phase[i] = Phase::FastCheck { observed: started };
+                    out.push((fast, false));
+                    let mut slow = st.clone();
+                    slow.slots[i] = Slot::Pending(id);
+                    slow.dstart[i] = started;
+                    slow.phase[i] = Phase::Waiting;
+                    out.push((slow, false));
+                }
+            }
+            Phase::FastCheck { observed } => {
+                if st.applied >= *observed || !cfg.guarded {
+                    // Complete from the replica. Fresh iff the replica
+                    // covers the decided tail at read start.
+                    let stale = st.applied < *observed;
+                    let mut s = st.clone();
+                    s.pc[i] += 1;
+                    s.phase[i] = Phase::Ready;
+                    s.dstart[i] = 0;
+                    out.push((s, stale));
+                } else {
+                    // Freshness unprovable: fall back to the combined
+                    // path (publish like any other op).
+                    let mut s = st.clone();
+                    s.slots[i] = Slot::Pending(op_id(i, st.pc[i]));
+                    s.dstart[i] = *observed;
+                    s.phase[i] = Phase::Waiting;
+                    out.push((s, false));
+                }
+            }
+            Phase::Waiting => match &st.slots[i] {
+                Slot::Done(pos) => {
+                    // Delivered. A combined-path read linearizes at its
+                    // batch's log position, which must also cover the
+                    // tail at read start.
+                    let stale = !is_write(st.pc[i]) && *pos < st.dstart[i];
+                    let mut s = st.clone();
+                    s.slots[i] = Slot::Empty;
+                    s.pc[i] += 1;
+                    s.phase[i] = Phase::Ready;
+                    // The op is over; zero the bookkeeping so states
+                    // differing only in dead freshness marks merge.
+                    s.dstart[i] = 0;
+                    out.push((s, stale));
+                }
+                Slot::Pending(_) => {
+                    // Unclaimed: this client may start its own combine
+                    // pass. The advisory flag admits one combiner and
+                    // the forced-takeover path admits one more, so at
+                    // most two passes ever overlap — modelling exactly
+                    // that keeps the racing-combiner/takeover schedules
+                    // while keeping the state space tractable.
+                    let combiners = st
+                        .phase
+                        .iter()
+                        .filter(|p| {
+                            matches!(
+                                p,
+                                Phase::Claiming { .. }
+                                    | Phase::Execute { .. }
+                                    | Phase::Apply { .. }
+                            )
+                        })
+                        .count();
+                    if combiners < 2 {
+                        let mut s = st.clone();
+                        s.phase[i] = Phase::Claiming {
+                            idx: 0,
+                            claimed: Vec::new(),
+                        };
+                        out.push((s, false));
+                    }
+                }
+                // Claimed: some combiner owns it and will deliver.
+                _ => {}
+            },
+            Phase::Claiming { idx, claimed } => {
+                let mut s = st.clone();
+                let mut claimed = claimed.clone();
+                let at = *idx as usize;
+                if at < n {
+                    // One claim CAS per step — racing combiners
+                    // interleave here and split the pending set.
+                    if let Slot::Pending(op) = s.slots[at] {
+                        s.slots[at] = Slot::Claimed(op);
+                        claimed.push(at as u8);
+                    }
+                    s.phase[i] = Phase::Claiming {
+                        idx: idx + 1,
+                        claimed,
+                    };
+                } else if claimed.is_empty() {
+                    // Everything was claimed out from under us; go back
+                    // to waiting for our own delivery.
+                    s.phase[i] = Phase::Waiting;
+                } else {
+                    s.phase[i] = Phase::Execute { claimed };
+                }
+                out.push((s, false));
+            }
+            Phase::Execute { claimed } => {
+                // Append the whole batch as ONE decided log entry.
+                let mut ok = st.clone();
+                let batch: Vec<u8> = claimed
+                    .iter()
+                    .map(|&sl| match ok.slots[sl as usize] {
+                        Slot::Claimed(op) => op,
+                        _ => unreachable!("claimed slot changed owner"),
+                    })
+                    .collect();
+                ok.log.push(batch);
+                let pos = ok.log.len() as u8;
+                ok.phase[i] = Phase::Apply {
+                    claimed: claimed.clone(),
+                    pos,
+                };
+                out.push((ok, false));
+                // Tolerated cell fault: the append stutters and must be
+                // retried (adversary's choice, bounded by the budget).
+                if st.budget > 0 {
+                    let mut stut = st.clone();
+                    stut.budget -= 1;
+                    out.push((stut, false));
+                }
+            }
+            Phase::Apply { claimed, pos } => {
+                // The shared replica catches up to the whole log and the
+                // per-slot results go out. Until this step runs, readers
+                // see the tail ahead of the replica — the window the
+                // freshness guard covers.
+                let mut s = st.clone();
+                s.applied = s.log.len() as u8;
+                for &sl in claimed {
+                    s.slots[sl as usize] = Slot::Done(*pos);
+                }
+                s.phase[i] = Phase::Waiting;
+                out.push((s, false));
+            }
+        }
+    }
+    out
+}
+
+/// Exhaustively check one configuration.
+pub fn check_combining(cfg: &CombineModelConfig) -> CombineModelReport {
+    explore(cfg)
+}
+
+/// The small-config grid E18 runs: every configuration here must come
+/// back [`CombineModelReport::clean`].
+pub fn combining_grid() -> Vec<CombineModelConfig> {
+    let mut grid = Vec::new();
+    for &(clients, stutters) in &[(2usize, 0u64), (2, 1), (2, 2), (3, 0), (3, 1)] {
+        // Three clients with the full stutter budget is the one corner
+        // left out: 2-client configs already sweep the budget and the
+        // 3-client/1-stutter config covers the retry × racing-combiner
+        // interplay, at a tenth of the states.
+        grid.push(CombineModelConfig {
+            clients,
+            rounds: 1,
+            stutter_budget: Bound::Finite(stutters),
+            guarded: true,
+        });
+    }
+    grid.push(CombineModelConfig {
+        clients: 2,
+        rounds: 2,
+        stutter_budget: Bound::Finite(1),
+        guarded: true,
+    });
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grid_is_clean() {
+        for cfg in combining_grid() {
+            let t0 = std::time::Instant::now();
+            let report = check_combining(&cfg);
+            eprintln!("{cfg:?} -> {report:?} in {:?}", t0.elapsed());
+            assert!(
+                report.clean(),
+                "violations in {cfg:?}: {report:?} (freshness or hand-off broken)"
+            );
+            assert!(report.states > 10, "degenerate exploration: {report:?}");
+            assert!(report.terminals > 0, "no quiescent state: {report:?}");
+        }
+    }
+
+    #[test]
+    fn unguarded_fast_reads_are_caught() {
+        // Removing the freshness guard must surface stale reads — the
+        // checker can actually see property-1 violations.
+        let report = check_combining(&CombineModelConfig {
+            clients: 2,
+            rounds: 1,
+            stutter_budget: Bound::Finite(1),
+            guarded: false,
+        });
+        assert!(
+            report.stale_reads > 0,
+            "unguarded variant produced no stale reads: {report:?}"
+        );
+        assert_eq!(report.lost_ops, 0, "{report:?}");
+        assert_eq!(report.duplicated_ops, 0, "{report:?}");
+    }
+
+    #[test]
+    fn stutters_exercise_retries_without_losing_ops() {
+        let none = check_combining(&CombineModelConfig {
+            clients: 2,
+            rounds: 1,
+            stutter_budget: Bound::Finite(0),
+            guarded: true,
+        });
+        let some = check_combining(&CombineModelConfig {
+            clients: 2,
+            rounds: 1,
+            stutter_budget: Bound::Finite(2),
+            guarded: true,
+        });
+        assert!(none.clean() && some.clean());
+        assert!(
+            some.states > none.states,
+            "stutter branches added no states: {none:?} vs {some:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite stutter budget")]
+    fn unbounded_stutter_is_refused() {
+        check_combining(&CombineModelConfig {
+            clients: 2,
+            rounds: 1,
+            stutter_budget: Bound::Unbounded,
+            guarded: true,
+        });
+    }
+}

@@ -1,0 +1,728 @@
+//! Per-shard flat-combining cores: batched log appends plus a
+//! wait-free read fast path.
+//!
+//! The universal construction pays a full log pass (one consensus
+//! decision, one replay loop) *per operation*. Node-replication-style
+//! combining collapses that: clients **publish** pending operations
+//! into a per-shard announce array, one client becomes the
+//! **combiner**, drains everything pending, and drives the whole drain
+//! through the shard's [`UniversalLog`] as a *single* batched append
+//! ([`Handle::invoke_many`] — one decided slot carrying a multi-op
+//! record, decoded and applied op-by-op on replay, so `Replicated`
+//! semantics, checkpoints and digests are unchanged). Results are
+//! distributed back to the waiters through their slots.
+//!
+//! # The protocol
+//!
+//! Each client owns one [`Slot`] per shard. A slot walks
+//! `EMPTY → PENDING → CLAIMED → DONE/FAILED → EMPTY`:
+//!
+//! * **publish** — the owner writes its ops and releases the slot to
+//!   `PENDING`.
+//! * **claim** — a combiner CASes `PENDING → CLAIMED` per slot. Claims
+//!   are *individually* atomic and taken **without holding any lock**,
+//!   so two racing combiners split the pending set instead of
+//!   duplicating it, and a combiner that stalls after claiming can
+//!   never strand ops it did *not* claim.
+//! * **execute** — the combiner locks the shard's shared core replica,
+//!   appends one batch record, and unlocks.
+//! * **distribute** — per-slot results are written and the slot is
+//!   released to `DONE` (or `FAILED` when the shard's log holds
+//!   divergence evidence — an error, never wrong data).
+//!
+//! Combiner election is an *advisory* flag: the common case has one
+//! combiner per shard, but a waiter whose op stays unclaimed too long
+//! **forces** its own pass, bypassing the flag. Correctness never
+//! depends on the flag — only the per-slot claim CAS and the log's own
+//! consensus cells order operations. Tolerated *cell* faults are
+//! absorbed inside the log (the robust constructions); a combiner that
+//! dies between claiming and distributing parks exactly the ops it
+//! claimed (their owners' calls simply do not return) — the same
+//! envelope as NR's combiner, and the crash-recovery roadmap item.
+//!
+//! # The read fast path
+//!
+//! Every combine pass advances the shared core replica, so the replica
+//! is a *versioned snapshot* `(applied_to, state)`. A GET first
+//! observes the shard's tail (`slots_created`) and then answers from
+//! the core replica **iff** `applied_to >= tail` — no log pass, no
+//! consensus invocation, just a read lock and a map lookup. When
+//! freshness cannot be proven (the replica lags the observed tail) the
+//! GET falls back to the combined path and linearizes through the log
+//! like any other op. The freshness rule is checked exhaustively by
+//! `ff-sim`'s combining model.
+
+use crate::map::KvMap;
+use crate::metrics::Histogram;
+use ff_universal::{Handle, UniversalLog};
+use ff_workload::JsonValue;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Slot states (see the module docs for the lifecycle).
+const EMPTY: u32 = 0;
+const PENDING: u32 = 1;
+const CLAIMED: u32 = 2;
+const DONE: u32 = 3;
+const FAILED: u32 = 4;
+
+/// Spins in the wait loop before a waiter forces its own combine pass
+/// past the advisory flag (the combiner-stall takeover path).
+const FORCE_AFTER: u32 = 4096;
+
+/// One client's announce slot on one shard.
+///
+/// Only the owner writes `ops` (before releasing to `PENDING`) and only
+/// the claiming combiner reads them (after winning the claim CAS), so
+/// the mutexes are uncontended in time; the atomic `state` carries the
+/// release/acquire edges between owner and combiner.
+pub(crate) struct Slot {
+    state: AtomicU32,
+    ops: Mutex<Vec<u64>>,
+    results: Mutex<Vec<u64>>,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            state: AtomicU32::new(EMPTY),
+            ops: Mutex::new(Vec::new()),
+            results: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// Live counters of the combining layer, shared by every shard core of
+/// one store. Everything is a relaxed atomic increment — safe to leave
+/// on during a soak.
+#[derive(Debug, Default)]
+pub struct CombineStats {
+    passes: AtomicU64,
+    combined_ops: AtomicU64,
+    batch_sizes: Histogram,
+    max_batch: AtomicU64,
+    fastpath_hits: AtomicU64,
+    fastpath_misses: AtomicU64,
+}
+
+impl CombineStats {
+    fn record_pass(&self, ops: usize) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+        self.combined_ops.fetch_add(ops as u64, Ordering::Relaxed);
+        self.batch_sizes.record(ops as u64);
+        self.max_batch.fetch_max(ops as u64, Ordering::Relaxed);
+    }
+
+    fn record_fastpath(&self, hit: bool) {
+        if hit {
+            self.fastpath_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fastpath_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> CombineSnapshot {
+        let passes = self.passes.load(Ordering::Relaxed);
+        let combined_ops = self.combined_ops.load(Ordering::Relaxed);
+        let hits = self.fastpath_hits.load(Ordering::Relaxed);
+        let misses = self.fastpath_misses.load(Ordering::Relaxed);
+        CombineSnapshot {
+            passes,
+            combined_ops,
+            mean_batch: if passes > 0 {
+                combined_ops as f64 / passes as f64
+            } else {
+                0.0
+            },
+            p50_batch: self.batch_sizes.quantile(0.50),
+            p95_batch: self.batch_sizes.quantile(0.95),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            fastpath_hits: hits,
+            fastpath_misses: misses,
+        }
+    }
+}
+
+/// Point-in-time summary of [`CombineStats`], ready for reports/JSON.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CombineSnapshot {
+    /// Combine passes (batched log appends).
+    pub passes: u64,
+    /// Operations drained through combiners.
+    pub combined_ops: u64,
+    /// Mean ops per pass.
+    pub mean_batch: f64,
+    /// Median batch size (upper bucket bound).
+    pub p50_batch: u64,
+    /// 95th-percentile batch size (upper bucket bound).
+    pub p95_batch: u64,
+    /// Largest single pass.
+    pub max_batch: u64,
+    /// GETs answered from a fresh replica snapshot (no log pass).
+    pub fastpath_hits: u64,
+    /// GETs that fell back to the combined path (freshness unprovable).
+    pub fastpath_misses: u64,
+}
+
+impl CombineSnapshot {
+    /// Fraction of GETs the wait-free read path answered.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.fastpath_hits + self.fastpath_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fastpath_hits as f64 / total as f64
+        }
+    }
+
+    /// Serialize for bench JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("passes".into(), JsonValue::Number(self.passes as f64)),
+            (
+                "combined_ops".into(),
+                JsonValue::Number(self.combined_ops as f64),
+            ),
+            ("mean_batch".into(), JsonValue::Number(self.mean_batch)),
+            ("p50_batch".into(), JsonValue::Number(self.p50_batch as f64)),
+            ("p95_batch".into(), JsonValue::Number(self.p95_batch as f64)),
+            ("max_batch".into(), JsonValue::Number(self.max_batch as f64)),
+            (
+                "fastpath_hits".into(),
+                JsonValue::Number(self.fastpath_hits as f64),
+            ),
+            (
+                "fastpath_misses".into(),
+                JsonValue::Number(self.fastpath_misses as f64),
+            ),
+            (
+                "fastpath_hit_rate".into(),
+                JsonValue::Number(self.hit_rate()),
+            ),
+        ])
+    }
+}
+
+/// One shard's combining core: the announce-slot registry, the shared
+/// core replica, and the advisory combiner flag.
+pub(crate) struct ShardCore {
+    shard: usize,
+    log: Arc<UniversalLog>,
+    /// The shared replica every combine pass drives forward. Write =
+    /// combiner executing; read = wait-free GET snapshot.
+    replica: RwLock<Handle<KvMap>>,
+    /// Registered announce slots (one per live combining client).
+    slots: RwLock<Vec<Arc<Slot>>>,
+    /// Advisory single-combiner flag; correctness never depends on it.
+    combiner_busy: AtomicBool,
+    stats: Arc<CombineStats>,
+    /// Test-only combiner-stall injection point, fired between the
+    /// claim phase and the execute phase.
+    #[cfg(test)]
+    park: Mutex<Option<ParkHook>>,
+}
+
+/// Test-only hook parked between claim and execute (takes the shard).
+#[cfg(test)]
+type ParkHook = Box<dyn Fn(usize) + Send + Sync>;
+
+impl ShardCore {
+    pub(crate) fn new(
+        shard: usize,
+        log: Arc<UniversalLog>,
+        pid: u16,
+        stats: Arc<CombineStats>,
+    ) -> Self {
+        let replica = Handle::new(Arc::clone(&log), pid, KvMap::default());
+        ShardCore {
+            shard,
+            log,
+            replica: RwLock::new(replica),
+            slots: RwLock::new(Vec::new()),
+            combiner_busy: AtomicBool::new(false),
+            stats,
+            #[cfg(test)]
+            park: Mutex::new(None),
+        }
+    }
+
+    /// Register a new client's announce slot.
+    pub(crate) fn register(&self) -> Arc<Slot> {
+        let slot = Slot::new();
+        self.slots.write().push(Arc::clone(&slot));
+        slot
+    }
+
+    /// Remove a dropped client's slot (it must be `EMPTY` — combining
+    /// calls are synchronous, so a live call pins the client).
+    pub(crate) fn unregister(&self, slot: &Arc<Slot>) {
+        self.slots.write().retain(|s| !Arc::ptr_eq(s, slot));
+    }
+
+    /// Catch the core replica up to the end of the shard's log (used by
+    /// verification). Returns the slots applied.
+    pub(crate) fn catch_up(&self) -> usize {
+        self.replica.write().catch_up()
+    }
+
+    /// Run `f` over the caught-up core replica (verification only).
+    pub(crate) fn with_replica<R>(&self, f: impl FnOnce(&Handle<KvMap>) -> R) -> R {
+        f(&self.replica.read())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn set_park_hook(&self, hook: impl Fn(usize) + Send + Sync + 'static) {
+        *self.park.lock() = Some(Box::new(hook));
+    }
+
+    fn park_point(&self) {
+        #[cfg(test)]
+        {
+            // Take the hook out and *drop the lock* before running it:
+            // the hook blocks (that is its job), and another combiner
+            // must still be able to pass this point.
+            let hook = self.park.lock().take();
+            if let Some(hook) = hook {
+                hook(self.shard);
+            }
+        }
+    }
+
+    /// The wait-free GET snapshot: observe the shard's tail, then
+    /// answer from the core replica iff it has provably applied at
+    /// least that far. `Ok(None)`-style misses return `None` (caller
+    /// falls back to the combined path); divergence evidence surfaces
+    /// as `Some(Err(shard))` so a corrupted shard refuses rather than
+    /// answering from a broken log.
+    pub(crate) fn fast_get(&self, key: u32) -> Option<Result<Option<u32>, usize>> {
+        if self.log.divergence_detected() {
+            return Some(Err(self.shard));
+        }
+        // `slots_created` counts every cell ever minted — a conservative
+        // upper bound on the decided tail, so freshness proven against
+        // it covers every operation that completed before this read
+        // began (a completed op's slot is decided, hence created).
+        let tail = self.log.slots_created();
+        let replica = self.replica.read();
+        if replica.applied_to() >= tail {
+            self.stats.record_fastpath(true);
+            Some(Ok(replica.state().peek(key)))
+        } else {
+            drop(replica);
+            self.stats.record_fastpath(false);
+            None
+        }
+    }
+
+    /// Publish `ops` as one pending unit and wait for a combiner
+    /// (possibly this caller) to execute and deliver. Returns one
+    /// response word per op, or the shard index on divergence.
+    pub(crate) fn submit(&self, mine: &Arc<Slot>, ops: &[u64]) -> Result<Vec<u64>, usize> {
+        debug_assert!(!ops.is_empty());
+        {
+            let mut slot_ops = mine.ops.lock();
+            slot_ops.clear();
+            slot_ops.extend_from_slice(ops);
+        }
+        mine.state.store(PENDING, Ordering::Release);
+        let mut spins = 0u32;
+        loop {
+            match mine.state.load(Ordering::Acquire) {
+                DONE => {
+                    let out = std::mem::take(&mut *mine.results.lock());
+                    mine.state.store(EMPTY, Ordering::Release);
+                    return Ok(out);
+                }
+                FAILED => {
+                    mine.state.store(EMPTY, Ordering::Release);
+                    return Err(self.shard);
+                }
+                // Unclaimed: try to combine it ourselves — advisory
+                // first, forced once the current combiner has had
+                // ample time (it may have stalled after claiming a
+                // disjoint set; our op is still up for grabs).
+                PENDING if self.combine(false) || (spins > FORCE_AFTER && self.combine(true)) => {
+                    continue;
+                }
+                // CLAIMED: a combiner owns it and will deliver.
+                _ => {}
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// One combine pass: claim everything pending, execute it as a
+    /// single batched log append, distribute results. Returns whether
+    /// any ops were drained. `force` bypasses the advisory flag (the
+    /// stalled-combiner takeover path).
+    fn combine(&self, force: bool) -> bool {
+        if !force
+            && self
+                .combiner_busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return false;
+        }
+        // Claim phase — lock-free with respect to other combiners: each
+        // slot moves PENDING → CLAIMED by CAS, so racing combiners
+        // split the pending set and no op is taken twice.
+        let mut claimed: Vec<Arc<Slot>> = Vec::new();
+        {
+            let slots = self.slots.read();
+            for s in slots.iter() {
+                if s.state
+                    .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    claimed.push(Arc::clone(s));
+                }
+            }
+        }
+        self.park_point();
+        if claimed.is_empty() {
+            if !force {
+                self.combiner_busy.store(false, Ordering::Release);
+            }
+            return false;
+        }
+        let mut words: Vec<u64> = Vec::new();
+        let mut counts: Vec<usize> = Vec::with_capacity(claimed.len());
+        for s in &claimed {
+            let ops = s.ops.lock();
+            words.extend_from_slice(&ops);
+            counts.push(ops.len());
+        }
+        // Execute phase — one decided slot for the whole drain.
+        let (resps, diverged) = {
+            let mut replica = self.replica.write();
+            let r = replica.invoke_many(&words);
+            (r, self.log.divergence_detected())
+        };
+        self.stats.record_pass(words.len());
+        // Distribute phase.
+        let mut off = 0;
+        for (s, n) in claimed.iter().zip(&counts) {
+            {
+                let mut out = s.results.lock();
+                out.clear();
+                out.extend_from_slice(&resps[off..off + n]);
+            }
+            off += n;
+            s.state
+                .store(if diverged { FAILED } else { DONE }, Ordering::Release);
+        }
+        if !force {
+            self.combiner_busy.store(false, Ordering::Release);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Kv, KvOp, Store, StoreConfig, StoreError};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn combining_store(backend: Backend, shards: usize) -> Store {
+        Store::new(
+            StoreConfig::builder()
+                .shards(shards)
+                .backend(backend)
+                .combining(true)
+                .checkpoint_interval(16)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn combined_round_trip_and_verify() {
+        let store = combining_store(Backend::Reliable, 4);
+        let mut c = store.client();
+        assert_eq!(c.put(1, 10).unwrap(), None);
+        assert_eq!(c.put(1, 20).unwrap(), Some(10));
+        assert_eq!(c.get(1).unwrap(), Some(20));
+        assert_eq!(c.del(1).unwrap(), Some(20));
+        assert_eq!(c.get(1).unwrap(), None);
+        assert!(store.verify(&mut [c]).all_consistent());
+        let stats = store.combine_snapshot().unwrap();
+        assert!(stats.passes > 0, "no combine passes recorded");
+    }
+
+    #[test]
+    fn read_fast_path_hits_when_replica_is_fresh() {
+        let store = combining_store(Backend::Reliable, 1);
+        let mut c = store.client();
+        c.put(7, 70).unwrap();
+        // The put's own combine pass advanced the core replica to the
+        // tail, so this GET must be a snapshot hit, not a log pass.
+        let slots_before = store.shard_log(0).slots_created();
+        assert_eq!(c.get(7).unwrap(), Some(70));
+        assert_eq!(
+            store.shard_log(0).slots_created(),
+            slots_before,
+            "fast-path GET appended to the log"
+        );
+        let stats = store.combine_snapshot().unwrap();
+        assert!(stats.fastpath_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn concurrent_combined_clients_stay_consistent_under_faults() {
+        let store = std::sync::Arc::new(Store::new(
+            StoreConfig::builder()
+                .shards(4)
+                .backend(Backend::Robust)
+                .rotate_kinds(true)
+                .combining(true)
+                .checkpoint_interval(16)
+                .build()
+                .unwrap(),
+        ));
+        let mut clients: Vec<_> = std::thread::scope(|scope| {
+            (0..4u32)
+                .map(|w| {
+                    let store = std::sync::Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut c = store.client();
+                        for i in 0..300u32 {
+                            let key = (w * 1000 + i) % 97;
+                            match i % 4 {
+                                0 => {
+                                    c.put(key, i).unwrap();
+                                }
+                                3 => {
+                                    c.del(key).unwrap();
+                                }
+                                _ => {
+                                    c.get(key).unwrap();
+                                }
+                            }
+                        }
+                        c
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let report = store.verify(&mut clients);
+        assert!(
+            report.all_consistent(),
+            "diverged: {:?}",
+            report.diverged_shards()
+        );
+        let stats = store.combine_snapshot().unwrap();
+        assert!(stats.combined_ops > 0);
+    }
+
+    #[test]
+    fn parked_combiner_is_taken_over_without_dropping_ops() {
+        // Adversary: client A claims its op and parks mid-drain (between
+        // claim and execute). Client B must take over — B's op was not
+        // claimed — complete, and when A resumes, A's claimed op must
+        // complete too: nothing dropped, nothing duplicated.
+        let store = std::sync::Arc::new(combining_store(Backend::Reliable, 1));
+        let gate = std::sync::Arc::new(Barrier::new(2));
+        let parked = std::sync::Arc::new(AtomicUsize::new(0));
+        {
+            let gate = std::sync::Arc::clone(&gate);
+            let parked = std::sync::Arc::clone(&parked);
+            store.shard_core_for_tests(0).set_park_hook(move |_| {
+                parked.fetch_add(1, Ordering::SeqCst);
+                gate.wait(); // .. b published
+                gate.wait(); // .. b completed
+            });
+        }
+        let a_result = std::thread::scope(|scope| {
+            let a = {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut a = store.client();
+                    // The hook is armed: A's own combine pass parks
+                    // after claiming A's put.
+                    a.put(1, 11).unwrap()
+                })
+            };
+            // Wait until A is parked holding its claim.
+            while parked.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            let mut b = store.client();
+            gate.wait();
+            // B combines for itself despite A's advisory flag being
+            // held (the forced-takeover path) — B must complete while A
+            // is still parked.
+            assert_eq!(b.put(2, 22).unwrap(), None);
+            assert_eq!(b.get(2).unwrap(), Some(22));
+            gate.wait(); // release A
+            a.join().unwrap()
+        });
+        assert_eq!(a_result, None, "A's put must have applied exactly once");
+        let mut c = store.client();
+        assert_eq!(c.get(1).unwrap(), Some(11));
+        assert_eq!(c.get(2).unwrap(), Some(22));
+        assert!(store.verify(&mut [c]).all_consistent());
+    }
+
+    #[test]
+    fn combined_batch_matches_uncombined_batch_results() {
+        // Deterministic cross-check (the proptest in lib.rs covers the
+        // randomized version across backends).
+        let ops: Vec<KvOp> = (0..40u32)
+            .flat_map(|k| [KvOp::Put(k, k + 1), KvOp::Get(k), KvOp::Del(k)])
+            .collect();
+        let run = |combining: bool| -> Vec<Option<u32>> {
+            let store = Store::new(
+                StoreConfig::builder()
+                    .shards(4)
+                    .backend(Backend::Reliable)
+                    .combining(combining)
+                    .build()
+                    .unwrap(),
+            );
+            let mut c = store.client();
+            let out = c.batch(&ops).unwrap();
+            assert!(store.verify(&mut [c]).all_consistent());
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// The acceptance claim, kind by kind: combining changes the
+    /// submission path, not the tolerance envelope — under each fault
+    /// kind the robust backend tolerates, concurrent combining clients
+    /// end with every replica verified consistent.
+    #[test]
+    fn every_tolerated_fault_kind_verifies_with_combining() {
+        for kind in [
+            ff_spec::FaultKind::Overriding,
+            ff_spec::FaultKind::Silent,
+            ff_spec::FaultKind::Arbitrary,
+        ] {
+            let store = std::sync::Arc::new(Store::new(
+                StoreConfig::builder()
+                    .shards(2)
+                    .backend(Backend::Robust)
+                    .fault(crate::FaultConfig {
+                        kind,
+                        rate: 0.3,
+                        // Silent faults are only tolerable on a finite
+                        // budget (unbounded silent = nontermination).
+                        t: ff_spec::Bound::Finite(3),
+                        ..crate::FaultConfig::default()
+                    })
+                    .combining(true)
+                    .checkpoint_interval(16)
+                    .build()
+                    .unwrap(),
+            ));
+            let mut clients: Vec<_> = std::thread::scope(|scope| {
+                (0..3u32)
+                    .map(|w| {
+                        let store = std::sync::Arc::clone(&store);
+                        scope.spawn(move || {
+                            let mut c = store.client();
+                            for i in 0..150u32 {
+                                let key = (w * 500 + i) % 61;
+                                match i % 3 {
+                                    0 => {
+                                        c.put(key, i).unwrap();
+                                    }
+                                    1 => {
+                                        c.get(key).unwrap();
+                                    }
+                                    _ => {
+                                        c.del(key).unwrap();
+                                    }
+                                }
+                            }
+                            c
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let report = store.verify(&mut clients);
+            assert!(
+                report.all_consistent(),
+                "{kind:?}: diverged shards {:?}",
+                report.diverged_shards()
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_through_the_combined_path() {
+        // Arbitrary-faulting naive cells corrupt the log even against a
+        // single serialized proposer (combining funnels every propose
+        // through the core replica, so overriding faults — which need
+        // racing proposes — cannot fire here). Combining must never
+        // hide the corruption: it surfaces mid-run as a `Divergence`
+        // error (a decided cell resolves to junk with no announce
+        // record) or at verification.
+        let mut saw_detection = false;
+        for seed in 0..20 {
+            let store = std::sync::Arc::new(Store::new(
+                StoreConfig::builder()
+                    .shards(1)
+                    .backend(Backend::Naive)
+                    .fault(crate::FaultConfig {
+                        kind: ff_spec::FaultKind::Arbitrary,
+                        rate: 1.0,
+                        ..crate::FaultConfig::default()
+                    })
+                    .combining(true)
+                    .checkpoint_interval(8)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            ));
+            let errors: Vec<Option<StoreError>> = std::thread::scope(|scope| {
+                (0..3u32)
+                    .map(|w| {
+                        let store = std::sync::Arc::clone(&store);
+                        scope.spawn(move || {
+                            let mut c = store.client();
+                            for i in 0..40 {
+                                if let Err(e) = c.put((w * 100 + i) % 50, i) {
+                                    return Some(e);
+                                }
+                            }
+                            None
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let mid_run = errors
+                .iter()
+                .flatten()
+                .any(|e| matches!(e, StoreError::Divergence { .. }));
+            let at_verify = !store.verify(&mut []).all_consistent();
+            if mid_run || at_verify {
+                saw_detection = true;
+                break;
+            }
+        }
+        assert!(
+            saw_detection,
+            "naive cells at 100% fault rate were never detected via combining"
+        );
+    }
+}

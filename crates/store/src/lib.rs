@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cells;
+pub mod combine;
 pub mod kv;
 pub mod map;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod soak;
 mod experiment;
 
 pub use cells::{Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ShardCells};
+pub use combine::{CombineSnapshot, CombineStats};
 pub use experiment::E15StoreSoak;
 pub use kv::{Kv, KvOp, StoreError};
 pub use map::{KvMap, KV_BITS, KV_MAX};
@@ -75,6 +77,12 @@ pub struct StoreConfig {
     /// Checkpoint interval in log slots (bounds each shard's retained
     /// log).
     pub checkpoint_interval: usize,
+    /// Route client operations through per-shard flat-combining cores:
+    /// pending ops are drained by one combiner into a single batched
+    /// log append, and GETs answer wait-free from the shared core
+    /// replica whenever its applied index covers the observed tail
+    /// (see [`combine`]). Off, every op pays its own log pass.
+    pub combining: bool,
     /// Seed for all deterministic fault streams and routing salts.
     pub seed: u64,
 }
@@ -87,6 +95,7 @@ impl Default for StoreConfig {
             fault: FaultConfig::default(),
             rotate_kinds: false,
             checkpoint_interval: 64,
+            combining: false,
             seed: 0x5eed,
         }
     }
@@ -235,6 +244,14 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Route operations through the per-shard flat-combining cores
+    /// (batched log appends + wait-free read snapshots); see
+    /// [`StoreConfig::combining`].
+    pub fn combining(mut self, on: bool) -> Self {
+        self.config.combining = on;
+        self
+    }
+
     /// Seed for all deterministic fault streams and routing salts.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -256,11 +273,19 @@ struct Shard {
     kind_label: &'static str,
 }
 
+/// The flat-combining layer: one core per shard plus the store-wide
+/// counters, shared by every combining client via `Arc`.
+struct CombineLayer {
+    cores: Vec<combine::ShardCore>,
+    stats: Arc<CombineStats>,
+}
+
 /// The sharded store. Create one [`StoreClient`] per worker thread.
 pub struct Store {
     shards: Vec<Shard>,
     config: StoreConfig,
     next_pid: AtomicU64,
+    combine: Option<Arc<CombineLayer>>,
 }
 
 /// Fault kinds [`Backend::Robust`] can actually tolerate, in rotation
@@ -289,7 +314,7 @@ impl Store {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid StoreConfig: {e}"));
-        let shards = (0..config.shards)
+        let shards: Vec<Shard> = (0..config.shards)
             .map(|s| {
                 let mut fault = config.fault.clone();
                 if config.rotate_kinds {
@@ -321,10 +346,28 @@ impl Store {
                 }
             })
             .collect();
+        // The combining cores replay like one more client: every log
+        // record the store appends in combining mode is announced under
+        // this single shared pid, so it is minted first, ahead of any
+        // client pid.
+        let combine = config.combining.then(|| {
+            let stats = Arc::new(CombineStats::default());
+            Arc::new(CombineLayer {
+                cores: shards
+                    .iter()
+                    .enumerate()
+                    .map(|(s, sh)| {
+                        combine::ShardCore::new(s, Arc::clone(&sh.log), 0, Arc::clone(&stats))
+                    })
+                    .collect(),
+                stats,
+            })
+        });
         Store {
             shards,
             config,
-            next_pid: AtomicU64::new(0),
+            next_pid: AtomicU64::new(if combine.is_some() { 1 } else { 0 }),
+            combine,
         }
     }
 
@@ -407,6 +450,21 @@ impl Store {
     /// for the fresh observer [`Store::verify`] spins up, so at most
     /// 1023 clients can be minted per store.
     pub fn try_client(&self) -> Option<StoreClient> {
+        if let Some(layer) = &self.combine {
+            // Combining clients never append under their own pid —
+            // every record is announced by the shared cores' pid — so
+            // the 10-bit pid space no longer caps the client count, and
+            // clients hold no private replicas whose watermarks could
+            // stall checkpoint truncation.
+            let slots = layer.cores.iter().map(|core| core.register()).collect();
+            return Some(StoreClient {
+                handles: Vec::new(),
+                combined: Some(CombinedView {
+                    layer: Arc::clone(layer),
+                    slots,
+                }),
+            });
+        }
         let pid = self
             .next_pid
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |pid| {
@@ -419,7 +477,19 @@ impl Store {
                 .iter()
                 .map(|s| Handle::new(Arc::clone(&s.log), pid as u16, KvMap::default()))
                 .collect(),
+            combined: None,
         })
+    }
+
+    /// Counters of the combining layer, or `None` when the store was
+    /// built with `combining(false)`.
+    pub fn combine_snapshot(&self) -> Option<CombineSnapshot> {
+        self.combine.as_ref().map(|layer| layer.stats.snapshot())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn shard_core_for_tests(&self, s: usize) -> &combine::ShardCore {
+        &self.combine.as_ref().expect("combining store").cores[s]
     }
 
     /// Catch every replica of `clients` up to the end of each shard's
@@ -437,6 +507,11 @@ impl Store {
                     applied += h.catch_up();
                 }
             }
+            if let Some(layer) = &self.combine {
+                for core in &layer.cores {
+                    applied += core.catch_up();
+                }
+            }
             if applied == 0 {
                 break;
             }
@@ -444,7 +519,13 @@ impl Store {
         let per_shard = (0..self.shards.len())
             .map(|s| {
                 let log = &self.shards[s].log;
-                let handles: Vec<&Handle<KvMap>> = clients.iter().map(|c| &c.handles[s]).collect();
+                // Combining clients hold no private replicas; the
+                // shared core replica stands in for them (`core_ok`).
+                let handles: Vec<&Handle<KvMap>> = clients
+                    .iter()
+                    .filter(|c| !c.handles.is_empty())
+                    .map(|c| &c.handles[s])
+                    .collect();
                 let digests: Vec<&[(usize, u64)]> =
                     handles.iter().map(|h| h.boundary_digests()).collect();
                 let digests_ok = digests_consistent(&digests);
@@ -459,18 +540,32 @@ impl Store {
                             observer.boundary_digests(),
                             handles[0].boundary_digests(),
                         ]));
+                // The shared core replica replayed the log live, the
+                // observer replayed snapshot + retained tail: two
+                // independent paths that must agree.
+                let core_ok = match &self.combine {
+                    Some(layer) => layer.cores[s].with_replica(|core| {
+                        core.state() == observer.state()
+                            && digests_consistent(&[
+                                core.boundary_digests(),
+                                observer.boundary_digests(),
+                            ])
+                    }),
+                    None => true,
+                };
                 ShardConsistency {
                     shard: s,
                     consistent: digests_ok
                         && states_ok
                         && observer_ok
+                        && core_ok
                         && !log.divergence_detected(),
                     divergence_flag: log.divergence_detected(),
                     end_slot: log.slots_created(),
                     retained_len: log.retained_len(),
                     truncated_prefix: log.truncated_prefix(),
                     checkpoints: log.checkpoints_installed(),
-                    entries: handles.first().map_or(0, |h| h.state().len()),
+                    entries: observer.state().len(),
                 }
             })
             .collect();
@@ -478,14 +573,47 @@ impl Store {
     }
 }
 
-/// A worker's view of the store: one replica handle per shard.
+/// A combining client's half of [`StoreClient`]: the shared layer plus
+/// this client's registered announce slot on every shard core.
+struct CombinedView {
+    layer: Arc<CombineLayer>,
+    slots: Vec<Arc<combine::Slot>>,
+}
+
+/// A worker's view of the store: one replica handle per shard — or, in
+/// combining mode, one announce slot per shard core and no private
+/// replicas at all.
 pub struct StoreClient {
     handles: Vec<Handle<KvMap>>,
+    combined: Option<CombinedView>,
+}
+
+impl Drop for StoreClient {
+    fn drop(&mut self) {
+        if let Some(cb) = &self.combined {
+            for (core, slot) in cb.layer.cores.iter().zip(&cb.slots) {
+                core.unregister(slot);
+            }
+        }
+    }
 }
 
 impl StoreClient {
     fn shard_for(&self, key: u32) -> usize {
-        (splitmix64(key as u64) % self.handles.len() as u64) as usize
+        let n = match &self.combined {
+            Some(cb) => cb.layer.cores.len(),
+            None => self.handles.len(),
+        };
+        (splitmix64(key as u64) % n as u64) as usize
+    }
+
+    /// Publish validated op words to shard `s`'s combining core and
+    /// wait for a combiner (possibly this thread) to deliver.
+    fn submit_combined(&self, s: usize, words: &[u64]) -> Result<Vec<u64>, StoreError> {
+        let cb = self.combined.as_ref().expect("combining mode");
+        cb.layer.cores[s]
+            .submit(&cb.slots[s], words)
+            .map_err(|shard| StoreError::Divergence { shard })
     }
 
     /// Invoke one validated operation on its shard, surfacing the
@@ -493,6 +621,10 @@ impl StoreClient {
     /// replayed from a corrupted log.
     fn invoke_checked(&mut self, key: u32, op_word: u64) -> Result<Option<u32>, StoreError> {
         let s = self.shard_for(key);
+        if self.combined.is_some() {
+            let resps = self.submit_combined(s, &[op_word])?;
+            return Ok(KvMap::decode_response(resps[0]));
+        }
         let resp = self.handles[s].invoke(op_word);
         if self.handles[s].log().divergence_detected() {
             return Err(StoreError::Divergence { shard: s });
@@ -527,7 +659,12 @@ impl StoreClient {
     }
 
     /// This client's replica of shard `s` (for tests/verification).
+    /// Panics for combining clients, which hold no private replicas.
     pub fn replica(&self, s: usize) -> &Handle<KvMap> {
+        assert!(
+            self.combined.is_none(),
+            "combining clients hold no private replicas; inspect the shared core instead"
+        );
         &self.handles[s]
     }
 }
@@ -535,6 +672,16 @@ impl StoreClient {
 impl Kv for StoreClient {
     fn get(&mut self, key: u32) -> Result<Option<u32>, StoreError> {
         Self::check_key(key)?;
+        if let Some(cb) = &self.combined {
+            // Wait-free read fast path: answer from the shared core
+            // replica when its applied index provably covers the
+            // shard's observed tail; otherwise linearize through the
+            // combined path like any other op.
+            let s = self.shard_for(key);
+            if let Some(fast) = cb.layer.cores[s].fast_get(key) {
+                return fast.map_err(|shard| StoreError::Divergence { shard });
+            }
+        }
         self.invoke_checked(key, KvMap::get_op(key))
     }
 
@@ -565,6 +712,26 @@ impl Kv for StoreClient {
         let mut order: Vec<usize> = (0..ops.len()).collect();
         order.sort_by_key(|&i| self.shard_for(ops[i].key()));
         let mut out = vec![None; ops.len()];
+        if self.combined.is_some() {
+            // One pending unit per destination shard: the whole group
+            // rides a single combine pass (often merged with other
+            // clients' groups into one decided log slot).
+            let mut i = 0;
+            while i < order.len() {
+                let s = self.shard_for(ops[order[i]].key());
+                let mut j = i;
+                while j < order.len() && self.shard_for(ops[order[j]].key()) == s {
+                    j += 1;
+                }
+                let group: Vec<u64> = order[i..j].iter().map(|&k| words[k]).collect();
+                let resps = self.submit_combined(s, &group)?;
+                for (&k, &r) in order[i..j].iter().zip(resps.iter()) {
+                    out[k] = KvMap::decode_response(r);
+                }
+                i = j;
+            }
+            return Ok(out);
+        }
         for i in order {
             out[i] = self.invoke_checked(ops[i].key(), words[i])?;
         }
@@ -911,5 +1078,77 @@ mod tests {
             "knob at 0.0 still attempted faults"
         );
         assert!(store.verify(&mut [c]).all_consistent());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::kv::{Kv, KvOp};
+    use proptest::prelude::*;
+
+    fn kv_op() -> impl Strategy<Value = KvOp> {
+        // Key and value ride one draw: key = x % 64, value = x / 64.
+        prop_oneof![
+            (0u64..64_000).prop_map(|x| KvOp::Put((x % 64) as u32, (x / 64) as u32)),
+            (0u64..64).prop_map(|x| KvOp::Get(x as u32)),
+            (0u64..64).prop_map(|x| KvOp::Del(x as u32)),
+        ]
+    }
+
+    /// Sequential KV semantics: what any correct `batch` must return.
+    fn model_results(ops: &[KvOp]) -> Vec<Option<u32>> {
+        let mut model = std::collections::HashMap::new();
+        ops.iter()
+            .map(|&op| match op {
+                KvOp::Put(k, v) => model.insert(k, v),
+                KvOp::Get(k) => model.get(&k).copied(),
+                KvOp::Del(k) => model.remove(&k),
+            })
+            .collect()
+    }
+
+    // The combined `batch` path must preserve per-key order and return
+    // the same results at the same original indices as the uncombined
+    // path — and both must match plain sequential map semantics — under
+    // every backend. Naive runs at rate 0 (its faults are not
+    // tolerated; the detection test lives in `combine::tests`), robust
+    // at a tolerated 0.3.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn combined_batch_matches_uncombined_on_every_backend(
+            ops in proptest::collection::vec(kv_op(), 1..60),
+            seed in 0u64..1000,
+        ) {
+            for backend in [Backend::Reliable, Backend::Robust, Backend::Naive] {
+                let run = |combining: bool| -> Vec<Option<u32>> {
+                    let rate = if backend == Backend::Robust { 0.3 } else { 0.0 };
+                    let store = Store::new(
+                        StoreConfig::builder()
+                            .shards(4)
+                            .backend(backend)
+                            .fault_rate(rate)
+                            .combining(combining)
+                            .checkpoint_interval(16)
+                            .seed(seed)
+                            .build()
+                            .unwrap(),
+                    );
+                    let mut c = store.client();
+                    let out = c.batch(&ops).unwrap();
+                    assert!(
+                        store.verify(&mut [c]).all_consistent(),
+                        "inconsistent shards (combining={combining}, {backend:?})"
+                    );
+                    out
+                };
+                let combined = run(true);
+                let uncombined = run(false);
+                prop_assert_eq!(&combined, &uncombined, "combined != uncombined ({:?})", backend);
+                prop_assert_eq!(&combined, &model_results(&ops), "lost per-key order ({:?})", backend);
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! covers `[2^i, 2^{i+1})` nanoseconds), which bounds the quantile
 //! error at 2× while keeping `record` branch-free.
 
+use crate::combine::CombineSnapshot;
 use ff_workload::{JsonValue, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -155,6 +156,9 @@ pub struct MetricsSnapshot {
     pub batches: OpSummary,
     /// Per-shard fault accounting.
     pub faults: Vec<ShardFaults>,
+    /// Flat-combining counters, when the store ran with combining on
+    /// (see [`Store::combine_snapshot`](crate::Store::combine_snapshot)).
+    pub combining: Option<CombineSnapshot>,
 }
 
 impl StoreMetrics {
@@ -183,11 +187,20 @@ impl StoreMetrics {
             deletes: Self::summarize(&self.deletes, elapsed_secs),
             batches: Self::summarize(&self.batches, elapsed_secs),
             faults,
+            combining: None,
         }
     }
 }
 
 impl MetricsSnapshot {
+    /// Attach combining-layer counters (pass
+    /// [`Store::combine_snapshot`](crate::Store::combine_snapshot)'s
+    /// result; `None` leaves the snapshot unchanged).
+    pub fn with_combining(mut self, combining: Option<CombineSnapshot>) -> Self {
+        self.combining = combining;
+        self
+    }
+
     /// Total operations across all classes.
     pub fn total_ops(&self) -> u64 {
         self.reads.ops + self.writes.ops + self.deletes.ops + self.batches.ops
@@ -262,10 +275,26 @@ impl MetricsSnapshot {
                 f.faulty_objects.to_string(),
             ]);
         }
-        format!("{}\n{}", latency.render(), faults.render())
+        let mut out = format!("{}\n{}", latency.render(), faults.render());
+        if let Some(c) = &self.combining {
+            out.push_str(&format!(
+                "\ncombining: {} passes, {} ops (mean batch {:.1}, p95 {}, max {}) | \
+                 read fast path: {}/{} hits ({:.1}%)\n",
+                c.passes,
+                c.combined_ops,
+                c.mean_batch,
+                c.p95_batch,
+                c.max_batch,
+                c.fastpath_hits,
+                c.fastpath_hits + c.fastpath_misses,
+                c.hit_rate() * 100.0,
+            ));
+        }
+        out
     }
 
-    /// Serialize to a JSON object.
+    /// Serialize to a JSON object (the `combining` key appears only
+    /// when the store ran with combining on).
     pub fn to_json(&self) -> JsonValue {
         let op = |s: &OpSummary| {
             JsonValue::Object(vec![
@@ -276,7 +305,7 @@ impl MetricsSnapshot {
                 ("p99_ns".into(), JsonValue::Number(s.p99_ns as f64)),
             ])
         };
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("elapsed_secs".into(), JsonValue::Number(self.elapsed_secs)),
             (
                 "total_ops".into(),
@@ -320,7 +349,11 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(c) = &self.combining {
+            fields.push(("combining".into(), c.to_json()));
+        }
+        JsonValue::Object(fields)
     }
 }
 

@@ -37,6 +37,9 @@ pub struct SoakConfig {
     pub keyspace: u32,
     /// Checkpoint interval (slots) for every shard log.
     pub checkpoint_interval: usize,
+    /// Route operations through the flat-combining cores
+    /// ([`StoreConfig::combining`]).
+    pub combining: bool,
     /// Seed for workload and fault streams.
     pub seed: u64,
 }
@@ -52,6 +55,7 @@ impl Default for SoakConfig {
             read_pct: 70,
             keyspace: 4096,
             checkpoint_interval: 64,
+            combining: false,
             seed: 0x50a6_b65e,
         }
     }
@@ -93,6 +97,8 @@ pub struct SoakConfigEcho {
     pub backend: &'static str,
     /// Checkpoint interval.
     pub checkpoint_interval: usize,
+    /// Whether the flat-combining path was on.
+    pub combining: bool,
 }
 
 /// One shard's post-run verdict, condensed for the report.
@@ -157,6 +163,7 @@ impl SoakReport {
                         "checkpoint_interval".into(),
                         JsonValue::Number(self.config.checkpoint_interval as f64),
                     ),
+                    ("combining".into(), JsonValue::Bool(self.config.combining)),
                 ]),
             ),
             ("metrics".into(), self.metrics.to_json()),
@@ -354,6 +361,7 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
         .fault_rate(config.fault_rate)
         .rotate_kinds(config.backend != Backend::Reliable)
         .checkpoint_interval(config.checkpoint_interval)
+        .combining(config.combining)
         .seed(config.seed)
         .build()
         .unwrap_or_else(|e| panic!("invalid soak configuration: {e}"));
@@ -394,7 +402,9 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             checkpoints: s.checkpoints,
         })
         .collect();
-    let snapshot = metrics.snapshot(elapsed, store.shard_faults());
+    let snapshot = metrics
+        .snapshot(elapsed, store.shard_faults())
+        .with_combining(store.combine_snapshot());
     SoakReport {
         config: SoakConfigEcho {
             threads: config.threads,
@@ -403,6 +413,7 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             fault_rate: config.fault_rate,
             backend: config.backend.label(),
             checkpoint_interval: config.checkpoint_interval,
+            combining: config.combining,
         },
         metrics: snapshot,
         consistency,
@@ -430,6 +441,28 @@ mod tests {
         assert!(report.metrics.total_ops() > 0, "no operations completed");
         let json = report.to_json().render();
         assert!(json.contains("\"consistent\": true"));
+    }
+
+    #[test]
+    fn short_combining_soak_is_consistent_and_records_counters() {
+        let report = run_soak(&SoakConfig {
+            threads: 2,
+            shards: 2,
+            secs: 0.3,
+            checkpoint_interval: 16,
+            combining: true,
+            ..SoakConfig::default()
+        });
+        assert!(report.consistent, "combining soak diverged");
+        let c = report
+            .metrics
+            .combining
+            .as_ref()
+            .expect("combining counters missing from snapshot");
+        assert!(c.passes > 0, "no combine passes recorded");
+        let json = report.to_json().render();
+        assert!(json.contains("\"combining\": true"), "{json}");
+        assert!(json.contains("fastpath_hit_rate"), "{json}");
     }
 
     #[test]

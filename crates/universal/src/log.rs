@@ -96,6 +96,19 @@ fn digest_step(digest: u64, opid: u32) -> u64 {
     d
 }
 
+/// An announced operation record: a single encoded op word, or a
+/// combiner's batch of op words. A batch is decided by **one** consensus
+/// decision (its opid occupies one slot) but is applied op-by-op on
+/// every replica, so `Replicated` semantics, checkpoint boundaries, and
+/// the decided-opid digests are unchanged — the digest folds the
+/// record's opid once, and replicas agree on the record's contents
+/// because the announce happens-before the propose.
+#[derive(Clone)]
+enum Record {
+    Single(u64),
+    Batch(Arc<[u64]>),
+}
+
 /// The log's cell storage: slot `k` lives at `cells[k - base]`; slots
 /// below `base` have been truncated away by a checkpoint.
 struct CellChain {
@@ -137,7 +150,7 @@ struct CheckpointState {
 pub struct UniversalLog {
     factory: Arc<dyn CellFactory>,
     cells: Mutex<CellChain>,
-    announce: Mutex<HashMap<u32, u64>>,
+    announce: Mutex<HashMap<u32, Record>>,
     /// Helping (Herlihy's wait-free upgrade): when `Some(n)`, slot `k`
     /// is reserved for helping process `k mod n`'s pending operation.
     helping_n: Option<usize>,
@@ -279,15 +292,22 @@ impl UniversalLog {
 
     /// Publish an operation's payload before proposing its id.
     fn announce_op(&self, opid: u32, payload: u64) {
-        self.announce.lock().insert(opid, payload);
+        self.announce.lock().insert(opid, Record::Single(payload));
     }
 
-    /// The payload of a decided operation. The announce happens-before
+    /// Publish a multi-op batch record before proposing its id (the
+    /// flat-combining append: one decided slot, many ops).
+    fn announce_record(&self, opid: u32, ops: Arc<[u64]>) {
+        assert!(!ops.is_empty(), "a batch record needs at least one op");
+        self.announce.lock().insert(opid, Record::Batch(ops));
+    }
+
+    /// The record of a decided operation. The announce happens-before
     /// the propose (both through this table's lock), so with correct
     /// cells a decided id is always resolvable; `None` means a cell
     /// decided a value nobody proposed — proof the cells are broken.
-    fn payload_of(&self, opid: u32) -> Option<u64> {
-        self.announce.lock().get(&opid).copied()
+    fn record_of(&self, opid: u32) -> Option<Record> {
+        self.announce.lock().get(&opid).cloned()
     }
 
     /// Slots decided so far (an upper bound; cells may exist undecided).
@@ -526,15 +546,45 @@ impl<T: Replicated> Handle<T> {
         }
     }
 
-    /// Resolve a decided opid's payload. A missing announce entry means
+    /// Resolve a decided opid's record. A missing announce entry means
     /// a cell decided a value nobody proposed (broken cells): record the
     /// divergence and degrade to an inert no-op so the replica at least
     /// stays responsive.
-    fn resolve_payload(&self, opid: u32) -> u64 {
-        self.core.payload_of(opid).unwrap_or_else(|| {
+    fn resolve_record(&self, opid: u32) -> Record {
+        self.core.record_of(opid).unwrap_or_else(|| {
             self.core.mark_diverged();
-            crate::object::encoding::op(0, 0)
+            Record::Single(crate::object::encoding::op(0, 0))
         })
+    }
+
+    /// Apply one decided slot's record op-by-op, plus all per-slot
+    /// bookkeeping (digest fold, watermark, boundary crossing). When
+    /// `collect` is given, every op's response is pushed into it; the
+    /// last response is returned either way (for single-op records that
+    /// IS the record's response).
+    fn apply_decided(&mut self, decided: u32, mut collect: Option<&mut Vec<u64>>) -> u64 {
+        let mut last = crate::structures::EMPTY;
+        match self.resolve_record(decided) {
+            Record::Single(w) => {
+                last = self.state.apply(w);
+                if let Some(out) = collect.as_deref_mut() {
+                    out.push(last);
+                }
+            }
+            Record::Batch(ws) => {
+                for &w in ws.iter() {
+                    last = self.state.apply(w);
+                    if let Some(out) = collect.as_deref_mut() {
+                        out.push(last);
+                    }
+                }
+            }
+        }
+        self.applied.push(decided);
+        self.applied_set.insert(decided);
+        self.core.clear_pending(OpId::unpack(decided).pid, decided);
+        self.after_apply(decided);
+        last
     }
 
     /// Bookkeeping after applying one decided slot: fold the opid into
@@ -588,7 +638,6 @@ impl<T: Replicated> Handle<T> {
         self.next_seq += 1;
         self.core.announce_op(opid, op);
         self.core.register_pending(self.pid, opid);
-        let mut own_response: Option<u64> = None;
         loop {
             let cell = self.core.cell(self.next_slot);
             let applied_set = &self.applied_set;
@@ -597,18 +646,54 @@ impl<T: Replicated> Handle<T> {
                 .help_target(self.next_slot, &|x| applied_set.contains(&x))
                 .unwrap_or(opid);
             let decided = cell.decide(Input(propose)).0;
-            let payload = self.resolve_payload(decided);
-            let resp = self.state.apply(payload);
-            self.applied.push(decided);
-            self.applied_set.insert(decided);
-            self.core.clear_pending(OpId::unpack(decided).pid, decided);
-            self.after_apply(decided);
+            let resp = self.apply_decided(decided, None);
             if decided == opid {
-                own_response = Some(resp);
+                return resp;
             }
-            if let Some(r) = own_response {
-                return r;
+        }
+    }
+
+    /// Invoke a *batch* of encoded operations as one log append (the
+    /// flat-combining fast path): the whole batch is announced as a
+    /// single multi-op record, decided by **one** consensus decision,
+    /// and applied op-by-op wherever the record lands in the log —
+    /// on this replica and on every other replica that replays the
+    /// slot. Returns one response per operation, in order.
+    ///
+    /// Checkpoints and digests are unchanged relative to `ops.len()`
+    /// separate [`Handle::invoke`] calls in the sense that replicas
+    /// still agree on everything: a slot still folds exactly one opid
+    /// into the digest and snapshots still cut at slot boundaries; the
+    /// log is simply shorter (one slot per batch).
+    pub fn invoke_many(&mut self, ops: &[u64]) -> Vec<u64> {
+        assert!(!ops.is_empty(), "invoke_many needs at least one op");
+        let opid = OpId {
+            pid: self.pid,
+            seq: self.next_seq,
+        }
+        .pack();
+        self.next_seq += 1;
+        self.core.announce_record(opid, Arc::from(ops));
+        self.core.register_pending(self.pid, opid);
+        let mut out = Vec::with_capacity(ops.len());
+        loop {
+            let cell = self.core.cell(self.next_slot);
+            let applied_set = &self.applied_set;
+            let propose = self
+                .core
+                .help_target(self.next_slot, &|x| applied_set.contains(&x))
+                .unwrap_or(opid);
+            let decided = cell.decide(Input(propose)).0;
+            if decided == opid {
+                self.apply_decided(decided, Some(&mut out));
+                // Broken cells can lose the record (a decided id nobody
+                // announced degrades to one inert no-op); pad so callers
+                // still get one response per op — the divergence flag is
+                // already raised in that case.
+                out.resize(ops.len(), crate::structures::EMPTY);
+                return out;
             }
+            self.apply_decided(decided, None);
         }
     }
 
@@ -636,11 +721,7 @@ impl<T: Replicated> Handle<T> {
             if decided == dummy {
                 self.next_seq += 1;
             }
-            let payload = self.resolve_payload(decided);
-            self.state.apply(payload);
-            self.applied.push(decided);
-            self.applied_set.insert(decided);
-            self.after_apply(decided);
+            self.apply_decided(decided, None);
             applied += 1;
         }
         applied
@@ -657,6 +738,16 @@ impl<T: Replicated> Handle<T> {
     /// The local replica state.
     pub fn state(&self) -> &T {
         &self.state
+    }
+
+    /// The log index this replica's state reflects: [`Handle::state`]
+    /// is exactly the fold of slots `[0, applied_to())` (snapshot
+    /// prefix included). Together with `state()` this is a *versioned
+    /// snapshot*: a reader that observed the log tail `T` may answer a
+    /// read-only query from any replica with `applied_to() >= T`
+    /// without a log pass or a consensus invocation.
+    pub fn applied_to(&self) -> usize {
+        self.next_slot
     }
 
     /// The decided operation ids this replica has applied, in order,
@@ -899,6 +990,77 @@ mod tests {
             let total = observer.invoke(Counter::get_op());
             assert_eq!(total, 30 + 1_000, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn invoke_many_decides_a_whole_batch_in_one_slot() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)));
+        let mut h = Handle::new(Arc::clone(&core), 0, Counter::default());
+        let resps = h.invoke_many(&[Counter::add_op(5), Counter::add_op(3), Counter::get_op()]);
+        assert_eq!(resps, vec![5, 8, 8]);
+        assert_eq!(core.slots_created(), 1, "a batch occupies one slot");
+        assert_eq!(h.applied_to(), 1);
+        // A passive replica replays the record op-by-op.
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        b.catch_up();
+        assert_eq!(b.state().value(), 8);
+        assert!(logs_consistent(&[h.applied_log(), b.applied_log()]));
+    }
+
+    #[test]
+    fn batches_and_singles_interleave_consistently_under_faults() {
+        for seed in 0..5u64 {
+            let core = Arc::new(
+                UniversalLog::new(Arc::new(RobustCells::new(1, 0.5, seed))).checkpoint_every(8),
+            );
+            let digests: Vec<Vec<(usize, u64)>> = std::thread::scope(|s| {
+                (0..3u16)
+                    .map(|p| {
+                        let core = Arc::clone(&core);
+                        s.spawn(move || {
+                            let mut h = Handle::new(core, p, Counter::default());
+                            for i in 0..10u64 {
+                                if p == 0 {
+                                    let batch: Vec<u64> =
+                                        (0..4).map(|_| Counter::add_op(1)).collect();
+                                    h.invoke_many(&batch);
+                                } else {
+                                    h.invoke(Counter::add_op(1 + i % 2));
+                                }
+                            }
+                            h.boundary_digests().to_vec()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let views: Vec<&[(usize, u64)]> = digests.iter().map(|d| d.as_slice()).collect();
+            assert!(digests_consistent(&views), "seed {seed}: digests diverged");
+            assert!(!core.divergence_detected());
+            // A fresh observer (snapshot + tail replay, batch records
+            // decoded op-by-op) sees the exact total.
+            let mut observer = Handle::new(core, 1000, Counter::default());
+            let p0 = 10 * 4;
+            let others = 2 * (5 + 5 * 2);
+            assert_eq!(
+                observer.invoke(Counter::get_op()),
+                p0 + others,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_responses_come_back_in_op_order() {
+        let core = Arc::new(UniversalLog::new(Arc::new(ReliableCells)));
+        let mut a = Handle::new(Arc::clone(&core), 0, Counter::default());
+        let mut b = Handle::new(Arc::clone(&core), 1, Counter::default());
+        a.invoke(Counter::add_op(100));
+        let resps = b.invoke_many(&[Counter::get_op(), Counter::add_op(1), Counter::get_op()]);
+        // b first replays a's add, then applies its own record in order.
+        assert_eq!(resps, vec![100, 101, 101]);
     }
 
     #[test]

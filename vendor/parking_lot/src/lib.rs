@@ -2,14 +2,17 @@
 //!
 //! The build environment has no access to crates.io, so this vendored
 //! crate provides the subset of the parking_lot 0.12 API the workspace
-//! uses: a [`Mutex`] whose `lock()` returns the guard directly (no
-//! poisoning `Result`). It is a thin wrapper over `std::sync::Mutex`
-//! that treats a poisoned lock as still-usable, matching parking_lot's
-//! no-poisoning semantics.
+//! uses: a [`Mutex`] and an [`RwLock`] whose `lock()`/`read()`/`write()`
+//! return the guard directly (no poisoning `Result`). They are thin
+//! wrappers over the `std::sync` primitives that treat a poisoned lock
+//! as still-usable, matching parking_lot's no-poisoning semantics.
 
 #![forbid(unsafe_code)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
 
 /// A mutual-exclusion lock with parking_lot's panic-safe `lock()` API.
 #[derive(Debug, Default)]
@@ -54,9 +57,60 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock with parking_lot's panic-safe guard API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = StdReadGuard<'a, T>;
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = StdWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// A new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, recovering from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquire exclusive write access, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -81,5 +135,18 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 9;
+        assert_eq!(*l.read(), 10);
+        assert_eq!(l.into_inner(), 10);
     }
 }
