@@ -572,6 +572,15 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Parse a seed in decimal or `0x` hex (matching the `dst` CLI).
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() {
     let mut cfg = BenchConfig::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -600,7 +609,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
-            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = parse_seed(&value("--seed")).unwrap_or_else(|| usage()),
             "--loops" => cfg.loops = value("--loops").parse().unwrap_or_else(|_| usage()),
             "--replica-budget" => {
                 cfg.replica_budget = value("--replica-budget")

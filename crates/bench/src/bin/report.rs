@@ -20,16 +20,18 @@ use ff_workload::{find, registry, to_json, Experiment, ExperimentResult, JsonVal
 use std::time::Instant;
 
 /// All experiments: the workload registry (E1–E14) plus the store-level
-/// soak (E15, in `ff-store`), the network soaks (E16/E17, in `ff-net`)
-/// and the flat-combining study (E18, in this crate's lib) — they
-/// depend on `ff-workload`, so the registry itself cannot name them
-/// without a cycle.
+/// soak (E15, in `ff-store`), the network soaks (E16/E17, in `ff-net`),
+/// the flat-combining study (E18, in this crate's lib) and the
+/// deterministic whole-system simulation corpus (E19, in `ff-dst`) —
+/// they depend on `ff-workload`, so the registry itself cannot name
+/// them without a cycle.
 fn full_registry() -> Vec<Box<dyn Experiment>> {
     let mut all = registry();
     all.push(Box::new(ff_store::E15StoreSoak));
     all.push(Box::new(ff_net::E16NetSoak));
     all.push(Box::new(ff_net::E17ReactorSoak));
     all.push(Box::new(ff_bench::E18Combining));
+    all.push(Box::new(ff_dst::E19Dst));
     all
 }
 
@@ -50,6 +52,10 @@ fn find_any(id: &str) -> Option<Box<dyn Experiment>> {
         .or_else(|| {
             id.eq_ignore_ascii_case("e18")
                 .then(|| Box::new(ff_bench::E18Combining) as Box<dyn Experiment>)
+        })
+        .or_else(|| {
+            id.eq_ignore_ascii_case("e19")
+                .then(|| Box::new(ff_dst::E19Dst) as Box<dyn Experiment>)
         })
 }
 

@@ -32,6 +32,15 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Parse a seed in decimal or `0x` hex (matching the `dst` CLI).
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() {
     let mut config = SoakConfig::default();
     let mut json_out = "BENCH_store.json".to_string();
@@ -75,7 +84,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
-            "--seed" => config.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => config.seed = parse_seed(&value("--seed")).unwrap_or_else(|| usage()),
             "--combining" => config.combining = true,
             "--ab" => ab = true,
             "--json-out" => json_out = value("--json-out"),

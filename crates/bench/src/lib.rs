@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ff_sim::{check_combining, combining_grid, CombineModelConfig};
+use ff_sim::{check_combining, combining_crash_grid, combining_grid, CombineModelConfig};
 use ff_store::{run_soak, SoakConfig};
 use ff_workload::{Experiment, ExperimentResult, Table};
 
@@ -27,7 +27,9 @@ impl Experiment for E18Combining {
     }
 
     fn run(&self) -> ExperimentResult {
-        run_e18(&combining_grid(), 0.6)
+        let mut grid = combining_grid();
+        grid.extend(combining_crash_grid());
+        run_e18(&grid, 0.6)
     }
 }
 
@@ -136,12 +138,13 @@ fn run_e18(grid: &[CombineModelConfig], secs: f64) -> ExperimentResult {
     }
 
     // Arm 4 — the exhaustive model grid: no stale read past the decided
-    // tail, no lost or duplicated op under combiner hand-off, across
-    // every interleaving of every small configuration.
+    // tail, no lost or duplicated op under combiner hand-off — nor
+    // under adversarial combiner kills with the lease reclaim on —
+    // across every interleaving of every small configuration.
     let mut model = Table::new(
-        "combining model grid (exhaustive; stutters = tolerated cell faults)",
+        "combining model grid (exhaustive; stutters = tolerated cell faults, crashes = combiner kills)",
         &[
-            "clients", "rounds", "stutters", "states", "stale", "lost", "dup",
+            "clients", "rounds", "stutters", "crashes", "lease", "states", "stale", "lost", "dup",
         ],
     );
     for cfg in grid {
@@ -151,6 +154,8 @@ fn run_e18(grid: &[CombineModelConfig], secs: f64) -> ExperimentResult {
             cfg.clients.to_string(),
             cfg.rounds.to_string(),
             format!("{:?}", cfg.stutter_budget),
+            cfg.crashes.to_string(),
+            cfg.lease.to_string(),
             report.states.to_string(),
             report.stale_reads.to_string(),
             report.lost_ops.to_string(),

@@ -1,0 +1,627 @@
+//! The simulated processes: what actually runs on the datacenter's
+//! machines.
+//!
+//! Four process kinds cover the stack the simulator kills:
+//!
+//! * [`ServerProc`] — the network face of the real [`Store`]: one
+//!   socket-free [`Session`] (the *same* state machine the production
+//!   reactor drives) per simulated connection, staged into one merged
+//!   run and executed through a real [`StoreClient`]. Killing it models
+//!   a server crash: sessions and buffered responses vanish, the store
+//!   itself survives (its logs are the durable shared object, like
+//!   shared memory survives a thread crash in the paper's model).
+//! * [`ClientProc`] — a transaction generator speaking the real wire
+//!   protocol: encodes `BATCH` frames with [`encode_request`], decodes
+//!   responses with [`decode_response`], and recovers from timeouts,
+//!   closed connections and corrupted streams by reconnecting and
+//!   resending — at-least-once, like any real client.
+//! * [`WorkerProc`] — a store-level client driving the split-phase
+//!   combining API (`publish_to_shard` / `poll_published`), escalating
+//!   to a forced combine pass when its unit sits unclaimed too long.
+//! * [`CombinerProc`] — a dedicated combiner running `combine_begin`
+//!   on one wake and `combine_finish` on the next. Killing it **between
+//!   the two** drops the ticket — the real crashed-combiner window the
+//!   lease/epoch rule in `ff-store` exists to recover from.
+//!
+//! Handlers never touch the event heap directly: they push follow-up
+//! wakes and network deliveries into an [`Outbox`] the runner drains,
+//! which keeps every process a pure state machine over (time, input).
+
+use std::collections::BTreeMap;
+
+use ff_net::session::Session;
+use ff_net::wire::{
+    decode_response, encode_request, Decoded, ErrorCode, Request, Response, StatsReply,
+};
+use ff_store::{CombineTicket, Kv, KvOp, PendingCombined, StoreClient, StoreError};
+
+use crate::net::{ConnId, Delivery, Payload, SimNet};
+use crate::rng::SimRng;
+use crate::topology::{ProcId, Topology};
+use crate::trace::Trace;
+
+/// Small fixed handling latency between a delivery and the wake that
+/// serves it (keeps wakes strictly after their triggering arrival).
+pub const HANDLE_DELAY: u64 = 10_000; // 10 µs
+
+/// Follow-up work a handler schedules.
+#[derive(Default)]
+pub struct Outbox {
+    /// Network arrivals to enqueue.
+    pub deliveries: Vec<Delivery>,
+    /// `(at, who)` wake-ups to enqueue.
+    pub wakes: Vec<(u64, ProcId)>,
+}
+
+impl Outbox {
+    /// Queue a wake for `who` at `at`.
+    pub fn wake(&mut self, at: u64, who: ProcId) {
+        self.wakes.push((at, who));
+    }
+}
+
+/// Cross-cutting observations the report aggregates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunFlags {
+    /// Merged runs the server answered with a divergence error.
+    pub server_divergence: u64,
+    /// Response streams a client abandoned as undecodable.
+    pub client_stream_resets: u64,
+    /// Sessions the server closed after a malformed request stream.
+    pub malformed_closes: u64,
+}
+
+/// Any simulated process.
+pub enum Proc {
+    /// The store's network front-end.
+    Server(ServerProc),
+    /// A wire-protocol transaction generator.
+    Client(ClientProc),
+    /// A split-phase combining publisher.
+    Worker(WorkerProc),
+    /// A dedicated two-wake combiner.
+    Combiner(CombinerProc),
+}
+
+impl Proc {
+    /// The process's own id.
+    pub fn id(&self) -> ProcId {
+        match self {
+            Proc::Server(p) => p.id,
+            Proc::Client(p) => p.id,
+            Proc::Worker(p) => p.id,
+            Proc::Combiner(p) => p.id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- server
+
+/// The network-facing store server (see module docs).
+pub struct ServerProc {
+    /// Own process id.
+    pub id: ProcId,
+    /// Executes every merged run (combining client: self-combines).
+    pub client: StoreClient,
+    /// One protocol state machine per live connection — the exact
+    /// `Session` the production reactor drives over TCP.
+    pub sessions: BTreeMap<u32, Session>,
+    /// Shard count, echoed in any STATS answer.
+    pub shards: u32,
+}
+
+impl ServerProc {
+    /// Bytes or a close arrived on `conn`.
+    pub fn on_deliver(&mut self, now: u64, conn: ConnId, payload: Payload, outbox: &mut Outbox) {
+        match payload {
+            Payload::Bytes(bytes) => {
+                self.sessions.entry(conn.0).or_default().ingest(&bytes);
+                outbox.wake(now + HANDLE_DELAY, self.id);
+            }
+            Payload::Closed => {
+                self.sessions.remove(&conn.0);
+            }
+        }
+    }
+
+    /// One serve pass: stage every session into a merged run, execute
+    /// it on the real store, resolve, and ship each session's output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wake(
+        &mut self,
+        now: u64,
+        net: &mut SimNet,
+        topo: &Topology,
+        trace: &mut Trace,
+        flags: &mut RunFlags,
+        outbox: &mut Outbox,
+    ) {
+        let mut run: Vec<KvOp> = Vec::new();
+        for session in self.sessions.values_mut() {
+            session.stage(&mut run);
+        }
+        let outcome = if run.is_empty() {
+            None
+        } else {
+            let result = self.client.batch(&run);
+            if let Err(e) = &result {
+                if matches!(e, StoreError::Divergence { .. }) {
+                    flags.server_divergence += 1;
+                }
+                trace.log(now, format!("server run-error {e}"));
+            }
+            Some(result)
+        };
+        let stats = StatsReply {
+            shards: self.shards,
+            diverged: flags.server_divergence > 0,
+            ..Default::default()
+        };
+        let mut closed = Vec::new();
+        for (&cid, session) in self.sessions.iter_mut() {
+            if session.pending_slots() > 0 {
+                session.resolve(outcome.as_ref(), &stats);
+            }
+            let out = session.take_output();
+            if !out.is_empty() {
+                let sends = net.send(now, ConnId(cid), self.id, out, topo, trace);
+                outbox.deliveries.extend(sends);
+            }
+            if session.closing() {
+                // Framing lost: answer shipped, connection done.
+                flags.malformed_closes += 1;
+                trace.log(now, format!("server close c{cid} (malformed stream)"));
+                closed.push(cid);
+            }
+        }
+        for cid in closed {
+            self.sessions.remove(&cid);
+            if let Some(d) = net.close(now, ConnId(cid), self.id) {
+                outbox.deliveries.push(d);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// Workload knobs of one transaction generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientCfg {
+    /// Keys drawn uniformly from `0..keyspace`.
+    pub keyspace: u32,
+    /// Operations per `BATCH` transaction.
+    pub batch: usize,
+    /// Resend after this long without a response (nanoseconds).
+    pub timeout: u64,
+    /// Pause between transactions (nanoseconds).
+    pub think: u64,
+    /// Stop after this many completed transactions.
+    pub target: u64,
+}
+
+/// One in-flight transaction.
+struct InFlight {
+    id: u32,
+    ops: Vec<KvOp>,
+    sent_at: u64,
+}
+
+/// A wire-protocol transaction generator (see module docs).
+pub struct ClientProc {
+    /// Own process id.
+    pub id: ProcId,
+    /// Role of the server it talks to (stable across server restarts).
+    pub server_role: String,
+    /// Workload knobs.
+    pub cfg: ClientCfg,
+    /// Private workload stream.
+    pub rng: SimRng,
+    conn: Option<ConnId>,
+    rx: Vec<u8>,
+    next_id: u32,
+    inflight: Option<InFlight>,
+    /// Transactions resolved (answered or definitively errored).
+    pub completed: u64,
+    /// Divergence error frames received — the flag the naive backend
+    /// must raise instead of answering wrong.
+    pub divergence_seen: u64,
+    /// Non-divergence error frames received.
+    pub errors_seen: u64,
+    /// Timeout/close/corruption resends.
+    pub retries: u64,
+}
+
+impl ClientProc {
+    /// A fresh client; the runner schedules its first wake.
+    pub fn new(id: ProcId, server_role: String, cfg: ClientCfg, rng: SimRng) -> Self {
+        ClientProc {
+            id,
+            server_role,
+            cfg,
+            rng,
+            conn: None,
+            rx: Vec::new(),
+            next_id: 1,
+            inflight: None,
+            completed: 0,
+            divergence_seen: 0,
+            errors_seen: 0,
+            retries: 0,
+        }
+    }
+
+    fn build_txn(&mut self) -> Vec<KvOp> {
+        (0..self.cfg.batch)
+            .map(|_| {
+                let key = self.rng.next_range(self.cfg.keyspace as u64) as u32;
+                match self.rng.next_range(10) {
+                    0..=4 => KvOp::Put(key, self.rng.next_range(1 << 16) as u32),
+                    5..=8 => KvOp::Get(key),
+                    _ => KvOp::Del(key),
+                }
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_current(
+        &mut self,
+        now: u64,
+        net: &mut SimNet,
+        topo: &Topology,
+        trace: &mut Trace,
+        roles: &BTreeMap<String, ProcId>,
+        outbox: &mut Outbox,
+    ) {
+        let Some(inflight) = &mut self.inflight else {
+            return;
+        };
+        let conn = match self.conn {
+            Some(c) if net.alive(c) => c,
+            _ => {
+                let Some(&server) = roles.get(&self.server_role) else {
+                    // Server down and not yet restarted; the timeout
+                    // wake retries.
+                    trace.log(
+                        now,
+                        format!("{} no server for role {}", self.id, self.server_role),
+                    );
+                    outbox.wake(now + self.cfg.timeout, self.id);
+                    inflight.sent_at = now;
+                    return;
+                };
+                self.rx.clear();
+                let c = net.connect(self.id, server);
+                self.conn = Some(c);
+                c
+            }
+        };
+        let mut wire = Vec::new();
+        encode_request(
+            &mut wire,
+            inflight.id,
+            &Request::Batch(inflight.ops.clone()),
+        );
+        inflight.sent_at = now;
+        let sends = net.send(now, conn, self.id, wire, topo, trace);
+        outbox.deliveries.extend(sends);
+        outbox.wake(now + self.cfg.timeout, self.id);
+    }
+
+    /// Start the next transaction, or resend the current one after a
+    /// timeout or lost connection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wake(
+        &mut self,
+        now: u64,
+        net: &mut SimNet,
+        topo: &Topology,
+        trace: &mut Trace,
+        roles: &BTreeMap<String, ProcId>,
+        outbox: &mut Outbox,
+    ) {
+        if let Some(inflight) = &self.inflight {
+            let lost = self.conn.is_none_or(|c| !net.alive(c));
+            if lost || now >= inflight.sent_at + self.cfg.timeout {
+                self.retries += 1;
+                trace.log(
+                    now,
+                    format!(
+                        "{} retry txn={} (retry #{}, {})",
+                        self.id,
+                        inflight.id,
+                        self.retries,
+                        if lost { "conn lost" } else { "timeout" }
+                    ),
+                );
+                if let Some(c) = self.conn.take() {
+                    if let Some(d) = net.close(now, c, self.id) {
+                        outbox.deliveries.push(d);
+                    }
+                }
+                self.send_current(now, net, topo, trace, roles, outbox);
+            }
+            // Else: a stale wake (the response already arrived, or a
+            // newer send reset the timer); the live timer wake handles
+            // the rest.
+            return;
+        }
+        if self.completed >= self.cfg.target {
+            return;
+        }
+        let ops = self.build_txn();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight = Some(InFlight {
+            id,
+            ops,
+            sent_at: now,
+        });
+        self.send_current(now, net, topo, trace, roles, outbox);
+    }
+
+    /// Response bytes or a close arrived.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_deliver(
+        &mut self,
+        now: u64,
+        conn: ConnId,
+        payload: Payload,
+        net: &mut SimNet,
+        trace: &mut Trace,
+        flags: &mut RunFlags,
+        outbox: &mut Outbox,
+    ) {
+        if self.conn != Some(conn) {
+            return; // stale connection's leftovers
+        }
+        match payload {
+            Payload::Closed => {
+                self.conn = None;
+                self.rx.clear();
+                if self.inflight.is_some() {
+                    outbox.wake(now + HANDLE_DELAY, self.id);
+                }
+            }
+            Payload::Bytes(bytes) => {
+                self.rx.extend_from_slice(&bytes);
+                let mut at = 0;
+                loop {
+                    match decode_response(&self.rx[at..]) {
+                        Ok(Decoded::NeedMoreData) => break,
+                        Ok(Decoded::Frame { frame, consumed }) => {
+                            at += consumed;
+                            self.on_response(now, frame.id, frame.resp, trace, outbox);
+                        }
+                        Err(e) => {
+                            // The lossy fabric corrupted the stream
+                            // (dropped/reordered chunk mid-frame):
+                            // abandon the connection, the resend path
+                            // recovers.
+                            flags.client_stream_resets += 1;
+                            trace.log(now, format!("{} response stream corrupt: {e}", self.id));
+                            self.rx.clear();
+                            if let Some(c) = self.conn.take() {
+                                if let Some(d) = net.close(now, c, self.id) {
+                                    outbox.deliveries.push(d);
+                                }
+                            }
+                            outbox.wake(now + HANDLE_DELAY, self.id);
+                            return;
+                        }
+                    }
+                }
+                self.rx.drain(..at);
+            }
+        }
+    }
+
+    fn on_response(
+        &mut self,
+        now: u64,
+        id: u32,
+        resp: Response,
+        trace: &mut Trace,
+        outbox: &mut Outbox,
+    ) {
+        let current = self.inflight.as_ref().map(|f| f.id);
+        if current != Some(id) {
+            // A duplicate of an already-answered frame, or the id-0
+            // malformed notice that precedes a server-side close.
+            if let Response::Error { .. } = resp {
+                self.errors_seen += 1;
+            }
+            return;
+        }
+        match resp {
+            Response::Batch(_) => {
+                self.completed += 1;
+                self.inflight = None;
+                outbox.wake(now + self.cfg.think, self.id);
+            }
+            Response::Error {
+                code: ErrorCode::Divergence,
+                ..
+            } => {
+                // The store refused to answer from diverged state: the
+                // flag, not a wrong value. The transaction is resolved.
+                self.divergence_seen += 1;
+                self.completed += 1;
+                self.inflight = None;
+                trace.log(now, format!("{} divergence error on txn={id}", self.id));
+                outbox.wake(now + self.cfg.think, self.id);
+            }
+            Response::Error { .. } => {
+                self.errors_seen += 1;
+                self.completed += 1;
+                self.inflight = None;
+                outbox.wake(now + self.cfg.think, self.id);
+            }
+            // A BATCH is never answered with these.
+            Response::Value(_) | Response::Stats(_) | Response::Pong => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- worker
+
+/// A split-phase combining publisher (see module docs).
+pub struct WorkerProc {
+    /// Own process id.
+    pub id: ProcId,
+    /// Split-phase combining client.
+    pub client: StoreClient,
+    /// The single shard this worker publishes to.
+    pub shard: usize,
+    /// Keys routing to that shard.
+    pub keys: Vec<u32>,
+    /// Private workload stream.
+    pub rng: SimRng,
+    /// Wake cadence (nanoseconds).
+    pub poll_interval: u64,
+    /// After this many fruitless polls, force a combine pass.
+    pub escalate_after: u32,
+    /// Stop after this many delivered units.
+    pub target: u64,
+    pending: Option<PendingCombined>,
+    polls: u32,
+    /// Units delivered.
+    pub completed: u64,
+    /// Divergence results observed.
+    pub divergence_seen: u64,
+}
+
+impl WorkerProc {
+    /// A fresh worker; the runner schedules its first wake.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: ProcId,
+        client: StoreClient,
+        shard: usize,
+        keys: Vec<u32>,
+        rng: SimRng,
+        poll_interval: u64,
+        escalate_after: u32,
+        target: u64,
+    ) -> Self {
+        assert!(!keys.is_empty(), "worker needs keys routing to its shard");
+        WorkerProc {
+            id,
+            client,
+            shard,
+            keys,
+            rng,
+            poll_interval,
+            escalate_after,
+            target,
+            pending: None,
+            polls: 0,
+            completed: 0,
+            divergence_seen: 0,
+        }
+    }
+
+    /// Publish, poll, or escalate.
+    pub fn wake(&mut self, now: u64, trace: &mut Trace, outbox: &mut Outbox) {
+        match &mut self.pending {
+            None => {
+                if self.completed >= self.target {
+                    return; // done; no rewake
+                }
+                let key = self.keys[self.rng.next_range(self.keys.len() as u64) as usize];
+                let value = self.rng.next_range(1 << 16) as u32;
+                match self
+                    .client
+                    .publish_to_shard(self.shard, &[KvOp::Put(key, value)])
+                {
+                    Ok(p) => self.pending = Some(p),
+                    Err(e) => trace.log(now, format!("{} publish refused: {e}", self.id)),
+                }
+            }
+            Some(pending) => match self.client.poll_published(pending) {
+                Ok(Some(_)) => {
+                    self.completed += 1;
+                    self.pending = None;
+                    self.polls = 0;
+                }
+                Ok(None) => {
+                    self.polls += 1;
+                    if self.polls.is_multiple_of(self.escalate_after) {
+                        // Nobody is combining (or the combiner died):
+                        // take over, force past the advisory flag.
+                        if let Some(ticket) = self.client.combine_begin(self.shard, true) {
+                            self.client.combine_finish(ticket);
+                            trace.log(now, format!("{} escalated combine", self.id));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.divergence_seen += 1;
+                    self.pending = None;
+                    self.polls = 0;
+                    trace.log(now, format!("{} poll error: {e}", self.id));
+                }
+            },
+        }
+        outbox.wake(now + self.poll_interval, self.id);
+    }
+}
+
+// -------------------------------------------------------------- combiner
+
+/// A dedicated combiner whose claim and execute phases are separate
+/// wakes — the crash window the kill-the-combiner scenario aims at.
+pub struct CombinerProc {
+    /// Own process id.
+    pub id: ProcId,
+    /// Combining client used only for begin/finish.
+    pub client: StoreClient,
+    /// Shards to round-robin over.
+    pub shards: usize,
+    /// Wake cadence (nanoseconds).
+    pub interval: u64,
+    held: Option<CombineTicket>,
+    rr: usize,
+    /// Passes finished.
+    pub passes: u64,
+}
+
+impl CombinerProc {
+    /// A fresh combiner; the runner schedules its first wake.
+    pub fn new(id: ProcId, client: StoreClient, shards: usize, interval: u64) -> Self {
+        CombinerProc {
+            id,
+            client,
+            shards,
+            interval,
+            held: None,
+            rr: 0,
+            passes: 0,
+        }
+    }
+
+    /// Is a claimed-but-unfinished pass in hand (the kill window)?
+    pub fn holding(&self) -> bool {
+        self.held.is_some()
+    }
+
+    /// Claim on one wake, execute on the next.
+    pub fn wake(&mut self, now: u64, trace: &mut Trace, outbox: &mut Outbox) {
+        match self.held.take() {
+            Some(ticket) => {
+                self.client.combine_finish(ticket);
+                self.passes += 1;
+            }
+            None => {
+                let shard = self.rr % self.shards;
+                self.rr += 1;
+                if let Some(ticket) = self.client.combine_begin(shard, false) {
+                    trace.log(now, format!("{} combine begin shard={shard}", self.id));
+                    self.held = Some(ticket);
+                }
+            }
+        }
+        outbox.wake(now + self.interval, self.id);
+    }
+}

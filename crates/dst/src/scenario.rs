@@ -1,0 +1,487 @@
+//! The scenario corpus: seeded, replayable crash-and-partition
+//! campaigns against the real stack.
+//!
+//! Every scenario runs twice-armed. The net scenarios pit the paper's
+//! **robust** backend against the **naive** one under identical fault
+//! schedules; kill-the-combiner pits the **lease**d combiner recovery
+//! rule against running with the lease off. The contract is always the
+//! same shape:
+//!
+//! * the robust/lease arm must end [`Store::verify`]-consistent with
+//!   every workload process past its completion floor, and
+//! * the naive/nolease arm must be *caught* — a verify failure, a
+//!   divergence flag, a divergence error frame at a client, or a
+//!   stalled worker — never silently wrong.
+//!
+//! Scenarios schedule faults and workloads as separate event streams on
+//! one heap, so the same workload can be rerun under a different fault
+//! plane (that is what replaying a minimized [`FaultScript`] does).
+
+use ff_store::{Backend, FaultConfig, Store, StoreConfig};
+
+use crate::net::{FaultRates, NetConfig, ScriptMode};
+use crate::process::{ClientCfg, Proc};
+use crate::runner::{EvKind, ProcSpec, RunReport, Sim};
+use crate::trace::FaultScript;
+
+/// One microsecond in simulated nanoseconds.
+pub const US: u64 = 1_000;
+/// One millisecond in simulated nanoseconds.
+pub const MS: u64 = 1_000_000;
+
+/// One corpus entry.
+pub struct ScenarioDef {
+    /// Registry name (`run_scenario` key).
+    pub name: &'static str,
+    /// Its two arms: `(well-behaved, must-be-caught)`.
+    pub arms: [&'static str; 2],
+    /// One-line description.
+    pub about: &'static str,
+}
+
+/// The whole corpus.
+pub const CORPUS: &[ScenarioDef] = &[
+    ScenarioDef {
+        name: "partition-ramp",
+        arms: ["robust", "naive"],
+        about: "bidirectional rack partition while the store fault rate ramps 0.1 -> 0.4",
+    },
+    ScenarioDef {
+        name: "kill-checkpoint",
+        arms: ["robust", "naive"],
+        about: "kill and restart the server while checkpoint truncation is hot",
+    },
+    ScenarioDef {
+        name: "restart-drain",
+        arms: ["robust", "naive"],
+        about: "kill a client with responses in flight on a slow, duplicating fabric",
+    },
+    ScenarioDef {
+        name: "kill-combiner",
+        arms: ["lease", "nolease"],
+        about: "kill the combiner between claim and execute; lease must recover the parked ops",
+    },
+];
+
+/// Arms of `scenario`, well-behaved arm first.
+pub fn arms(scenario: &str) -> [&'static str; 2] {
+    CORPUS
+        .iter()
+        .find(|d| d.name == scenario)
+        .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"))
+        .arms
+}
+
+fn backend_for(arm: &str) -> (Backend, f64) {
+    match arm {
+        // The paper's construction: tolerates the ramp by design.
+        "robust" => (Backend::Robust, 0.05),
+        // Herlihy's protocol straight over faulty objects: must diverge
+        // and must be *flagged* doing so.
+        "naive" => (Backend::Naive, 0.3),
+        other => panic!("unknown backend arm {other:?}"),
+    }
+}
+
+/// Per-role completion floor (a stalled process is a violation even
+/// when the data stays consistent — liveness is part of the contract).
+struct Floor {
+    role: &'static str,
+    min: u64,
+}
+
+fn finish(sim: &Sim, scenario: &str, arm: &str, seed: u64, floors: &[Floor]) -> RunReport {
+    let report = sim.store.verify(&mut []);
+    let consistent = report.all_consistent();
+    let shard_flag = report.per_shard.iter().any(|s| s.divergence_flag);
+    let mut divergence_seen = 0u64;
+    let mut completed = 0u64;
+    for p in sim.all_procs() {
+        match p {
+            Proc::Client(c) => {
+                divergence_seen += c.divergence_seen;
+                completed += c.completed;
+            }
+            Proc::Worker(w) => {
+                divergence_seen += w.divergence_seen;
+                completed += w.completed;
+            }
+            Proc::Server(_) | Proc::Combiner(_) => {}
+        }
+    }
+    let flagged =
+        !consistent || shard_flag || sim.flags.server_divergence > 0 || divergence_seen > 0;
+    let mut violations = Vec::new();
+    if !consistent {
+        violations.push(format!(
+            "verify-inconsistent shards={:?}",
+            report.diverged_shards()
+        ));
+    }
+    for floor in floors {
+        let done = match sim.proc_by_role(floor.role) {
+            Some(Proc::Client(c)) => c.completed,
+            Some(Proc::Worker(w)) => w.completed,
+            Some(_) => continue,
+            None => {
+                violations.push(format!("stall:{} dead at end of run", floor.role));
+                continue;
+            }
+        };
+        if done < floor.min {
+            violations.push(format!(
+                "stall:{} completed={done}/{}",
+                floor.role, floor.min
+            ));
+        }
+    }
+    RunReport {
+        scenario: scenario.to_string(),
+        arm: arm.to_string(),
+        seed,
+        events: sim.events(),
+        decisions: sim.net.decisions(),
+        trace_hash: sim.trace.hash(),
+        trace: sim.trace.lines().to_vec(),
+        consistent,
+        flagged,
+        violations,
+        completed,
+        script: match sim.net.recorded().is_empty() {
+            true => FaultScript::new(),
+            false => sim.net.recorded().clone(),
+        },
+    }
+}
+
+fn client_cfg() -> ClientCfg {
+    ClientCfg {
+        keyspace: 512,
+        batch: 6,
+        timeout: 20 * MS,
+        think: 100 * US,
+        target: u64::MAX, // run until the horizon; floors check liveness
+    }
+}
+
+fn store_with(shards: usize, checkpoint: usize, arm: &str, seed: u64) -> Store {
+    let (backend, rate) = backend_for(arm);
+    // Rotated kinds matter here: the simulation is single-threaded, so
+    // overriding faults on uncontended CASes are indistinguishable from
+    // correct executions (Definition 1) — silent and arbitrary kinds
+    // are what a lone proposer can observably suffer.
+    Store::new(
+        StoreConfig::builder()
+            .shards(shards)
+            .backend(backend)
+            .fault(FaultConfig {
+                rate,
+                ..FaultConfig::default()
+            })
+            .rotate_kinds(true)
+            .checkpoint_interval(checkpoint)
+            .combining(true)
+            .combiner_lease(true)
+            .reclaim_after(8)
+            .seed(seed)
+            .build()
+            .expect("scenario store config"),
+    )
+}
+
+fn partition_ramp(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    let store = store_with(4, 32, arm, seed);
+    let mut sim = Sim::new(store, NetConfig::default(), seed, 300 * MS, mode);
+    let rack_a = sim.topo.machine("rack-a");
+    let rack_b = sim.topo.machine("rack-b");
+    sim.spawn(ProcSpec::Server {
+        machine: rack_a,
+        role: "server".into(),
+    });
+    for (i, machine) in [rack_a, rack_a, rack_b, rack_b].into_iter().enumerate() {
+        sim.spawn(ProcSpec::Client {
+            machine,
+            role: format!("client-{i}"),
+            server_role: "server".into(),
+            cfg: client_cfg(),
+        });
+    }
+    sim.at(
+        0,
+        EvKind::SetNetRates(FaultRates {
+            drop: 0.01,
+            duplicate: 0.005,
+            delay: 0.01,
+            reorder: 0.005,
+        }),
+    );
+    // The ramp: the store's own fault plane heats up underneath the
+    // partition.
+    sim.at(60 * MS, EvKind::SetStoreFaultRate(0.1));
+    sim.at(120 * MS, EvKind::SetStoreFaultRate(0.2));
+    sim.at(180 * MS, EvKind::SetStoreFaultRate(0.4));
+    sim.at(
+        100 * MS,
+        EvKind::Partition {
+            a: rack_a,
+            b: rack_b,
+            on: true,
+        },
+    );
+    sim.at(
+        160 * MS,
+        EvKind::Partition {
+            a: rack_a,
+            b: rack_b,
+            on: false,
+        },
+    );
+    sim.run();
+    finish(
+        &sim,
+        "partition-ramp",
+        arm,
+        seed,
+        &[
+            Floor {
+                role: "client-0",
+                min: 20,
+            },
+            Floor {
+                role: "client-1",
+                min: 20,
+            },
+            // rack-b spends 60 ms cut off; lower floor.
+            Floor {
+                role: "client-2",
+                min: 10,
+            },
+            Floor {
+                role: "client-3",
+                min: 10,
+            },
+        ],
+    )
+}
+
+fn kill_checkpoint(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    let store = store_with(2, 16, arm, seed);
+    let mut sim = Sim::new(store, NetConfig::default(), seed, 300 * MS, mode);
+    let rack_a = sim.topo.machine("rack-a");
+    let rack_b = sim.topo.machine("rack-b");
+    sim.spawn(ProcSpec::Server {
+        machine: rack_a,
+        role: "server".into(),
+    });
+    for i in 0..3 {
+        sim.spawn(ProcSpec::Client {
+            machine: rack_b,
+            role: format!("client-{i}"),
+            server_role: "server".into(),
+            cfg: client_cfg(),
+        });
+    }
+    sim.at(
+        0,
+        EvKind::SetNetRates(FaultRates {
+            drop: 0.005,
+            duplicate: 0.005,
+            delay: 0.0,
+            reorder: 0.0,
+        }),
+    );
+    // Aggressive checkpoint interval keeps truncation hot; the kill
+    // lands with sessions open and a respawn reattaches to the same
+    // durable store.
+    sim.at(120 * MS, EvKind::Kill("server".into()));
+    sim.at(
+        140 * MS,
+        EvKind::Spawn(ProcSpec::Server {
+            machine: rack_a,
+            role: "server".into(),
+        }),
+    );
+    sim.run();
+    finish(
+        &sim,
+        "kill-checkpoint",
+        arm,
+        seed,
+        &[
+            Floor {
+                role: "client-0",
+                min: 20,
+            },
+            Floor {
+                role: "client-1",
+                min: 20,
+            },
+            Floor {
+                role: "client-2",
+                min: 20,
+            },
+        ],
+    )
+}
+
+fn restart_drain(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    let store = store_with(4, 32, arm, seed);
+    let mut sim = Sim::new(store, NetConfig::default(), seed, 300 * MS, mode);
+    let rack_a = sim.topo.machine("rack-a");
+    let rack_b = sim.topo.machine("rack-b");
+    sim.spawn(ProcSpec::Server {
+        machine: rack_a,
+        role: "server".into(),
+    });
+    for i in 0..3 {
+        sim.spawn(ProcSpec::Client {
+            machine: rack_b,
+            role: format!("client-{i}"),
+            server_role: "server".into(),
+            cfg: client_cfg(),
+        });
+    }
+    // Slow, duplicating fabric: the kill lands while responses (and
+    // duplicates of them) are still in flight toward the dead process.
+    sim.at(
+        0,
+        EvKind::SetNetRates(FaultRates {
+            drop: 0.01,
+            duplicate: 0.02,
+            delay: 0.05,
+            reorder: 0.01,
+        }),
+    );
+    sim.at(100 * MS, EvKind::Kill("client-0".into()));
+    sim.at(
+        120 * MS,
+        EvKind::Spawn(ProcSpec::Client {
+            machine: rack_b,
+            role: "client-0".into(),
+            server_role: "server".into(),
+            cfg: client_cfg(),
+        }),
+    );
+    sim.run();
+    finish(
+        &sim,
+        "restart-drain",
+        arm,
+        seed,
+        &[
+            // The respawned incarnation only gets the back half.
+            Floor {
+                role: "client-0",
+                min: 10,
+            },
+            Floor {
+                role: "client-1",
+                min: 20,
+            },
+            Floor {
+                role: "client-2",
+                min: 20,
+            },
+        ],
+    )
+}
+
+fn kill_combiner(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    let lease = match arm {
+        "lease" => true,
+        "nolease" => false,
+        other => panic!("unknown lease arm {other:?}"),
+    };
+    let store = Store::new(
+        StoreConfig::builder()
+            .shards(1)
+            .backend(Backend::Reliable)
+            .checkpoint_interval(64)
+            .combining(true)
+            .combiner_lease(lease)
+            .reclaim_after(8)
+            .seed(seed)
+            .build()
+            .expect("kill-combiner store config"),
+    );
+    // Store-level scenario: no network. 50 simulated ms is an eternity
+    // at these cadences.
+    let mut sim = Sim::new(store, NetConfig::default(), seed, 50 * MS, mode);
+    let core = sim.topo.machine("core");
+    sim.spawn(ProcSpec::Combiner {
+        machine: core,
+        role: "combiner".into(),
+        interval: 100 * US,
+    });
+    for i in 0..3 {
+        sim.spawn(ProcSpec::Worker {
+            machine: core,
+            role: format!("worker-{i}"),
+            shard: 0,
+            keys: (0..64).collect(), // one shard: every key routes there
+            poll_interval: 50 * US,
+            escalate_after: 16,
+            target: 60,
+        });
+    }
+    // The kill window: the combiner claims on one wake and executes on
+    // the next, so a kill between two wakes can land on a held ticket.
+    // At this seed it does — the claimed ops are parked mid-flight.
+    sim.at(5 * MS + 160 * US, EvKind::Kill("combiner".into()));
+    sim.at(
+        6 * MS,
+        EvKind::Spawn(ProcSpec::Combiner {
+            machine: core,
+            role: "combiner".into(),
+            interval: 100 * US,
+        }),
+    );
+    sim.run();
+    finish(
+        &sim,
+        "kill-combiner",
+        arm,
+        seed,
+        &[
+            Floor {
+                role: "worker-0",
+                min: 60,
+            },
+            Floor {
+                role: "worker-1",
+                min: 60,
+            },
+            Floor {
+                role: "worker-2",
+                min: 60,
+            },
+        ],
+    )
+}
+
+/// Run one `(scenario, arm)` at `seed`. `mode` selects recording fresh
+/// fault decisions or replaying a (possibly minimized) script.
+pub fn run_scenario(name: &str, arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    match name {
+        "partition-ramp" => partition_ramp(arm, seed, mode),
+        "kill-checkpoint" => kill_checkpoint(arm, seed, mode),
+        "restart-drain" => restart_drain(arm, seed, mode),
+        "kill-combiner" => kill_combiner(arm, seed, mode),
+        other => panic!("unknown scenario {other:?}"),
+    }
+}
+
+/// Did this arm behave as its contract demands?
+///
+/// * Well-behaved arms (`robust`, `lease`): no violations and nothing
+///   flagged.
+/// * Must-be-caught arms (`naive`): divergence was flagged somewhere.
+/// * `nolease`: the parked operations showed up as a stall.
+pub fn arm_ok(report: &RunReport) -> bool {
+    match report.arm.as_str() {
+        "robust" | "lease" => report.violations.is_empty() && !report.flagged,
+        "naive" => report.flagged,
+        "nolease" => report.violations.iter().any(|v| v.starts_with("stall:")),
+        _ => false,
+    }
+}

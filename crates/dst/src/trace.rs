@@ -1,0 +1,426 @@
+//! Traces, fault scripts, and the minimizer that turns a failing seed
+//! into a small committed artifact.
+//!
+//! # Traces
+//!
+//! A [`Trace`] is the run's decision log: one line per scheduler-visible
+//! event (fault firing, kill, partition, transaction completion,
+//! violation). Determinism is *defined* over it — same scenario, same
+//! seed, same [`FaultScript`] must produce a byte-identical trace (and
+//! therefore the same [`Trace::hash`]), whatever host or thread count
+//! ran it.
+//!
+//! # Fault scripts
+//!
+//! Every probabilistic network decision is numbered by a global decision
+//! index. In **record** mode the RNG decides and every non-default
+//! outcome (drop, duplicate, delay, reorder) is written down as
+//! `(decision index, action)`. In **replay** mode the script *is* the
+//! decision: listed indices perform their recorded action, all other
+//! decisions deliver normally and consume no randomness — which is what
+//! makes scripts shrinkable.
+//!
+//! # Minimization
+//!
+//! [`minimize`] is a ddmin-lite over the script's fault set: drop
+//! complement halves while the violation still reproduces, then try
+//! removing each survivor alone. The fixpoint is a 1-minimal fault set —
+//! the committed "golden trace" a regression test replays forever after.
+
+use ff_workload::JsonValue;
+
+/// What the network does to one chunk, at one decision point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally (the default for unlisted decisions).
+    Deliver,
+    /// The chunk vanishes.
+    Drop,
+    /// The chunk arrives twice.
+    Duplicate,
+    /// The chunk arrives `arg` × base-latency late (FIFO order kept).
+    Delay(u32),
+    /// The chunk bypasses the FIFO clamp and may overtake earlier ones.
+    Reorder,
+}
+
+impl FaultAction {
+    /// Stable name for traces and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Deliver => "deliver",
+            FaultAction::Drop => "drop",
+            FaultAction::Duplicate => "duplicate",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Reorder => "reorder",
+        }
+    }
+
+    fn arg(&self) -> u32 {
+        match self {
+            FaultAction::Delay(n) => *n,
+            _ => 0,
+        }
+    }
+
+    fn from_parts(name: &str, arg: u32) -> Option<FaultAction> {
+        Some(match name {
+            "deliver" => FaultAction::Deliver,
+            "drop" => FaultAction::Drop,
+            "duplicate" => FaultAction::Duplicate,
+            "delay" => FaultAction::Delay(arg),
+            "reorder" => FaultAction::Reorder,
+            _ => return None,
+        })
+    }
+}
+
+/// A recorded (or replayed) fault schedule: decision index → action.
+/// Indices absent from the map deliver normally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    entries: Vec<(u64, FaultAction)>,
+}
+
+impl FaultScript {
+    /// An empty script (every decision delivers).
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Record `action` at `decision`. Indices must arrive in increasing
+    /// order (the decision counter is monotone).
+    pub fn record(&mut self, decision: u64, action: FaultAction) {
+        if action == FaultAction::Deliver {
+            return;
+        }
+        debug_assert!(self.entries.last().is_none_or(|&(d, _)| d < decision));
+        self.entries.push((decision, action));
+    }
+
+    /// The scripted action at `decision`.
+    pub fn action_at(&self, decision: u64) -> FaultAction {
+        match self.entries.binary_search_by_key(&decision, |&(d, _)| d) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => FaultAction::Deliver,
+        }
+    }
+
+    /// Number of scripted (non-deliver) faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No scripted faults at all?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scripted entries, in decision order.
+    pub fn entries(&self) -> &[(u64, FaultAction)] {
+        &self.entries
+    }
+
+    /// A script keeping only the entries at `keep` (indices into
+    /// [`FaultScript::entries`]).
+    fn subset(&self, keep: &[usize]) -> FaultScript {
+        FaultScript {
+            entries: keep.iter().map(|&i| self.entries[i]).collect(),
+        }
+    }
+
+    /// Serialize for a golden-trace file.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.entries
+                .iter()
+                .map(|&(d, a)| {
+                    JsonValue::Object(vec![
+                        ("decision".into(), JsonValue::Number(d as f64)),
+                        ("action".into(), JsonValue::String(a.name().into())),
+                        ("arg".into(), JsonValue::Number(a.arg() as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Parse a script back from golden-trace JSON.
+    pub fn from_json(v: &JsonValue) -> Option<FaultScript> {
+        let JsonValue::Array(items) = v else {
+            return None;
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let JsonValue::Object(fields) = item else {
+                return None;
+            };
+            let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            let decision = match get("decision")? {
+                JsonValue::Number(n) => *n as u64,
+                _ => return None,
+            };
+            let arg = match get("arg") {
+                Some(JsonValue::Number(n)) => *n as u32,
+                _ => 0,
+            };
+            let action = match get("action")? {
+                JsonValue::String(s) => FaultAction::from_parts(s, arg)?,
+                _ => return None,
+            };
+            entries.push((decision, action));
+        }
+        entries.sort_by_key(|&(d, _)| d);
+        Some(FaultScript { entries })
+    }
+}
+
+/// The run's decision log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    lines: Vec<String>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append one event line, stamped with simulated time.
+    pub fn log(&mut self, now: u64, line: impl AsRef<str>) {
+        self.lines.push(format!("t={now} {}", line.as_ref()));
+    }
+
+    /// All lines, in order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// FNV-1a over every line — the determinism fingerprint.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for line in &self.lines {
+            for &b in line.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= b'\n' as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Shrink `script` to a 1-minimal fault set: `reproduces` must return
+/// whether replaying the candidate script still triggers the violation
+/// (it is always called with strictly smaller scripts than its last
+/// accepted one, so minimization terminates). Returns the smallest
+/// accepted script.
+pub fn minimize(
+    script: &FaultScript,
+    mut reproduces: impl FnMut(&FaultScript) -> bool,
+) -> FaultScript {
+    let mut keep: Vec<usize> = (0..script.len()).collect();
+    // Phase 1: ddmin-style complement reduction — try dropping half the
+    // survivors at a time, refining granularity when stuck.
+    let mut chunk = keep.len().div_ceil(2).max(1);
+    while keep.len() > 1 && chunk >= 1 {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < keep.len() {
+            let end = (start + chunk).min(keep.len());
+            let candidate: Vec<usize> = keep[..start]
+                .iter()
+                .chain(keep[end..].iter())
+                .copied()
+                .collect();
+            if (!candidate.is_empty() || script.is_empty())
+                && reproduces(&script.subset(&candidate))
+            {
+                keep = candidate;
+                reduced = true;
+                continue; // same start, next window shifted already
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            chunk = chunk.div_ceil(2).min(keep.len().saturating_sub(1).max(1));
+            if chunk == 0 {
+                break;
+            }
+        } else {
+            chunk = chunk.min(keep.len().div_ceil(2).max(1));
+        }
+    }
+    // Phase 2: 1-minimality — no single survivor is removable.
+    let mut i = 0;
+    while keep.len() > 1 && i < keep.len() {
+        let mut candidate = keep.clone();
+        candidate.remove(i);
+        if reproduces(&script.subset(&candidate)) {
+            keep = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    // An empty script that still reproduces means the violation is not
+    // fault-driven at all.
+    if keep.len() == 1 && reproduces(&script.subset(&[])) {
+        keep.clear();
+    }
+    script.subset(&keep)
+}
+
+/// One committed golden trace: the minimized script plus everything a
+/// regression test needs to replay it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GoldenTrace {
+    /// Scenario name ([`crate::scenario`] registry).
+    pub scenario: String,
+    /// Arm the violation manifests on (e.g. `naive`, `nolease`).
+    pub arm: String,
+    /// Root seed of the recorded run.
+    pub seed: u64,
+    /// Violation the replay must reproduce (a [`crate::runner::RunReport`]
+    /// violation string prefix).
+    pub violation: String,
+    /// The minimized fault schedule.
+    pub script: FaultScript,
+    /// Trace hash of the minimized failing run (fingerprint only — the
+    /// replay asserts the violation, not the hash, so unrelated trace
+    /// format changes don't invalidate golden files).
+    pub trace_hash: String,
+}
+
+impl GoldenTrace {
+    /// Render the golden-trace file.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("scenario".into(), JsonValue::String(self.scenario.clone())),
+            ("arm".into(), JsonValue::String(self.arm.clone())),
+            ("seed".into(), JsonValue::Number(self.seed as f64)),
+            (
+                "violation".into(),
+                JsonValue::String(self.violation.clone()),
+            ),
+            ("faults".into(), self.script.to_json()),
+            (
+                "trace_hash".into(),
+                JsonValue::String(self.trace_hash.clone()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parse a committed golden-trace file.
+    pub fn from_json(s: &str) -> Option<GoldenTrace> {
+        let JsonValue::Object(fields) = JsonValue::parse(s).ok()? else {
+            return None;
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let string = |k: &str| match get(k) {
+            Some(JsonValue::String(s)) => Some(s.clone()),
+            _ => None,
+        };
+        Some(GoldenTrace {
+            scenario: string("scenario")?,
+            arm: string("arm")?,
+            seed: match get("seed")? {
+                JsonValue::Number(n) => *n as u64,
+                _ => return None,
+            },
+            violation: string("violation")?,
+            script: FaultScript::from_json(get("faults")?)?,
+            trace_hash: string("trace_hash")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_round_trips_through_json() {
+        let mut s = FaultScript::new();
+        s.record(3, FaultAction::Drop);
+        s.record(9, FaultAction::Delay(5));
+        s.record(20, FaultAction::Reorder);
+        let back = FaultScript::from_json(&s.to_json()).expect("parses");
+        assert_eq!(s, back);
+        assert_eq!(back.action_at(9), FaultAction::Delay(5));
+        assert_eq!(back.action_at(10), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn minimize_finds_the_single_culprit() {
+        let mut s = FaultScript::new();
+        for d in 0..32 {
+            s.record(d, FaultAction::Drop);
+        }
+        // Only decision 17 matters.
+        let min = minimize(&s, |cand| cand.action_at(17) == FaultAction::Drop);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.entries()[0].0, 17);
+    }
+
+    #[test]
+    fn minimize_keeps_a_conjunction() {
+        let mut s = FaultScript::new();
+        for d in 0..16 {
+            s.record(d, FaultAction::Drop);
+        }
+        // Decisions 2 AND 11 are jointly necessary.
+        let min = minimize(&s, |cand| {
+            cand.action_at(2) == FaultAction::Drop && cand.action_at(11) == FaultAction::Drop
+        });
+        assert_eq!(min.len(), 2);
+        let kept: Vec<u64> = min.entries().iter().map(|&(d, _)| d).collect();
+        assert_eq!(kept, vec![2, 11]);
+    }
+
+    #[test]
+    fn minimize_empties_a_fault_free_violation() {
+        let mut s = FaultScript::new();
+        for d in 0..8 {
+            s.record(d, FaultAction::Drop);
+        }
+        let min = minimize(&s, |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn trace_hash_is_order_and_content_sensitive() {
+        let mut a = Trace::new();
+        a.log(1, "x");
+        a.log(2, "y");
+        let mut b = Trace::new();
+        b.log(2, "y");
+        b.log(1, "x");
+        assert_ne!(a.hash(), b.hash());
+        let mut c = Trace::new();
+        c.log(1, "x");
+        c.log(2, "y");
+        assert_eq!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn golden_trace_round_trips() {
+        let mut script = FaultScript::new();
+        script.record(4, FaultAction::Duplicate);
+        let g = GoldenTrace {
+            scenario: "partition-ramp".into(),
+            arm: "naive".into(),
+            seed: 0xDEAD,
+            violation: "flagged".into(),
+            script,
+            trace_hash: "abc123".into(),
+        };
+        let back = GoldenTrace::from_json(&g.to_json()).expect("parses");
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,208 @@
+//! SimNet ↔ Session integration properties.
+//!
+//! The fabric is allowed to do terrible things to a byte stream —
+//! drop, duplicate, delay and reorder whole chunks — and the protocol
+//! state machine on the receiving end must never panic: it either
+//! stages ops or degrades to the malformed-stream close path. With
+//! faults off, the fabric must be invisible: per-connection delivery is
+//! FIFO and byte-identical to the sender's encoding.
+
+use ff_dst::net::{FaultRates, NetConfig, Payload, ScriptMode, SimNet};
+use ff_dst::rng::SimRng;
+use ff_dst::topology::Topology;
+use ff_dst::trace::{FaultAction, FaultScript, Trace};
+use ff_net::session::Session;
+use ff_net::wire::encode_request;
+use ff_net::Request;
+use ff_store::KvOp;
+use proptest::prelude::*;
+
+fn world() -> (Topology, SimNet, ff_dst::net::ConnId) {
+    let mut topo = Topology::new();
+    let ma = topo.machine("a");
+    let mb = topo.machine("b");
+    let pa = topo.process(ma, "sender");
+    let pb = topo.process(mb, "receiver");
+    let mut root = SimRng::new(7);
+    let mut net = SimNet::new(
+        NetConfig::default(),
+        root.fork(1),
+        root.fork(2),
+        ScriptMode::Record,
+    );
+    let conn = net.connect(pa, pb);
+    (topo, net, conn)
+}
+
+fn sender(topo: &Topology) -> ff_dst::topology::ProcId {
+    // world() created the sender as the first process.
+    let _ = topo;
+    ff_dst::topology::ProcId(0)
+}
+
+fn encode_stream(seed: &mut u64, frames: usize) -> (Vec<u8>, usize) {
+    let mix = |s: &mut u64| {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut out = Vec::new();
+    let mut ops = 0usize;
+    for id in 0..frames {
+        let n = (mix(seed) % 5 + 1) as usize;
+        ops += n;
+        let batch: Vec<KvOp> = (0..n)
+            .map(|_| match mix(seed) % 3 {
+                0 => KvOp::Get(mix(seed) as u32 & 0xFFFF),
+                1 => KvOp::Put(mix(seed) as u32 & 0xFFFF, mix(seed) as u32 & 0xFFFF),
+                _ => KvOp::Del(mix(seed) as u32 & 0xFFFF),
+            })
+            .collect();
+        encode_request(&mut out, id as u32 + 1, &Request::Batch(batch));
+    }
+    (out, ops)
+}
+
+fn chunked(stream: &[u8], seed: &mut u64) -> Vec<Vec<u8>> {
+    let mix = |s: &mut u64| {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    };
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    while at < stream.len() {
+        let take = (mix(seed) as usize % 40 + 1).min(stream.len() - at);
+        chunks.push(stream[at..at + take].to_vec());
+        at += take;
+    }
+    chunks
+}
+
+/// Deliveries in arrival order (the event heap's order: time, then
+/// scheduling sequence).
+fn in_arrival_order(mut deliveries: Vec<(usize, ff_dst::net::Delivery)>) -> Vec<Vec<u8>> {
+    deliveries.sort_by_key(|(seq, d)| (d.at, *seq));
+    deliveries
+        .into_iter()
+        .map(|(_, d)| match d.payload {
+            Payload::Bytes(b) => b,
+            Payload::Closed => Vec::new(),
+        })
+        .collect()
+}
+
+#[test]
+fn faults_off_is_fifo_and_byte_identical() {
+    let (topo, mut net, conn) = world();
+    let from = sender(&topo);
+    let mut trace = Trace::new();
+    let mut seed = 0x5EED_0001u64;
+    let (stream, ops) = encode_stream(&mut seed, 40);
+    let mut deliveries = Vec::new();
+    let mut seq = 0usize;
+    for (i, chunk) in chunked(&stream, &mut seed).into_iter().enumerate() {
+        for d in net.send(i as u64 * 1_000, conn, from, chunk, &topo, &mut trace) {
+            deliveries.push((seq, d));
+            seq += 1;
+        }
+    }
+    let arrived: Vec<u8> = in_arrival_order(deliveries).concat();
+    assert_eq!(arrived, stream, "faults-off fabric must be a pipe");
+
+    // And the Session stages exactly the sender's ops from it.
+    let mut session = Session::new();
+    session.ingest(&arrived);
+    let mut run = Vec::new();
+    while session.has_pending_frame() {
+        session.stage(&mut run);
+    }
+    assert_eq!(run.len(), ops);
+    assert!(!session.closing());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Whatever the fabric does — arbitrary drop/duplicate/delay/reorder
+    // schedules over arbitrary chunkings — the Session's decoder must
+    // not panic. It stages what still parses and flips to the
+    // malformed-close path when framing is lost; both are fine, a
+    // panic is not.
+    #[test]
+    fn arbitrary_fault_schedules_never_panic_the_decoder(
+        seed in any::<u64>(),
+        frames in 1usize..20,
+        script_seed in any::<u64>(),
+    ) {
+        let mut topo = Topology::new();
+        let ma = topo.machine("a");
+        let mb = topo.machine("b");
+        let pa = topo.process(ma, "sender");
+        let pb = topo.process(mb, "receiver");
+        let _ = pb;
+        let mut s = script_seed;
+        let mix = |s: &mut u64| {
+            *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        };
+        // A scripted schedule hitting ~half of all decisions.
+        let mut script = FaultScript::new();
+        for d in 0..256u64 {
+            let roll = mix(&mut s) % 8;
+            let action = match roll {
+                0 => FaultAction::Drop,
+                1 => FaultAction::Duplicate,
+                2 => FaultAction::Delay(1 + (mix(&mut s) % 30) as u32),
+                3 => FaultAction::Reorder,
+                _ => continue,
+            };
+            script.record(d, action);
+        }
+        let mut root = SimRng::new(seed);
+        let mut net = SimNet::new(
+            NetConfig::default(),
+            root.fork(1),
+            root.fork(2),
+            ScriptMode::Replay(script),
+        );
+        net.set_rates(FaultRates::default());
+        let conn = net.connect(pa, pb);
+        let mut trace = Trace::new();
+        let mut data_seed = seed ^ 0xABCD;
+        let (stream, _) = encode_stream(&mut data_seed, frames);
+        let mut deliveries = Vec::new();
+        let mut seq = 0usize;
+        for (i, chunk) in chunked(&stream, &mut data_seed).into_iter().enumerate() {
+            for d in net.send(i as u64 * 700, conn, pa, chunk, &topo, &mut trace) {
+                deliveries.push((seq, d));
+                seq += 1;
+            }
+        }
+        let mut session = Session::new();
+        let mut run = Vec::new();
+        for bytes in in_arrival_order(deliveries) {
+            session.ingest(&bytes);
+            // Stage everything decodable so far; must never panic.
+            while session.has_pending_frame() && !session.closing() {
+                let before = run.len();
+                session.stage(&mut run);
+                if run.len() == before && session.pending_slots() == 0 {
+                    break;
+                }
+            }
+            if session.closing() {
+                break;
+            }
+        }
+        // Staged ops can only come from the sender's value domain.
+        for op in &run {
+            prop_assert!(op.key() <= 0xFFFF);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | `poll` (private) | the std-only readiness abstraction the loops run on |
 //! | `buffer` (private) | per-loop pools for connection read/write buffers |
 //! | `reactor` (private) | the event-loop state machine itself |
+//! | [`session`] | [`Session`]: one connection's socket-free protocol state machine — the transport seam `ff-dst` drives over a simulated network |
 //! | [`client`] | [`NetClient`]: pipelining TCP client implementing [`Kv`](ff_store::Kv) |
 //! | [`experiment`] | [`E16NetSoak`] and [`E17ReactorSoak`]: the fault-ramp soak over TCP, thread-per-request shape and reactor shape |
 //!
@@ -33,9 +34,11 @@ pub mod experiment;
 mod poll;
 mod reactor;
 pub mod server;
+pub mod session;
 pub mod wire;
 
 pub use client::{NetClient, PipelineTicket};
 pub use experiment::{E16NetSoak, E17ReactorSoak};
 pub use server::{NetServer, ServerConfig, ServerReport, ShutdownError};
+pub use session::{Session, StageSummary};
 pub use wire::{FrameBuffer, Request, Response, StatsReply, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -1,24 +1,26 @@
 //! The event loops behind [`NetServer`](crate::NetServer): nonblocking
 //! connection state machines multiplexed over the [`poll`](crate::poll)
-//! abstraction.
+//! abstraction, each driving a socket-free
+//! [`Session`](crate::session::Session) per connection.
 //!
 //! # One tick
 //!
 //! 1. **Admit** — drain this loop's inbox of freshly accepted,
 //!    already-nonblocking sockets; grant each a replica lease
 //!    (exclusive [`StoreClient`] within the budget, shared combiner
-//!    beyond it) and pooled buffers.
+//!    beyond it) and a [`Session`] around pooled buffers.
 //! 2. **Poll** — probe read readiness for every open, unpaused
 //!    connection; connections with unflushed responses bound the wait.
 //! 3. **Read** — pull up to 16 KiB per readable connection straight
-//!    into its frame buffer (no intermediate chunk copy).
-//! 4. **Stage** — decode complete frames **in place** with the
-//!    zero-copy [`peek_frame`](crate::wire::FrameBuffer::peek_frame)
-//!    path. Valid GET/PUT/DEL/BATCH operations from *every*
-//!    connection merge into one run; STATS/PING and per-frame
-//!    validation errors become immediate response slots. A decode
-//!    error stages one id-0 `Malformed` frame and marks the
-//!    connection closing — length-prefixed framing cannot resync.
+//!    into its session's frame buffer (no intermediate chunk copy).
+//! 4. **Stage** — each session decodes its complete frames **in
+//!    place** with the zero-copy
+//!    [`peek_frame`](crate::wire::FrameBuffer::peek_frame) path. Valid
+//!    GET/PUT/DEL/BATCH operations from *every* connection merge into
+//!    one run; STATS/PING and per-frame validation errors become
+//!    immediate response slots. A decode error stages one id-0
+//!    `Malformed` frame and marks the session closing —
+//!    length-prefixed framing cannot resync.
 //! 5. **Execute** — the merged run goes through one
 //!    [`Kv::batch`](ff_store::Kv::batch) call: one log pass per
 //!    touched shard for the whole tick, across connections. If every
@@ -26,19 +28,25 @@
 //!    replica executes it (so small fleets keep exactly the old
 //!    per-connection replica graveyard); otherwise the loop's
 //!    lazily-minted combiner does.
-//! 6. **Resolve** — encode each slot's response into its connection's
-//!    write buffer, in per-connection request order. A run error
+//! 6. **Resolve** — each session encodes its slots' responses into its
+//!    output buffer, in per-connection request order. A run error
 //!    (divergence poisons the shard set; nothing partial is usable)
 //!    answers every run slot with the same typed error.
 //! 7. **Flush** — attempted-write model: write until `WouldBlock`,
 //!    killing peers stalled past the write timeout.
-//! 8. **Reap** — dead connections return buffers to the pool, retire
-//!    exclusive replicas to the graveyard, release their lease and
-//!    drop the active count.
+//! 8. **Reap** — dead connections return their session's buffers to
+//!    the pool, retire exclusive replicas to the graveyard, release
+//!    their lease and drop the active count.
 //!
 //! On shutdown a loop runs one final stage/execute/flush pass over
 //! everything already buffered — bounded by the write timeout — then
 //! retires every lease, including the combiner.
+//!
+//! Everything between the socket reads and the socket writes — frame
+//! decoding, staging, validation, response encoding — lives in
+//! [`Session`](crate::session::Session), which `ff-dst` drives over a
+//! simulated network with no kernel socket anywhere; the reactor here
+//! is only the IO shell around the shared state machine.
 
 use std::io::{ErrorKind, Write};
 use std::net::TcpStream;
@@ -46,13 +54,14 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ff_store::{Kv, KvOp, StoreClient, StoreError, KV_MAX};
+use ff_store::{Kv, KvOp, StoreClient, StoreError};
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::poll::{Interest, PollSource, Poller, Readiness, ScanPoller};
-use crate::server::{error_response, stats, Shared};
-use crate::wire::{encode_response, Decoded, ErrorCode, FrameBuffer, RequestRef, Response};
+use crate::server::{stats, Shared};
+use crate::session::Session;
+use crate::wire::ErrorCode;
 
 /// Most bytes read per connection per tick — round-robin fairness, not
 /// a frame bound.
@@ -82,18 +91,16 @@ enum Lease {
     Shared,
 }
 
-/// One nonblocking connection's state.
+/// One nonblocking connection's state: the IO shell (socket, write
+/// cursor, deadlines) around its protocol [`Session`].
 struct Conn {
     stream: TcpStream,
-    rbuf: FrameBuffer,
-    wbuf: Vec<u8>,
-    /// Bytes of `wbuf` already written to the socket.
+    session: Session,
+    /// Bytes of the session's output already written to the socket.
     wpos: usize,
     lease: Lease,
     /// Peer half-closed; serve what's buffered, flush, then close.
     eof: bool,
-    /// Framing lost (decode error): stop serving, flush, close.
-    closing: bool,
     /// Reap this connection at the end of the tick.
     dead: bool,
     /// When the current blocked write becomes fatal.
@@ -102,7 +109,7 @@ struct Conn {
 
 impl Conn {
     fn pending_write(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.session.output().len() - self.wpos
     }
 
     fn paused(&self) -> bool {
@@ -110,31 +117,9 @@ impl Conn {
     }
 }
 
-/// Where one staged frame's answer comes from.
-enum SlotKind {
-    /// `run[off]` — a coalesced single-op frame.
-    Single { off: usize },
-    /// `run[off..off+n]` — a BATCH frame merged into the run.
-    Batch { off: usize, n: usize },
-    /// Server counters, snapshotted after the run executes.
-    Stats,
-    /// PING.
-    Pong,
-    /// Already decided at stage time (validation error, malformed).
-    Ready(Response),
-}
-
-/// One response owed to a connection, in staging order.
-struct Slot {
-    conn: usize,
-    id: u32,
-    kind: SlotKind,
-}
-
 /// Per-tick scratch, allocated once per loop.
 struct Scratch {
     run_ops: Vec<KvOp>,
-    slots: Vec<Slot>,
     readiness: Vec<Readiness>,
     polled: Vec<usize>,
 }
@@ -147,7 +132,6 @@ pub(crate) fn event_loop(shared: Arc<Shared>, index: usize) {
     let mut combiner: Option<StoreClient> = None;
     let mut scratch = Scratch {
         run_ops: Vec::new(),
-        slots: Vec::new(),
         readiness: Vec::new(),
         polled: Vec::new(),
     };
@@ -182,12 +166,10 @@ fn admit(shared: &Shared, index: usize, conns: &mut Vec<Conn>, pool: &mut Buffer
     for stream in streams {
         conns.push(Conn {
             stream,
-            rbuf: pool.take_read(),
-            wbuf: pool.take_write(),
+            session: Session::from_parts(pool.take_read(), pool.take_write()),
             wpos: 0,
             lease: grant_lease(shared),
             eof: false,
-            closing: false,
             dead: false,
             write_deadline: None,
         });
@@ -234,7 +216,7 @@ fn tick(
                 continue;
             }
             let interest = Interest {
-                read: !c.eof && !c.closing && !c.paused(),
+                read: !c.eof && !c.session.closing() && !c.paused(),
                 write: c.pending_write() > 0,
             };
             if interest.read || interest.write {
@@ -262,7 +244,7 @@ fn tick(
             continue;
         }
         let c = &mut conns[i];
-        match c.rbuf.read_from(&mut c.stream, READ_CHUNK) {
+        match c.session.read_buf().read_from(&mut c.stream, READ_CHUNK) {
             Ok(0) => c.eof = true,
             Ok(_) => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {}
@@ -287,8 +269,8 @@ fn tick(
 }
 
 /// Stage every buffered complete frame, execute the merged run, and
-/// encode all responses. `ignore_pause` lets the shutdown drain serve
-/// backpressured connections too.
+/// have each session encode its responses. `ignore_pause` lets the
+/// shutdown drain serve backpressured connections too.
 fn serve_buffered(
     shared: &Shared,
     conns: &mut [Conn],
@@ -297,14 +279,20 @@ fn serve_buffered(
     ignore_pause: bool,
 ) {
     scratch.run_ops.clear();
-    scratch.slots.clear();
     let mut all_exclusive = true;
     let mut leader: Option<usize> = None;
+    let mut immediate = 0u64;
+    let mut staged = 0u64;
     for (i, c) in conns.iter_mut().enumerate() {
-        if c.dead || c.closing || (!ignore_pause && c.paused()) {
+        // Closing sessions stage nothing themselves (the session
+        // early-returns); paused connections wait for their peer.
+        if c.dead || (!ignore_pause && c.paused()) {
             continue;
         }
-        if stage_conn(i, c, &mut scratch.run_ops, &mut scratch.slots, shared) {
+        let summary = c.session.stage(&mut scratch.run_ops);
+        immediate += summary.immediate;
+        staged += summary.staged;
+        if summary.contributed {
             match c.lease {
                 Lease::Exclusive(_) => {
                     if leader.is_none() {
@@ -314,6 +302,9 @@ fn serve_buffered(
                 Lease::Shared => all_exclusive = false,
             }
         }
+    }
+    if immediate > 0 {
+        shared.ops_served.fetch_add(immediate, Ordering::Relaxed);
     }
     let outcome = if scratch.run_ops.is_empty() {
         None
@@ -341,170 +332,18 @@ fn serve_buffered(
             .fetch_max(scratch.run_ops.len() as u32, Ordering::Relaxed);
         Some(result)
     };
-    if !scratch.slots.is_empty() {
-        shared
-            .frames_staged
-            .fetch_add(scratch.slots.len() as u64, Ordering::Relaxed);
+    if staged > 0 {
+        shared.frames_staged.fetch_add(staged, Ordering::Relaxed);
     }
-    for slot in scratch.slots.drain(..) {
-        let resp = match slot.kind {
-            SlotKind::Single { off } => match &outcome {
-                Some(Ok(values)) => Response::Value(values[off]),
-                Some(Err(e)) => error_response(e),
-                None => unreachable!("run slots imply a nonempty run"),
-            },
-            SlotKind::Batch { off, n } => match &outcome {
-                Some(Ok(values)) => Response::Batch(values[off..off + n].to_vec()),
-                Some(Err(e)) => error_response(e),
-                None => unreachable!("run slots imply a nonempty run"),
-            },
-            SlotKind::Stats => Response::Stats(stats(shared)),
-            SlotKind::Pong => Response::Pong,
-            SlotKind::Ready(resp) => resp,
-        };
-        encode_response(&mut conns[slot.conn].wbuf, slot.id, &resp);
-    }
-}
-
-/// Stage one connection's buffered complete frames. Returns whether it
-/// contributed operations to the merged run.
-fn stage_conn(
-    i: usize,
-    c: &mut Conn,
-    run_ops: &mut Vec<KvOp>,
-    slots: &mut Vec<Slot>,
-    shared: &Shared,
-) -> bool {
-    let mut contributed = false;
-    loop {
-        let consumed = match c.rbuf.peek_frame() {
-            Ok(Decoded::NeedMoreData) => break,
-            Ok(Decoded::Frame { frame, consumed }) => {
-                let id = frame.id;
-                match frame.req {
-                    RequestRef::Get { key } => {
-                        contributed |= stage_op(i, id, KvOp::Get(key), run_ops, slots);
-                    }
-                    RequestRef::Put { key, value } => {
-                        contributed |= stage_op(i, id, KvOp::Put(key, value), run_ops, slots);
-                    }
-                    RequestRef::Del { key } => {
-                        contributed |= stage_op(i, id, KvOp::Del(key), run_ops, slots);
-                    }
-                    RequestRef::Batch(b) if b.is_empty() => {
-                        // Nothing to execute: answer now. Joining the
-                        // run would stage a response slot without any
-                        // backing operations — a tick where no other
-                        // frame contributes would then have an empty
-                        // run to resolve it from.
-                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
-                        slots.push(Slot {
-                            conn: i,
-                            id,
-                            kind: SlotKind::Ready(Response::Batch(Vec::new())),
-                        });
-                    }
-                    RequestRef::Batch(b) => match b.iter().try_for_each(validate) {
-                        Ok(()) => {
-                            let off = run_ops.len();
-                            run_ops.extend(b.iter());
-                            slots.push(Slot {
-                                conn: i,
-                                id,
-                                kind: SlotKind::Batch { off, n: b.len() },
-                            });
-                            contributed = true;
-                        }
-                        // A batch either joins the run whole or is
-                        // rejected whole — same contract as
-                        // `StoreClient::batch`, checked here so one
-                        // client's bad frame can't poison the merged
-                        // run.
-                        Err(e) => slots.push(Slot {
-                            conn: i,
-                            id,
-                            kind: SlotKind::Ready(error_response(&e)),
-                        }),
-                    },
-                    RequestRef::Stats => {
-                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
-                        slots.push(Slot {
-                            conn: i,
-                            id,
-                            kind: SlotKind::Stats,
-                        });
-                    }
-                    RequestRef::Ping => {
-                        shared.ops_served.fetch_add(1, Ordering::Relaxed);
-                        slots.push(Slot {
-                            conn: i,
-                            id,
-                            kind: SlotKind::Pong,
-                        });
-                    }
-                }
-                consumed
-            }
-            Err(e) => {
-                // Length-prefixed framing cannot resync after a bad
-                // frame: answer what we staged, send one id-0 error,
-                // close.
-                slots.push(Slot {
-                    conn: i,
-                    id: 0,
-                    kind: SlotKind::Ready(Response::Error {
-                        code: ErrorCode::Malformed,
-                        detail: 0,
-                        message: e.to_string(),
-                    }),
-                });
-                c.rbuf.reset();
-                c.closing = true;
-                break;
-            }
-        };
-        c.rbuf.consume(consumed);
-    }
-    contributed
-}
-
-/// Stage one coalescible single-op frame: into the merged run if it
-/// validates, an immediate typed error slot if not.
-fn stage_op(i: usize, id: u32, op: KvOp, run_ops: &mut Vec<KvOp>, slots: &mut Vec<Slot>) -> bool {
-    match validate(op) {
-        Ok(()) => {
-            slots.push(Slot {
-                conn: i,
-                id,
-                kind: SlotKind::Single { off: run_ops.len() },
-            });
-            run_ops.push(op);
-            true
-        }
-        Err(e) => {
-            slots.push(Slot {
-                conn: i,
-                id,
-                kind: SlotKind::Ready(error_response(&e)),
-            });
-            false
+    // Resolve after the run so STATS snapshots post-run counters. Every
+    // session with staged slots resolves — including closing ones,
+    // whose malformed-error answer still has to flush.
+    let snapshot = stats(shared);
+    for c in conns.iter_mut() {
+        if c.session.pending_slots() > 0 {
+            c.session.resolve(outcome.as_ref(), &snapshot);
         }
     }
-}
-
-/// The same up-front validation `StoreClient::batch` applies, hoisted
-/// before run merging so each frame fails alone.
-fn validate(op: KvOp) -> Result<(), StoreError> {
-    let key = op.key();
-    if key > KV_MAX {
-        return Err(StoreError::KeyOutOfRange { key });
-    }
-    if let KvOp::Put(_, value) = op {
-        if value > KV_MAX {
-            return Err(StoreError::ValueOutOfRange { value });
-        }
-    }
-    Ok(())
 }
 
 /// Run the merged operations through one replica: the first
@@ -544,8 +383,8 @@ fn flush(c: &mut Conn, shared: &Shared) {
     if c.dead {
         return;
     }
-    while c.wpos < c.wbuf.len() {
-        match c.stream.write(&c.wbuf[c.wpos..]) {
+    while c.wpos < c.session.output().len() {
+        match c.stream.write(&c.session.output()[c.wpos..]) {
             Ok(0) => {
                 c.dead = true;
                 return;
@@ -572,12 +411,12 @@ fn flush(c: &mut Conn, shared: &Shared) {
             }
         }
     }
-    c.wbuf.clear();
+    c.session.clear_output();
     c.wpos = 0;
     c.write_deadline = None;
-    if c.closing {
+    if c.session.closing() {
         c.dead = true;
-    } else if c.eof && !matches!(c.rbuf.peek_frame(), Ok(Decoded::Frame { .. })) {
+    } else if c.eof && !c.session.has_pending_frame() {
         // Half-closed peer, everything serveable served and flushed; a
         // trailing partial frame can never complete.
         c.dead = true;
@@ -591,8 +430,9 @@ fn reap(c: Conn, shared: &Shared, pool: &mut BufferPool) {
         shared.retired.lock().push(client);
         shared.exclusive_leases.fetch_sub(1, Ordering::SeqCst);
     }
-    pool.put_read(c.rbuf);
-    pool.put_write(c.wbuf);
+    let (rbuf, wbuf) = c.session.into_parts();
+    pool.put_read(rbuf);
+    pool.put_write(wbuf);
     shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 

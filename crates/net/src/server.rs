@@ -69,7 +69,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ff_store::{Store, StoreClient, StoreError};
+use ff_store::{Store, StoreClient};
 use parking_lot::Mutex;
 
 use crate::reactor::{self, LoopShared};
@@ -399,23 +399,5 @@ pub(crate) fn stats(shared: &Shared) -> StatsReply {
         frames_staged: shared.frames_staged.load(Ordering::Relaxed),
         combine_passes: combine.as_ref().map_or(0, |c| c.passes),
         combine_ops: combine.as_ref().map_or(0, |c| c.combined_ops),
-    }
-}
-
-/// Map a [`StoreError`] onto a wire error frame; the `detail` word
-/// carries the machine-readable part (shard, key, value).
-pub(crate) fn error_response(e: &StoreError) -> Response {
-    let (code, detail) = match *e {
-        StoreError::Divergence { shard } => (ErrorCode::Divergence, shard as u32),
-        StoreError::KeyOutOfRange { key } => (ErrorCode::KeyOutOfRange, key),
-        StoreError::ValueOutOfRange { value } => (ErrorCode::ValueOutOfRange, value),
-        StoreError::Io(_) | StoreError::Protocol(_) | StoreError::Server { .. } => {
-            (ErrorCode::Internal, 0)
-        }
-    };
-    Response::Error {
-        code,
-        detail,
-        message: e.to_string(),
     }
 }

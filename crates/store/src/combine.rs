@@ -35,10 +35,38 @@
 //! **forces** its own pass, bypassing the flag. Correctness never
 //! depends on the flag — only the per-slot claim CAS and the log's own
 //! consensus cells order operations. Tolerated *cell* faults are
-//! absorbed inside the log (the robust constructions); a combiner that
-//! dies between claiming and distributing parks exactly the ops it
-//! claimed (their owners' calls simply do not return) — the same
-//! envelope as NR's combiner, and the crash-recovery roadmap item.
+//! absorbed inside the log (the robust constructions).
+//!
+//! # Combiner crash recovery: the lease/epoch rule
+//!
+//! A combiner that dies (or stalls indefinitely) between claiming and
+//! executing would park exactly the ops it claimed — NR's envelope.
+//! The slot word therefore packs an **epoch** next to the state, and
+//! three CAS rules close the hole:
+//!
+//! * **claim** — `(PENDING, e) → (CLAIMED, e)`.
+//! * **reclaim** — after a bound, the *owner* of a still-`CLAIMED` slot
+//!   takes its op back: `(CLAIMED, e) → (PENDING, e+1)`. The op is
+//!   republished under a fresh epoch, up for grabs by any live combiner
+//!   (the owner itself forces a pass if the advisory flag is wedged by
+//!   the dead combiner).
+//! * **seal** — the combiner, already holding the replica write lock
+//!   and immediately before executing, pins each claim:
+//!   `(CLAIMED, e) → (SEALED, e)`. A slot whose seal CAS fails was
+//!   reclaimed and is dropped from the batch.
+//!
+//! Seal and reclaim race on the *same* word `(CLAIMED, e)`, so exactly
+//! one wins: seal-wins ⇒ the original pass applies the op (the owner
+//! keeps waiting); reclaim-wins ⇒ the op is excluded from the slow
+//! pass's batch and applied exactly once by a later one. Result
+//! distribution happens inside the same replica-lock critical section
+//! as the seal and the append, so no schedule can observe a sealed but
+//! undelivered slot. The rule is model-checked exhaustively by
+//! `ff-sim`'s combining model (combiner-crash transition + reclaim:
+//! no lost live ops, no double-apply; the seal-less variant provably
+//! double-applies), and the DST kill-the-combiner scenario fails at a
+//! pinned seed with [`StoreConfig::combiner_lease`](crate::StoreConfig::combiner_lease)
+//! off and passes with it on.
 //!
 //! # The read fast path
 //!
@@ -60,12 +88,34 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Slot states (see the module docs for the lifecycle).
+/// Slot states (see the module docs for the lifecycle). The slot word
+/// packs `state | epoch << STATE_BITS`; the epoch advances only on a
+/// reclaim, which is what lets the seal CAS reject a stale claim.
 const EMPTY: u32 = 0;
 const PENDING: u32 = 1;
 const CLAIMED: u32 = 2;
-const DONE: u32 = 3;
-const FAILED: u32 = 4;
+const SEALED: u32 = 3;
+const DONE: u32 = 4;
+const FAILED: u32 = 5;
+
+const STATE_BITS: u32 = 3;
+const STATE_MASK: u32 = (1 << STATE_BITS) - 1;
+
+#[inline]
+fn pack(state: u32, epoch: u32) -> u32 {
+    debug_assert!(state <= STATE_MASK);
+    state | epoch << STATE_BITS
+}
+
+#[inline]
+fn state_of(word: u32) -> u32 {
+    word & STATE_MASK
+}
+
+#[inline]
+fn epoch_of(word: u32) -> u32 {
+    word >> STATE_BITS
+}
 
 /// Spins in the wait loop before a waiter forces its own combine pass
 /// past the advisory flag (the combiner-stall takeover path).
@@ -75,8 +125,9 @@ const FORCE_AFTER: u32 = 4096;
 ///
 /// Only the owner writes `ops` (before releasing to `PENDING`) and only
 /// the claiming combiner reads them (after winning the claim CAS), so
-/// the mutexes are uncontended in time; the atomic `state` carries the
-/// release/acquire edges between owner and combiner.
+/// the mutexes are uncontended in time; the atomic `state` word (packed
+/// state + epoch) carries the release/acquire edges between owner and
+/// combiner.
 pub(crate) struct Slot {
     state: AtomicU32,
     ops: Mutex<Vec<u64>>,
@@ -104,6 +155,7 @@ pub struct CombineStats {
     max_batch: AtomicU64,
     fastpath_hits: AtomicU64,
     fastpath_misses: AtomicU64,
+    reclaims: AtomicU64,
 }
 
 impl CombineStats {
@@ -120,6 +172,10 @@ impl CombineStats {
         } else {
             self.fastpath_misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    fn record_reclaim(&self) {
+        self.reclaims.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot.
@@ -141,6 +197,7 @@ impl CombineStats {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             fastpath_hits: hits,
             fastpath_misses: misses,
+            reclaims: self.reclaims.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,6 +221,9 @@ pub struct CombineSnapshot {
     pub fastpath_hits: u64,
     /// GETs that fell back to the combined path (freshness unprovable).
     pub fastpath_misses: u64,
+    /// Ops taken back from a stalled or dead combiner by their owner
+    /// (the lease/epoch reclaim rule firing).
+    pub reclaims: u64,
 }
 
 impl CombineSnapshot {
@@ -201,6 +261,7 @@ impl CombineSnapshot {
                 "fastpath_hit_rate".into(),
                 JsonValue::Number(self.hit_rate()),
             ),
+            ("reclaims".into(), JsonValue::Number(self.reclaims as f64)),
         ])
     }
 }
@@ -217,11 +278,39 @@ pub(crate) struct ShardCore {
     slots: RwLock<Vec<Arc<Slot>>>,
     /// Advisory single-combiner flag; correctness never depends on it.
     combiner_busy: AtomicBool,
+    /// Owner reclaim of `CLAIMED` slots enabled (the lease rule). Off,
+    /// a dead combiner parks its claims forever — the pinned-seed DST
+    /// regression arm.
+    lease: bool,
+    /// Polls a waiter tolerates a `CLAIMED` slot before reclaiming.
+    reclaim_after: u32,
     stats: Arc<CombineStats>,
     /// Test-only combiner-stall injection point, fired between the
     /// claim phase and the execute phase.
     #[cfg(test)]
     park: Mutex<Option<ParkHook>>,
+}
+
+/// What one poll of a published slot found.
+pub(crate) enum SlotPoll {
+    /// Delivered: one response word per published op.
+    Ready(Vec<u64>),
+    /// Delivered as divergence evidence (an error, never wrong data).
+    Failed,
+    /// Still `PENDING` — unclaimed, the poller may combine it itself.
+    Pending,
+    /// Some combiner holds the claim (it will deliver, or the lease
+    /// rule will take the op back).
+    Claimed,
+}
+
+/// A claim set taken by [`ShardCore::begin_combine`] and executed by
+/// [`ShardCore::finish_combine`]. Dropping it without finishing models
+/// a combiner crash exactly: the claims stay `CLAIMED` (no `Drop`
+/// cleanup on purpose) until their owners reclaim them.
+pub(crate) struct CombinePass {
+    claimed: Vec<(Arc<Slot>, u32)>,
+    forced: bool,
 }
 
 /// Test-only hook parked between claim and execute (takes the shard).
@@ -234,6 +323,8 @@ impl ShardCore {
         log: Arc<UniversalLog>,
         pid: u16,
         stats: Arc<CombineStats>,
+        lease: bool,
+        reclaim_after: u32,
     ) -> Self {
         let replica = Handle::new(Arc::clone(&log), pid, KvMap::default());
         ShardCore {
@@ -242,6 +333,8 @@ impl ShardCore {
             replica: RwLock::new(replica),
             slots: RwLock::new(Vec::new()),
             combiner_busy: AtomicBool::new(false),
+            lease,
+            reclaim_after,
             stats,
             #[cfg(test)]
             park: Mutex::new(None),
@@ -316,38 +409,210 @@ impl ShardCore {
         }
     }
 
-    /// Publish `ops` as one pending unit and wait for a combiner
-    /// (possibly this caller) to execute and deliver. Returns one
-    /// response word per op, or the shard index on divergence.
-    pub(crate) fn submit(&self, mine: &Arc<Slot>, ops: &[u64]) -> Result<Vec<u64>, usize> {
+    /// Publish `ops` as one pending unit (non-blocking). The slot must
+    /// be `EMPTY` — one in-flight unit per slot.
+    pub(crate) fn publish(&self, mine: &Arc<Slot>, ops: &[u64]) {
         debug_assert!(!ops.is_empty());
         {
             let mut slot_ops = mine.ops.lock();
             slot_ops.clear();
             slot_ops.extend_from_slice(ops);
         }
-        mine.state.store(PENDING, Ordering::Release);
+        let word = mine.state.load(Ordering::Relaxed);
+        debug_assert_eq!(state_of(word), EMPTY, "publish into a non-empty slot");
+        mine.state
+            .store(pack(PENDING, epoch_of(word)), Ordering::Release);
+    }
+
+    /// Whether `mine` currently holds an in-flight (non-`EMPTY`) unit.
+    pub(crate) fn in_flight(&self, mine: &Arc<Slot>) -> bool {
+        state_of(mine.state.load(Ordering::Acquire)) != EMPTY
+    }
+
+    /// One non-blocking look at a published slot. `waited` is how many
+    /// polls the owner has already spent on this unit: past the reclaim
+    /// bound, a still-`CLAIMED` op is taken back from its (stalled or
+    /// dead) combiner and republished under a fresh epoch — the lease
+    /// rule. Returns what the poll found; `Ready`/`Failed` consume the
+    /// unit and release the slot.
+    pub(crate) fn poll(&self, mine: &Arc<Slot>, waited: u32) -> SlotPoll {
+        let word = mine.state.load(Ordering::Acquire);
+        match state_of(word) {
+            DONE => {
+                let out = std::mem::take(&mut *mine.results.lock());
+                mine.state
+                    .store(pack(EMPTY, epoch_of(word)), Ordering::Release);
+                SlotPoll::Ready(out)
+            }
+            FAILED => {
+                mine.state
+                    .store(pack(EMPTY, epoch_of(word)), Ordering::Release);
+                SlotPoll::Failed
+            }
+            PENDING => SlotPoll::Pending,
+            CLAIMED if self.lease && waited >= self.reclaim_after => {
+                // Reclaim: CAS on the exact (CLAIMED, e) word, racing
+                // the combiner's seal on the same word — exactly one
+                // wins, so the op cannot be both republished and kept
+                // in the stale batch.
+                if mine
+                    .state
+                    .compare_exchange(
+                        word,
+                        pack(PENDING, epoch_of(word).wrapping_add(1)),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    self.stats.record_reclaim();
+                    SlotPoll::Pending
+                } else {
+                    SlotPoll::Claimed
+                }
+            }
+            _ => SlotPoll::Claimed,
+        }
+    }
+
+    /// Claim phase of a combine pass: CAS every `PENDING` slot to
+    /// `CLAIMED` (remembering its epoch). Returns `None` when the
+    /// advisory flag was held (`force` bypasses it) or nothing was
+    /// pending. Dropping the returned pass without
+    /// [`ShardCore::finish_combine`] models a combiner crash.
+    pub(crate) fn begin_combine(&self, force: bool) -> Option<CombinePass> {
+        if !force
+            && self
+                .combiner_busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return None;
+        }
+        // Claim phase — lock-free with respect to other combiners: each
+        // slot moves (PENDING, e) → (CLAIMED, e) by CAS, so racing
+        // combiners split the pending set and no op is taken twice.
+        let mut claimed: Vec<(Arc<Slot>, u32)> = Vec::new();
+        {
+            let slots = self.slots.read();
+            for s in slots.iter() {
+                let word = s.state.load(Ordering::Acquire);
+                if state_of(word) == PENDING
+                    && s.state
+                        .compare_exchange(
+                            word,
+                            pack(CLAIMED, epoch_of(word)),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    claimed.push((Arc::clone(s), epoch_of(word)));
+                }
+            }
+        }
+        self.park_point();
+        if claimed.is_empty() {
+            if !force {
+                self.combiner_busy.store(false, Ordering::Release);
+            }
+            return None;
+        }
+        Some(CombinePass {
+            claimed,
+            forced: force,
+        })
+    }
+
+    /// Execute-and-distribute phase of a combine pass. Seals every
+    /// still-held claim under the replica write lock, appends the
+    /// sealed ops as one batched log record, and distributes results —
+    /// all inside the same critical section, so a pass that runs at all
+    /// runs to delivery. Returns whether any ops were drained.
+    pub(crate) fn finish_combine(&self, pass: CombinePass) -> bool {
+        let CombinePass { claimed, forced } = pass;
+        let mut sealed: Vec<(Arc<Slot>, u32)> = Vec::with_capacity(claimed.len());
+        let drained = {
+            let mut replica = self.replica.write();
+            // Seal: pin each claim with a CAS on its exact (CLAIMED, e)
+            // word. A failed seal means the owner reclaimed the op — it
+            // is someone else's to apply now, so it leaves the batch.
+            for (s, e) in claimed {
+                if s.state
+                    .compare_exchange(
+                        pack(CLAIMED, e),
+                        pack(SEALED, e),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    sealed.push((s, e));
+                }
+            }
+            if sealed.is_empty() {
+                false
+            } else {
+                let mut words: Vec<u64> = Vec::new();
+                let mut counts: Vec<usize> = Vec::with_capacity(sealed.len());
+                for (s, _) in &sealed {
+                    let ops = s.ops.lock();
+                    words.extend_from_slice(&ops);
+                    counts.push(ops.len());
+                }
+                // Execute — one decided slot for the whole drain.
+                let resps = replica.invoke_many(&words);
+                let diverged = self.log.divergence_detected();
+                self.stats.record_pass(words.len());
+                // Distribute, still under the lock: a sealed op is
+                // always delivered by the pass that sealed it.
+                let mut off = 0;
+                for ((s, e), n) in sealed.iter().zip(&counts) {
+                    {
+                        let mut out = s.results.lock();
+                        out.clear();
+                        out.extend_from_slice(&resps[off..off + n]);
+                    }
+                    off += n;
+                    s.state.store(
+                        pack(if diverged { FAILED } else { DONE }, *e),
+                        Ordering::Release,
+                    );
+                }
+                true
+            }
+        };
+        if !forced {
+            self.combiner_busy.store(false, Ordering::Release);
+        }
+        drained
+    }
+
+    /// Publish `ops` as one pending unit and wait for a combiner
+    /// (possibly this caller) to execute and deliver. Returns one
+    /// response word per op, or the shard index on divergence. Built
+    /// on the same publish/poll/begin/finish primitives the split-phase
+    /// (simulation-drivable) API exposes.
+    pub(crate) fn submit(&self, mine: &Arc<Slot>, ops: &[u64]) -> Result<Vec<u64>, usize> {
+        self.publish(mine, ops);
         let mut spins = 0u32;
         loop {
-            match mine.state.load(Ordering::Acquire) {
-                DONE => {
-                    let out = std::mem::take(&mut *mine.results.lock());
-                    mine.state.store(EMPTY, Ordering::Release);
-                    return Ok(out);
-                }
-                FAILED => {
-                    mine.state.store(EMPTY, Ordering::Release);
-                    return Err(self.shard);
-                }
+            match self.poll(mine, spins) {
+                SlotPoll::Ready(out) => return Ok(out),
+                SlotPoll::Failed => return Err(self.shard),
                 // Unclaimed: try to combine it ourselves — advisory
                 // first, forced once the current combiner has had
                 // ample time (it may have stalled after claiming a
-                // disjoint set; our op is still up for grabs).
-                PENDING if self.combine(false) || (spins > FORCE_AFTER && self.combine(true)) => {
-                    continue;
+                // disjoint set, or died holding the advisory flag; our
+                // op is still up for grabs).
+                SlotPoll::Pending => {
+                    if self.combine(false) || (spins > FORCE_AFTER && self.combine(true)) {
+                        continue;
+                    }
                 }
-                // CLAIMED: a combiner owns it and will deliver.
-                _ => {}
+                // Claimed: a combiner owns it and will deliver (or the
+                // poll above reclaims once `spins` passes the bound).
+                SlotPoll::Claimed => {}
             }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
@@ -358,71 +623,14 @@ impl ShardCore {
         }
     }
 
-    /// One combine pass: claim everything pending, execute it as a
-    /// single batched log append, distribute results. Returns whether
-    /// any ops were drained. `force` bypasses the advisory flag (the
-    /// stalled-combiner takeover path).
+    /// One full combine pass (claim + execute + distribute). Returns
+    /// whether any ops were drained. `force` bypasses the advisory flag
+    /// (the stalled-combiner takeover path).
     fn combine(&self, force: bool) -> bool {
-        if !force
-            && self
-                .combiner_busy
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_err()
-        {
-            return false;
+        match self.begin_combine(force) {
+            Some(pass) => self.finish_combine(pass),
+            None => false,
         }
-        // Claim phase — lock-free with respect to other combiners: each
-        // slot moves PENDING → CLAIMED by CAS, so racing combiners
-        // split the pending set and no op is taken twice.
-        let mut claimed: Vec<Arc<Slot>> = Vec::new();
-        {
-            let slots = self.slots.read();
-            for s in slots.iter() {
-                if s.state
-                    .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    claimed.push(Arc::clone(s));
-                }
-            }
-        }
-        self.park_point();
-        if claimed.is_empty() {
-            if !force {
-                self.combiner_busy.store(false, Ordering::Release);
-            }
-            return false;
-        }
-        let mut words: Vec<u64> = Vec::new();
-        let mut counts: Vec<usize> = Vec::with_capacity(claimed.len());
-        for s in &claimed {
-            let ops = s.ops.lock();
-            words.extend_from_slice(&ops);
-            counts.push(ops.len());
-        }
-        // Execute phase — one decided slot for the whole drain.
-        let (resps, diverged) = {
-            let mut replica = self.replica.write();
-            let r = replica.invoke_many(&words);
-            (r, self.log.divergence_detected())
-        };
-        self.stats.record_pass(words.len());
-        // Distribute phase.
-        let mut off = 0;
-        for (s, n) in claimed.iter().zip(&counts) {
-            {
-                let mut out = s.results.lock();
-                out.clear();
-                out.extend_from_slice(&resps[off..off + n]);
-            }
-            off += n;
-            s.state
-                .store(if diverged { FAILED } else { DONE }, Ordering::Release);
-        }
-        if !force {
-            self.combiner_busy.store(false, Ordering::Release);
-        }
-        true
     }
 }
 
@@ -574,6 +782,92 @@ mod tests {
         assert_eq!(c.get(1).unwrap(), Some(11));
         assert_eq!(c.get(2).unwrap(), Some(22));
         assert!(store.verify(&mut [c]).all_consistent());
+    }
+
+    #[test]
+    fn reclaim_cannot_double_apply_against_a_resuming_combiner() {
+        // The seal/reclaim race, driven deterministically through the
+        // split-phase API: A claims both pending units and stalls
+        // (models a combiner killed between claim and execute); B
+        // outwaits the lease bound, reclaims its op, and force-combines
+        // it past A's wedged advisory flag. When A resumes, the seal on
+        // B's slot must fail — B's op was someone else's to apply — so
+        // each op applies exactly once.
+        let store = Store::new(
+            StoreConfig::builder()
+                .shards(1)
+                .backend(Backend::Reliable)
+                .combining(true)
+                .reclaim_after(4)
+                .build()
+                .unwrap(),
+        );
+        let mut a = store.client();
+        let mut b = store.client();
+        let mut pa = a.publish_to_shard(0, &[KvOp::Put(1, 11)]).unwrap();
+        let mut pb = b.publish_to_shard(0, &[KvOp::Put(2, 22)]).unwrap();
+        let ticket = a.combine_begin(0, false).expect("nothing was pending");
+        // B's first polls find the unit claimed; past the bound the
+        // embedded reclaim republishes it under a fresh epoch.
+        for _ in 0..8 {
+            assert!(b.poll_published(&mut pb).unwrap().is_none());
+        }
+        assert!(
+            b.combine_begin(0, false).is_none(),
+            "the stalled pass still holds the advisory flag"
+        );
+        let tb = b.combine_begin(0, true).expect("reclaimed op not pending");
+        assert!(b.combine_finish(tb));
+        assert_eq!(b.poll_published(&mut pb).unwrap(), Some(vec![None]));
+        // A resumes its stale pass: B's slot drops out via the failed
+        // seal CAS, A's own op still applies.
+        assert!(a.combine_finish(ticket));
+        assert_eq!(a.poll_published(&mut pa).unwrap(), Some(vec![None]));
+        let stats = store.combine_snapshot().unwrap();
+        assert!(stats.reclaims >= 1, "{stats:?}");
+        assert_eq!(stats.combined_ops, 2, "an op was applied twice: {stats:?}");
+        let mut c = store.client();
+        assert_eq!(c.get(1).unwrap(), Some(11));
+        assert_eq!(c.get(2).unwrap(), Some(22));
+        assert!(store.verify(&mut [a, b, c]).all_consistent());
+    }
+
+    #[test]
+    fn without_lease_a_dead_combiner_parks_claimed_ops() {
+        // The ROADMAP bug the lease rule fixes, pinned at unit level
+        // (the DST kill-the-combiner scenario pins it at whole-system
+        // level): with `combiner_lease(false)`, an op claimed by a dead
+        // combiner is stuck — no amount of polling reclaims it, and a
+        // forced takeover pass finds nothing pending to drain.
+        let store = Store::new(
+            StoreConfig::builder()
+                .shards(1)
+                .backend(Backend::Reliable)
+                .combining(true)
+                .combiner_lease(false)
+                .reclaim_after(4)
+                .build()
+                .unwrap(),
+        );
+        let mut a = store.client();
+        let mut b = store.client();
+        let mut pa = a.publish_to_shard(0, &[KvOp::Put(1, 11)]).unwrap();
+        let mut pb = b.publish_to_shard(0, &[KvOp::Put(2, 22)]).unwrap();
+        let ticket = a.combine_begin(0, false).expect("nothing was pending");
+        for _ in 0..64 {
+            assert!(
+                b.poll_published(&mut pb).unwrap().is_none(),
+                "parked op delivered with the lease off"
+            );
+        }
+        assert!(
+            b.combine_begin(0, true).is_none(),
+            "a CLAIMED op must not be re-claimable without the lease"
+        );
+        // Only the original combiner resuming can unpark the ops.
+        assert!(a.combine_finish(ticket));
+        assert_eq!(a.poll_published(&mut pa).unwrap(), Some(vec![None]));
+        assert_eq!(b.poll_published(&mut pb).unwrap(), Some(vec![None]));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cells;
+pub mod clock;
 pub mod combine;
 pub mod kv;
 pub mod map;
@@ -46,12 +47,16 @@ pub mod soak;
 mod experiment;
 
 pub use cells::{Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ShardCells};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use combine::{CombineSnapshot, CombineStats};
 pub use experiment::E15StoreSoak;
 pub use kv::{Kv, KvOp, StoreError};
 pub use map::{KvMap, KV_BITS, KV_MAX};
 pub use metrics::{MetricsSnapshot, ShardFaults, StoreMetrics};
-pub use soak::{drive_clients, run_soak, DriveOutcome, SoakConfig, SoakReport, WorkloadMix};
+pub use soak::{
+    drive_clients, drive_clients_with_clock, run_soak, DriveOutcome, SoakConfig, SoakReport,
+    WorkloadMix,
+};
 
 use ff_cas::{splitmix64, EnsembleStats};
 use ff_universal::{digests_consistent, Handle, UniversalLog};
@@ -83,6 +88,16 @@ pub struct StoreConfig {
     /// replica whenever its applied index covers the observed tail
     /// (see [`combine`]). Off, every op pays its own log pass.
     pub combining: bool,
+    /// Combiner crash recovery (the lease/epoch rule, see [`combine`]):
+    /// a waiter whose op stays `CLAIMED` past [`StoreConfig::reclaim_after`]
+    /// polls takes it back and republishes it under a fresh epoch, so a
+    /// combiner that dies between claiming and executing cannot park
+    /// ops forever. On by default; turning it off reproduces the
+    /// parked-ops bug (the DST pinned-seed regression arm).
+    pub combiner_lease: bool,
+    /// Polls a waiter tolerates a `CLAIMED` op before the lease rule
+    /// reclaims it (only meaningful with [`StoreConfig::combiner_lease`]).
+    pub reclaim_after: u32,
     /// Seed for all deterministic fault streams and routing salts.
     pub seed: u64,
 }
@@ -96,6 +111,8 @@ impl Default for StoreConfig {
             rotate_kinds: false,
             checkpoint_interval: 64,
             combining: false,
+            combiner_lease: true,
+            reclaim_after: 4096,
             seed: 0x5eed,
         }
     }
@@ -252,6 +269,20 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Combiner crash recovery on or off; see
+    /// [`StoreConfig::combiner_lease`].
+    pub fn combiner_lease(mut self, on: bool) -> Self {
+        self.config.combiner_lease = on;
+        self
+    }
+
+    /// Polls before the lease rule reclaims a `CLAIMED` op; see
+    /// [`StoreConfig::reclaim_after`].
+    pub fn reclaim_after(mut self, polls: u32) -> Self {
+        self.config.reclaim_after = polls;
+        self
+    }
+
     /// Seed for all deterministic fault streams and routing salts.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -357,7 +388,14 @@ impl Store {
                     .iter()
                     .enumerate()
                     .map(|(s, sh)| {
-                        combine::ShardCore::new(s, Arc::clone(&sh.log), 0, Arc::clone(&stats))
+                        combine::ShardCore::new(
+                            s,
+                            Arc::clone(&sh.log),
+                            0,
+                            Arc::clone(&stats),
+                            config.combiner_lease,
+                            config.reclaim_after,
+                        )
                     })
                     .collect(),
                 stats,
@@ -588,6 +626,43 @@ pub struct StoreClient {
     combined: Option<CombinedView>,
 }
 
+/// An in-flight split-phase publication on one shard core (see
+/// [`StoreClient::publish_to_shard`]). Tracks how many polls the owner
+/// has spent, which is what arms the lease reclaim.
+pub struct PendingCombined {
+    shard: usize,
+    polls: u32,
+    n_ops: usize,
+}
+
+impl PendingCombined {
+    /// The shard the unit was published to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Polls spent waiting so far.
+    pub fn polls(&self) -> u32 {
+        self.polls
+    }
+}
+
+/// A claimed-but-not-yet-executed combine pass (see
+/// [`StoreClient::combine_begin`]). Deliberately has no `Drop` cleanup:
+/// abandoning a ticket leaves its claims `CLAIMED`, which is exactly
+/// how a crashed combiner looks to everyone else.
+pub struct CombineTicket {
+    shard: usize,
+    pass: combine::CombinePass,
+}
+
+impl CombineTicket {
+    /// The shard this pass claimed on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
 impl Drop for StoreClient {
     fn drop(&mut self) {
         if let Some(cb) = &self.combined {
@@ -656,6 +731,124 @@ impl StoreClient {
             }
             KvOp::Del(k) => KvMap::del_op(k),
         })
+    }
+
+    /// Whether this client routes through the flat-combining cores
+    /// (and therefore supports the split-phase API below).
+    pub fn is_combining(&self) -> bool {
+        self.combined.is_some()
+    }
+
+    /// Split-phase API, step 1 — publish validated `ops` (all routing
+    /// to shard `shard`) as one pending unit on that shard's combining
+    /// core, without blocking. At most one unit per shard may be in
+    /// flight per client; drive it with [`StoreClient::poll_published`]
+    /// and [`StoreClient::combine_begin`]/[`StoreClient::combine_finish`].
+    /// This is the seam the deterministic simulator schedules through:
+    /// every blocking wait in [`Kv`] is these primitives in a loop.
+    pub fn publish_to_shard(
+        &mut self,
+        shard: usize,
+        ops: &[KvOp],
+    ) -> Result<PendingCombined, StoreError> {
+        let words: Vec<u64> = ops
+            .iter()
+            .map(|&op| {
+                if self.shard_for(op.key()) != shard {
+                    return Err(StoreError::Protocol(format!(
+                        "op on key {} does not route to shard {shard}",
+                        op.key()
+                    )));
+                }
+                Self::op_word(op)
+            })
+            .collect::<Result<_, _>>()?;
+        if words.is_empty() {
+            return Err(StoreError::Protocol("empty publication".to_string()));
+        }
+        let cb = self
+            .combined
+            .as_ref()
+            .ok_or_else(|| StoreError::Protocol("not a combining store".to_string()))?;
+        if cb.layer.cores[shard].in_flight(&cb.slots[shard]) {
+            return Err(StoreError::Protocol(format!(
+                "shard {shard} already has a unit in flight"
+            )));
+        }
+        cb.layer.cores[shard].publish(&cb.slots[shard], &words);
+        Ok(PendingCombined {
+            shard,
+            polls: 0,
+            n_ops: words.len(),
+        })
+    }
+
+    /// Split-phase API, step 2 — one non-blocking poll of an in-flight
+    /// unit. Returns `Ok(Some(results))` when delivered (one entry per
+    /// published op), `Ok(None)` while still pending or claimed, and
+    /// `Err(Divergence)` when the shard's log holds divergence
+    /// evidence. The owner-side lease reclaim is embedded here: past
+    /// the configured bound, a still-`CLAIMED` unit is taken back from
+    /// its dead or stalled combiner and republished.
+    pub fn poll_published(
+        &mut self,
+        pending: &mut PendingCombined,
+    ) -> Result<Option<Vec<Option<u32>>>, StoreError> {
+        let cb = self
+            .combined
+            .as_ref()
+            .ok_or_else(|| StoreError::Protocol("not a combining store".to_string()))?;
+        let core = &cb.layer.cores[pending.shard];
+        let waited = pending.polls;
+        pending.polls = pending.polls.saturating_add(1);
+        match core.poll(&cb.slots[pending.shard], waited) {
+            combine::SlotPoll::Ready(words) => {
+                debug_assert_eq!(words.len(), pending.n_ops);
+                Ok(Some(
+                    words.iter().map(|&w| KvMap::decode_response(w)).collect(),
+                ))
+            }
+            combine::SlotPoll::Failed => Err(StoreError::Divergence {
+                shard: pending.shard,
+            }),
+            combine::SlotPoll::Pending | combine::SlotPoll::Claimed => Ok(None),
+        }
+    }
+
+    /// Split-phase API, step 3 — run the claim phase of a combine pass
+    /// on `shard`. Returns `None` when the advisory combiner flag is
+    /// held by someone else (`force` bypasses it — the takeover path a
+    /// waiter escalates to when the flag's holder died) or when nothing
+    /// was pending. **Dropping the ticket without
+    /// [`StoreClient::combine_finish`] models a combiner crash**: the
+    /// claims stay parked until their owners' lease reclaims fire.
+    pub fn combine_begin(&mut self, shard: usize, force: bool) -> Option<CombineTicket> {
+        let cb = self.combined.as_ref()?;
+        cb.layer.cores[shard]
+            .begin_combine(force)
+            .map(|pass| CombineTicket { shard, pass })
+    }
+
+    /// Split-phase API, step 4 — seal, execute and distribute a claimed
+    /// pass. Returns whether any ops were drained (claims reclaimed in
+    /// the meantime drop out of the batch via the seal CAS).
+    pub fn combine_finish(&mut self, ticket: CombineTicket) -> bool {
+        let Some(cb) = self.combined.as_ref() else {
+            return false;
+        };
+        cb.layer.cores[ticket.shard].finish_combine(ticket.pass)
+    }
+
+    /// The wait-free read snapshot, exposed for split-phase drivers:
+    /// `None` when freshness is unprovable (fall back to the combined
+    /// path), `Some(Err)` on divergence evidence. Returns `None` for
+    /// non-combining clients.
+    pub fn fast_read(&self, key: u32) -> Option<Result<Option<u32>, StoreError>> {
+        let cb = self.combined.as_ref()?;
+        let s = self.shard_for(key);
+        cb.layer.cores[s]
+            .fast_get(key)
+            .map(|r| r.map_err(|shard| StoreError::Divergence { shard }))
     }
 
     /// This client's replica of shard `s` (for tests/verification).

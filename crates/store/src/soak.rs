@@ -9,6 +9,7 @@
 //! on the naive arm, demonstrates that it does not.
 
 use crate::cells::Backend;
+use crate::clock::{Clock, WallClock};
 use crate::kv::{Kv, KvOp, StoreError};
 use crate::metrics::{MetricsSnapshot, StoreMetrics};
 use crate::{ConsistencyReport, Store, StoreClient, StoreConfig, KV_MAX};
@@ -99,6 +100,9 @@ pub struct SoakConfigEcho {
     pub checkpoint_interval: usize,
     /// Whether the flat-combining path was on.
     pub combining: bool,
+    /// Seed the workload and fault streams ran under — echoed so any
+    /// archived `BENCH_store.json` names the exact run to reproduce.
+    pub seed: u64,
 }
 
 /// One shard's post-run verdict, condensed for the report.
@@ -164,6 +168,7 @@ impl SoakReport {
                         JsonValue::Number(self.config.checkpoint_interval as f64),
                     ),
                     ("combining".into(), JsonValue::Bool(self.config.combining)),
+                    ("seed".into(), JsonValue::Number(self.config.seed as f64)),
                 ]),
             ),
             ("metrics".into(), self.metrics.to_json()),
@@ -261,10 +266,34 @@ impl<K> DriveOutcome<K> {
 /// nothing) and its error is reported in the outcome. `during` runs
 /// every ~20 ms on the coordinating thread while workers are live —
 /// the soak samples retained log lengths there, E16 ramps fault knobs.
+///
+/// Time is read from a [`WallClock`]; tests and simulators that need
+/// the deadline and latency stamps under their control use
+/// [`drive_clients_with_clock`] directly.
 pub fn drive_clients<K: Kv + Send>(
     clients: Vec<K>,
     mix_cfg: &WorkloadMix,
     deadline: Instant,
+    metrics: &StoreMetrics,
+    during: impl FnMut(),
+) -> DriveOutcome<K> {
+    let clock = WallClock::new();
+    let deadline_nanos = deadline
+        .saturating_duration_since(clock.origin())
+        .as_nanos() as u64;
+    drive_clients_with_clock(&clock, clients, mix_cfg, deadline_nanos, metrics, during)
+}
+
+/// [`drive_clients`] with the time source explicit: every deadline
+/// check and latency stamp goes through `clock`, so a
+/// [`ManualClock`](crate::ManualClock) makes the run's *duration* a
+/// function of what the `during` hook does rather than of wall time.
+/// `deadline_nanos` is an absolute reading on `clock`.
+pub fn drive_clients_with_clock<K: Kv + Send>(
+    clock: &dyn Clock,
+    clients: Vec<K>,
+    mix_cfg: &WorkloadMix,
+    deadline_nanos: u64,
     metrics: &StoreMetrics,
     mut during: impl FnMut(),
 ) -> DriveOutcome<K> {
@@ -282,15 +311,15 @@ pub fn drive_clients<K: Kv + Send>(
                 let metrics = &*metrics;
                 scope.spawn(move || {
                     let mut error = None;
-                    'work: while Instant::now() < deadline {
+                    'work: while clock.now_nanos() < deadline_nanos {
                         if batch > 1 {
                             let ops: Vec<KvOp> = (0..batch)
                                 .map(|_| random_op(&mut rng, keyspace, read_pct))
                                 .collect();
-                            let start = Instant::now();
+                            let start = clock.now_nanos();
                             match client.batch(&ops) {
                                 Ok(_) => metrics.batches.record_many(
-                                    start.elapsed().as_nanos() as u64,
+                                    clock.now_nanos().saturating_sub(start),
                                     ops.len() as u64,
                                 ),
                                 Err(e) => {
@@ -300,14 +329,14 @@ pub fn drive_clients<K: Kv + Send>(
                             }
                         } else {
                             let op = random_op(&mut rng, keyspace, read_pct);
-                            let start = Instant::now();
+                            let start = clock.now_nanos();
                             let (result, m) = match op {
                                 KvOp::Get(k) => (client.get(k), &metrics.reads),
                                 KvOp::Put(k, v) => (client.put(k, v), &metrics.writes),
                                 KvOp::Del(k) => (client.del(k), &metrics.deletes),
                             };
                             match result {
-                                Ok(_) => m.record(start.elapsed().as_nanos() as u64),
+                                Ok(_) => m.record(clock.now_nanos().saturating_sub(start)),
                                 Err(e) => {
                                     error = Some(e);
                                     break 'work;
@@ -319,7 +348,7 @@ pub fn drive_clients<K: Kv + Send>(
                 })
             })
             .collect();
-        while Instant::now() < deadline {
+        while clock.now_nanos() < deadline_nanos {
             during();
             std::thread::sleep(Duration::from_millis(20));
         }
@@ -414,6 +443,7 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             backend: config.backend.label(),
             checkpoint_interval: config.checkpoint_interval,
             combining: config.combining,
+            seed: config.seed,
         },
         metrics: snapshot,
         consistency,
@@ -427,6 +457,57 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn manual_clock_controls_drive_deadline_and_stamps() {
+        let store = Arc::new(Store::new(
+            StoreConfig::builder().shards(2).build().unwrap(),
+        ));
+        let metrics = StoreMetrics::default();
+        let clock = ManualClock::new();
+        let mix_cfg = WorkloadMix {
+            read_pct: 50,
+            keyspace: 64,
+            seed: 7,
+            batch: 1,
+        };
+        let clients: Vec<StoreClient> = (0..2).map(|_| store.client()).collect();
+        // Advance the clock only after the workers have demonstrably run
+        // ops, so the loop provably ended because *we* moved time.
+        let outcome = drive_clients_with_clock(&clock, clients, &mix_cfg, 1_000, &metrics, || {
+            if metrics.reads.count() + metrics.writes.count() + metrics.deletes.count() > 100 {
+                clock.set(1_000);
+            }
+        });
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        assert!(
+            metrics.reads.count() + metrics.writes.count() + metrics.deletes.count() > 100,
+            "workers never ran"
+        );
+        // Latency stamps went through the manual clock: no stamp can
+        // exceed the 1 000 simulated nanoseconds the whole run spanned
+        // (an op in flight across the jump sees exactly that), and the
+        // typical op — clock motionless — records zero. The histogram
+        // reports log₂-bucket upper bounds: 0 ns ⇒ 2, ≤1 000 ns ⇒ 1 024.
+        assert!(metrics.reads.latency().quantile(1.0) <= 1_024);
+        assert!(metrics.writes.latency().quantile(1.0) <= 1_024);
+        assert!(metrics.reads.latency().quantile(0.5) <= 2);
+    }
+
+    #[test]
+    fn soak_report_json_echoes_seed() {
+        let report = run_soak(&SoakConfig {
+            threads: 1,
+            shards: 2,
+            secs: 0.05,
+            seed: 0xDEAD_BEEF,
+            ..SoakConfig::default()
+        });
+        assert_eq!(report.config.seed, 0xDEAD_BEEF);
+        let json = report.to_json().render();
+        assert!(json.contains("\"seed\""), "{json}");
+    }
 
     #[test]
     fn short_soak_on_robust_backend_is_consistent() {
