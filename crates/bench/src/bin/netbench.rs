@@ -45,8 +45,8 @@ use ff_net::client::response_error;
 use ff_net::wire::{Request, Response};
 use ff_net::{NetClient, NetServer, ServerConfig};
 use ff_store::{
-    drive_clients, Backend, KvOp, MetricsSnapshot, Store, StoreConfig, StoreError, StoreMetrics,
-    WorkloadMix, KV_MAX,
+    drive_clients, Backend, DurabilityConfig, KvOp, MetricsSnapshot, Store, StoreConfig,
+    StoreError, StoreMetrics, WorkloadMix, KV_MAX,
 };
 use ff_workload::JsonValue;
 
@@ -108,6 +108,9 @@ struct BenchConfig {
     combining: bool,
     sweep: bool,
     skip_naive: bool,
+    data_dir: Option<String>,
+    group_commit: usize,
+    recover: bool,
     json_out: String,
 }
 
@@ -133,6 +136,9 @@ impl Default for BenchConfig {
             combining: false,
             sweep: false,
             skip_naive: false,
+            data_dir: None,
+            group_commit: DurabilityConfig::default().group_commit,
+            recover: false,
             json_out: "BENCH_net.json".to_string(),
         }
     }
@@ -148,6 +154,7 @@ struct ArmReport {
     divergence_errors: usize,
     verify_consistent: bool,
     diverged_shards: Vec<usize>,
+    shutdown_errors: Vec<String>,
 }
 
 impl ArmReport {
@@ -205,6 +212,15 @@ impl ArmReport {
                     self.diverged_shards
                         .iter()
                         .map(|&s| JsonValue::Number(s as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "shutdown_errors".into(),
+                JsonValue::Array(
+                    self.shutdown_errors
+                        .iter()
+                        .map(|e| JsonValue::String(e.clone()))
                         .collect(),
                 ),
             ),
@@ -471,25 +487,40 @@ fn run_arm(
     connections: usize,
     multiplexed: bool,
 ) -> ArmReport {
-    let store = Arc::new(Store::new(
-        StoreConfig::builder()
-            .shards(cfg.shards)
-            .backend(backend)
-            .fault_rate(if backend == Backend::Reliable {
-                0.0
-            } else {
-                fault_rate
-            })
-            .rotate_kinds(backend != Backend::Reliable)
-            .checkpoint_interval(cfg.checkpoint_interval)
-            .combining(cfg.combining)
-            .seed(seed)
-            .build()
-            .unwrap_or_else(|e| {
-                eprintln!("invalid configuration: {e}");
-                std::process::exit(2);
-            }),
-    ));
+    let mut builder = StoreConfig::builder()
+        .shards(cfg.shards)
+        .backend(backend)
+        .fault_rate(if backend == Backend::Reliable {
+            0.0
+        } else {
+            fault_rate
+        })
+        .rotate_kinds(backend != Backend::Reliable)
+        .checkpoint_interval(cfg.checkpoint_interval)
+        .combining(cfg.combining)
+        .seed(seed);
+    if let Some(base) = &cfg.data_dir {
+        // Arms run sequentially but must not replay each other's logs:
+        // every (backend, connections) arm gets its own directory, so a
+        // later --recover run finds exactly its own history.
+        builder = builder
+            .data_dir(format!("{base}/{}-c{}", backend.label(), connections))
+            .group_commit(cfg.group_commit);
+    }
+    let store_config = builder.build().unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    });
+    let store = if cfg.recover {
+        let (store, report) = Store::recover(store_config).unwrap_or_else(|e| {
+            eprintln!("RECOVERY REFUSED: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("{}", report.render());
+        Arc::new(store)
+    } else {
+        Arc::new(Store::new(store_config))
+    };
     let server = NetServer::start(
         Arc::clone(&store),
         "127.0.0.1:0",
@@ -545,12 +576,16 @@ fn run_arm(
     }
     drop(driven_clients);
     let mut report = server.shutdown();
+    for e in &report.shutdown_errors {
+        eprintln!("shutdown error: {e}");
+    }
     let verify = store.verify(&mut report.clients);
     ArmReport {
         backend,
         snapshot: metrics
             .snapshot(elapsed, store.shard_faults())
-            .with_combining(store.combine_snapshot()),
+            .with_combining(store.combine_snapshot())
+            .with_durability(store.durability_snapshot()),
         ops_served: report.ops_served,
         connections_requested: connections,
         connections_achieved: achieved,
@@ -558,6 +593,11 @@ fn run_arm(
         divergence_errors,
         verify_consistent: verify.all_consistent(),
         diverged_shards: verify.diverged_shards(),
+        shutdown_errors: report
+            .shutdown_errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect(),
     }
 }
 
@@ -567,7 +607,8 @@ fn usage() -> ! {
          \x20              [--read-pct P] [--keyspace N] [--fault-rate R]\n\
          \x20              [--checkpoint-interval N] [--seed N] [--loops N]\n\
          \x20              [--replica-budget N] [--drivers N] [--combining]\n\
-         \x20              [--sweep] [--skip-naive] [--json-out PATH]"
+         \x20              [--sweep] [--skip-naive] [--json-out PATH]\n\
+         \x20              [--data-dir DIR] [--group-commit N] [--recover]"
     );
     std::process::exit(2);
 }
@@ -620,6 +661,11 @@ fn main() {
             "--combining" => cfg.combining = true,
             "--sweep" => cfg.sweep = true,
             "--skip-naive" => cfg.skip_naive = true,
+            "--data-dir" => cfg.data_dir = Some(value("--data-dir")),
+            "--group-commit" => {
+                cfg.group_commit = value("--group-commit").parse().unwrap_or_else(|_| usage())
+            }
+            "--recover" => cfg.recover = true,
             "--json-out" => cfg.json_out = value("--json-out"),
             "--help" | "-h" => usage(),
             other => {
@@ -658,7 +704,7 @@ fn main() {
     }
     let robust_ok = robust_arms
         .iter()
-        .all(|a| a.verify_consistent && a.client_errors.is_empty());
+        .all(|a| a.verify_consistent && a.client_errors.is_empty() && a.shutdown_errors.is_empty());
 
     // The witness arm: short bursts at a meaningful fault rate until
     // the naive backend is caught — the violation is existential, so

@@ -22,9 +22,9 @@ use std::time::Instant;
 /// All experiments: the workload registry (E1–E14) plus the store-level
 /// soak (E15, in `ff-store`), the network soaks (E16/E17, in `ff-net`),
 /// the flat-combining study (E18, in this crate's lib) and the
-/// deterministic whole-system simulation corpus (E19, in `ff-dst`) —
-/// they depend on `ff-workload`, so the registry itself cannot name
-/// them without a cycle.
+/// deterministic whole-system simulation corpus and its durability
+/// study (E19/E20, in `ff-dst`) — they depend on `ff-workload`, so the
+/// registry itself cannot name them without a cycle.
 fn full_registry() -> Vec<Box<dyn Experiment>> {
     let mut all = registry();
     all.push(Box::new(ff_store::E15StoreSoak));
@@ -32,6 +32,7 @@ fn full_registry() -> Vec<Box<dyn Experiment>> {
     all.push(Box::new(ff_net::E17ReactorSoak));
     all.push(Box::new(ff_bench::E18Combining));
     all.push(Box::new(ff_dst::E19Dst));
+    all.push(Box::new(ff_dst::E20Recovery));
     all
 }
 
@@ -56,6 +57,10 @@ fn find_any(id: &str) -> Option<Box<dyn Experiment>> {
         .or_else(|| {
             id.eq_ignore_ascii_case("e19")
                 .then(|| Box::new(ff_dst::E19Dst) as Box<dyn Experiment>)
+        })
+        .or_else(|| {
+            id.eq_ignore_ascii_case("e20")
+                .then(|| Box::new(ff_dst::E20Recovery) as Box<dyn Experiment>)
         })
 }
 

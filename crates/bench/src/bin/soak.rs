@@ -18,8 +18,15 @@
 //! document, and exits nonzero unless both arms verified consistent
 //! *and* the combined arm was at least as fast; CI's combining smoke
 //! is exactly this mode.
+//!
+//! `--data-dir DIR` turns on the per-shard write-ahead log; add
+//! `--recover` to rebuild the store from the WAL files already in the
+//! directory before soaking (CI kill-9s a durable soak and restarts it
+//! exactly like this). `--durability-ab` runs in-memory then durable in
+//! one process and exits nonzero if the durable arm drops below 0.7×
+//! the in-memory throughput — the group-commit cost budget.
 
-use ff_store::{run_soak, Backend, SoakConfig, SoakReport};
+use ff_store::{try_run_soak, Backend, DurabilityConfig, SoakConfig, SoakReport};
 use ff_workload::JsonValue;
 
 fn usage() -> ! {
@@ -27,7 +34,9 @@ fn usage() -> ! {
         "usage: soak [--threads N] [--shards N] [--secs S] [--fault-rate R]\n\
          \x20           [--backend reliable|robust|naive] [--read-pct P]\n\
          \x20           [--keyspace N] [--checkpoint-interval N] [--seed N]\n\
-         \x20           [--combining] [--ab] [--json-out PATH]"
+         \x20           [--combining] [--ab] [--json-out PATH]\n\
+         \x20           [--data-dir DIR] [--group-commit N] [--recover]\n\
+         \x20           [--durability-ab]"
     );
     std::process::exit(2);
 }
@@ -45,6 +54,7 @@ fn main() {
     let mut config = SoakConfig::default();
     let mut json_out = "BENCH_store.json".to_string();
     let mut ab = false;
+    let mut durability_ab = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
@@ -87,6 +97,15 @@ fn main() {
             "--seed" => config.seed = parse_seed(&value("--seed")).unwrap_or_else(|| usage()),
             "--combining" => config.combining = true,
             "--ab" => ab = true,
+            "--data-dir" => {
+                config.durability.data_dir = Some(value("--data-dir").into());
+            }
+            "--group-commit" => {
+                config.durability.group_commit =
+                    value("--group-commit").parse().unwrap_or_else(|_| usage())
+            }
+            "--recover" => config.recover = true,
+            "--durability-ab" => durability_ab = true,
             "--json-out" => json_out = value("--json-out"),
             "--help" | "-h" => usage(),
             other => {
@@ -96,6 +115,22 @@ fn main() {
         }
     }
 
+    if config.recover && !config.durability.enabled() {
+        eprintln!("--recover needs --data-dir: there is nothing to recover from");
+        usage();
+    }
+    if durability_ab {
+        if ab {
+            eprintln!("--ab and --durability-ab are separate modes; pick one");
+            usage();
+        }
+        if !config.durability.enabled() {
+            eprintln!("--durability-ab needs --data-dir for its durable arm");
+            usage();
+        }
+        run_durability_ab(config, &json_out);
+        return;
+    }
     if ab {
         run_ab(config, &json_out);
         return;
@@ -108,15 +143,24 @@ fn main() {
 
 fn soak_arm(config: &SoakConfig) -> SoakReport {
     eprintln!(
-        "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {}, combining {} …",
+        "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {}, combining {}, durable {}{} …",
         config.threads,
         config.shards,
         config.secs,
         config.backend.label(),
         config.fault_rate,
         config.combining,
+        config.durability.enabled(),
+        if config.recover { " (recovering)" } else { "" },
     );
-    let report = run_soak(config);
+    // A recovery refusal — replay divergence, torn config, I/O failure —
+    // is this binary's exit-1 path: the CI smoke asserts a durable
+    // restart either replays cleanly or fails loudly, never serves
+    // guessed data.
+    let report = try_run_soak(config).unwrap_or_else(|e| {
+        eprintln!("SOAK REFUSED: {e}");
+        std::process::exit(1);
+    });
     println!("{}", report.render());
     report
 }
@@ -150,6 +194,51 @@ fn run_ab(mut config: SoakConfig, json_out: &str) {
     check_consistent(&combined);
     if with < base {
         eprintln!("REGRESSION: combined arm slower than uncombined (×{speedup:.2})");
+        std::process::exit(1);
+    }
+}
+
+/// The durability cost budget: same configuration, purely in-memory
+/// then with the WAL on, in one process. Fails unless both arms verify
+/// consistent and the durable arm kept at least [`MIN_DURABLE_RATIO`]
+/// of the in-memory throughput.
+const MIN_DURABLE_RATIO: f64 = 0.7;
+
+fn run_durability_ab(mut config: SoakConfig, json_out: &str) {
+    let durability = config.durability.clone();
+    config.durability = DurabilityConfig::default();
+    config.recover = false;
+    let memory = soak_arm(&config);
+    config.durability = durability;
+    let durable = soak_arm(&config);
+
+    let base = memory.metrics.total_ops_per_sec();
+    let with = durable.metrics.total_ops_per_sec();
+    let ratio = if base > 0.0 { with / base } else { 0.0 };
+    println!(
+        "\nA/B: in-memory {base:.0} ops/sec, durable {with:.0} ops/sec (×{ratio:.2}, budget ≥{MIN_DURABLE_RATIO})"
+    );
+
+    write_json(
+        json_out,
+        JsonValue::Object(vec![
+            ("mode".into(), JsonValue::String("durability-ab".into())),
+            ("memory".into(), memory.to_json()),
+            ("durable".into(), durable.to_json()),
+            ("durable_ratio".into(), JsonValue::Number(ratio)),
+            (
+                "min_durable_ratio".into(),
+                JsonValue::Number(MIN_DURABLE_RATIO),
+            ),
+        ]),
+    );
+
+    check_consistent(&memory);
+    check_consistent(&durable);
+    if ratio < MIN_DURABLE_RATIO {
+        eprintln!(
+            "REGRESSION: durable arm below the {MIN_DURABLE_RATIO}× throughput budget (×{ratio:.2})"
+        );
         std::process::exit(1);
     }
 }

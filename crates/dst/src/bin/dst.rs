@@ -30,7 +30,7 @@ fn usage() -> ! {
          \x20 corpus   [--seed N] [--threads N]\n\
          \x20 minimize --scenario S --arm A [--seed N] --out PATH\n\
          \x20 replay   --golden PATH [--threads N]\n\
-         scenarios: partition-ramp kill-checkpoint restart-drain kill-combiner"
+         scenarios: partition-ramp kill-checkpoint restart-drain kill-combiner kill-recover"
     );
     std::process::exit(2);
 }
@@ -150,11 +150,13 @@ fn cmd_corpus(opts: Opts) -> i32 {
 }
 
 /// The reproduction predicate a golden trace pins down: for catch-me
-/// arms (`naive`, `nolease`) the interesting event IS the flag/stall,
-/// so that is what minimization preserves; for well-behaved arms it is
+/// arms (`naive`, `nolease`) the interesting event IS the flag/stall
+/// (for a durable naive arm, specifically the refused recovery), so
+/// that is what minimization preserves; for well-behaved arms it is
 /// any contract violation.
 fn violation_of(r: &RunReport) -> Option<&'static str> {
     match r.arm.as_str() {
+        "naive" if r.recovery_refused > 0 => Some("recovery-refused"),
         "naive" => r.flagged.then_some("flagged"),
         "nolease" => r
             .violations
@@ -168,6 +170,7 @@ fn violation_of(r: &RunReport) -> Option<&'static str> {
 fn reproduces(r: &RunReport, violation: &str) -> bool {
     match violation {
         "flagged" => r.flagged,
+        "recovery-refused" => r.recovery_refused > 0,
         "stall" => r.violations.iter().any(|v| v.starts_with("stall:")),
         _ => !arm_ok(r),
     }

@@ -1,0 +1,208 @@
+//! The simulated durable medium: bytes that survive a kill.
+//!
+//! A [`SimDisk`] implements [`WalMedia`] over plain in-memory byte
+//! vectors, one per file name, and belongs to a *machine*, not a
+//! process — killing the process that writes to it leaves the bytes in
+//! place, which is exactly what makes `Store::recover_with_media` on
+//! the respawned incarnation meaningful.
+//!
+//! Two watermarks per file model the storage stack honestly:
+//!
+//! * `synced` — everything at or below it has had its fsync *complete*;
+//! * `prev_synced` — the watermark before the most recent sync, i.e.
+//!   the start of the batch whose fsync finished last.
+//!
+//! A plain process kill (SIGKILL) loses nothing here: appended bytes
+//! live in the kernel's page cache, which outlives the process. What a
+//! kill *does* lose is the store's own in-memory group-commit buffer —
+//! and that happens for free when the killed server's `Store` is
+//! dropped. Power loss is the interesting case: [`SimDisk::crash`]
+//! models the machine dying *while the last group commit's fsync was in
+//! flight* — the batch between `prev_synced` and the end of the file
+//! survives only as a seeded torn prefix, shorter than one WAL frame
+//! header, so recovery must detect the tear and land exactly on the
+//! previous fsynced prefix.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use ff_store::{WalIoError, WalMedia};
+
+use crate::rng::SimRng;
+
+/// One simulated file.
+#[derive(Default)]
+struct FileState {
+    bytes: Vec<u8>,
+    /// Bytes whose fsync has completed.
+    synced: usize,
+    /// The `synced` watermark before the most recent sync — the start
+    /// of the last fsync batch, where a mid-fsync power loss tears.
+    prev_synced: usize,
+}
+
+/// What a [`SimDisk::crash`] did to one file.
+#[derive(Clone, Debug)]
+pub struct TornFile {
+    /// File name.
+    pub name: String,
+    /// Bytes of the in-flight batch that survived (a torn prefix).
+    pub kept: usize,
+    /// Size of the batch whose fsync was in flight.
+    pub in_flight: usize,
+}
+
+/// A machine's durable bytes (see module docs).
+#[derive(Default)]
+pub struct SimDisk {
+    files: Mutex<BTreeMap<String, FileState>>,
+}
+
+impl SimDisk {
+    /// An empty disk.
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Simulate power loss mid-fsync: for every file, the batch between
+    /// the previous sync watermark and the end of the file survives
+    /// only as a seeded torn prefix of at most 12 bytes — strictly
+    /// shorter than a WAL frame header, so no complete frame can
+    /// survive the tear and recovery must truncate back to the last
+    /// completed fsync. Files with no batch in flight are untouched.
+    pub fn crash(&self, rng: &mut SimRng) -> Vec<TornFile> {
+        let mut files = self.files.lock().expect("disk lock");
+        let mut torn = Vec::new();
+        for (name, file) in files.iter_mut() {
+            let in_flight = file.bytes.len() - file.prev_synced;
+            if in_flight == 0 {
+                continue;
+            }
+            // A strict partial: at least 1 byte short of the batch and
+            // shorter than the 12-byte frame header.
+            let kept = if in_flight >= 2 {
+                1 + rng.next_range((in_flight - 1).min(11) as u64) as usize
+            } else {
+                0
+            };
+            file.bytes.truncate(file.prev_synced + kept);
+            file.synced = file.prev_synced;
+            torn.push(TornFile {
+                name: name.clone(),
+                kept,
+                in_flight,
+            });
+        }
+        torn
+    }
+
+    /// `(total, synced)` byte counts of `name`, if it exists.
+    pub fn len_of(&self, name: &str) -> Option<(usize, usize)> {
+        let files = self.files.lock().expect("disk lock");
+        files.get(name).map(|f| (f.bytes.len(), f.synced))
+    }
+}
+
+impl WalMedia for SimDisk {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, WalIoError> {
+        let files = self.files.lock().expect("disk lock");
+        Ok(files.get(name).map(|f| f.bytes.clone()))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), WalIoError> {
+        let mut files = self.files.lock().expect("disk lock");
+        files
+            .entry(name.to_string())
+            .or_default()
+            .bytes
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<(), WalIoError> {
+        let mut files = self.files.lock().expect("disk lock");
+        let file = files.entry(name.to_string()).or_default();
+        file.prev_synced = file.synced;
+        file.synced = file.bytes.len();
+        Ok(())
+    }
+
+    fn replace(&self, name: &str, contents: &[u8]) -> Result<(), WalIoError> {
+        // Atomic by contract (tmp + rename + dir fsync): after a crash,
+        // old or new, never a mix — so both watermarks land at the end.
+        let mut files = self.files.lock().expect("disk lock");
+        let file = files.entry(name.to_string()).or_default();
+        file.bytes = contents.to_vec();
+        file.synced = contents.len();
+        file.prev_synced = contents.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_sync_moves_both_watermarks() {
+        let disk = SimDisk::new();
+        disk.append("f", &[1, 2, 3]).unwrap();
+        assert_eq!(disk.len_of("f"), Some((3, 0)));
+        disk.sync("f").unwrap();
+        assert_eq!(disk.len_of("f"), Some((3, 3)));
+        disk.append("f", &[4, 5]).unwrap();
+        disk.sync("f").unwrap();
+        assert_eq!(disk.read("f").unwrap().unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn crash_tears_only_the_last_fsync_batch() {
+        let disk = SimDisk::new();
+        disk.append("f", &[0u8; 100]).unwrap();
+        disk.sync("f").unwrap();
+        disk.append("f", &[1u8; 40]).unwrap();
+        disk.sync("f").unwrap();
+        let mut rng = SimRng::new(7);
+        let torn = disk.crash(&mut rng);
+        assert_eq!(torn.len(), 1);
+        assert_eq!(torn[0].in_flight, 40);
+        assert!(torn[0].kept >= 1 && torn[0].kept <= 12);
+        // The first batch's 100 bytes are fsync-complete and intact.
+        let (len, synced) = disk.len_of("f").unwrap();
+        assert_eq!(synced, 100);
+        assert_eq!(len, 100 + torn[0].kept);
+    }
+
+    #[test]
+    fn crash_with_nothing_in_flight_is_a_no_op() {
+        let disk = SimDisk::new();
+        disk.replace("f", &[9u8; 64]).unwrap();
+        let mut rng = SimRng::new(7);
+        assert!(disk.crash(&mut rng).is_empty());
+        assert_eq!(disk.len_of("f"), Some((64, 64)));
+    }
+
+    #[test]
+    fn crash_is_deterministic_per_seed() {
+        let build = || {
+            let d = SimDisk::new();
+            d.append("f", &[0u8; 50]).unwrap();
+            d.sync("f").unwrap();
+            d.append("f", &[1u8; 30]).unwrap();
+            d.sync("f").unwrap();
+            d
+        };
+        let (a, b) = (build(), build());
+        let ka: Vec<usize> = a
+            .crash(&mut SimRng::new(3))
+            .iter()
+            .map(|t| t.kept)
+            .collect();
+        let kb: Vec<usize> = b
+            .crash(&mut SimRng::new(3))
+            .iter()
+            .map(|t| t.kept)
+            .collect();
+        assert_eq!(ka, kb);
+    }
+}

@@ -25,9 +25,10 @@
 //! | [`clock`] | [`SimClock`]: advance-only logical time |
 //! | [`rng`] | [`SimRng`]: splitmix64 PRNG with labeled forks |
 //! | [`topology`] | machines and processes — failure and partition domains |
+//! | [`disk`] | [`SimDisk`]: per-machine durable bytes that survive kills, with torn power-fail semantics |
 //! | [`net`] | [`SimNet`]: the lossy fabric, fault decisions, record/replay |
-//! | [`process`] | server / client / worker / combiner state machines |
-//! | [`runner`] | [`Sim`]: the event heap, kills, respawns, the run loop |
+//! | [`process`] | server / durable-server / client / worker / combiner state machines |
+//! | [`runner`] | [`Sim`]: the event heap, kills, power-fails, respawns, the run loop |
 //! | [`scenario`] | the seeded scenario corpus and per-arm contracts |
 //! | [`trace`] | fault scripts, trace fingerprints, ddmin minimization, golden traces |
 //!
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod disk;
 pub mod net;
 pub mod process;
 pub mod rng;
@@ -53,7 +55,8 @@ pub mod experiment;
 pub mod topology;
 
 pub use clock::SimClock;
-pub use experiment::E19Dst;
+pub use disk::SimDisk;
+pub use experiment::{E19Dst, E20Recovery};
 pub use net::{ConnId, FaultRates, NetConfig, Payload, ScriptMode, SimNet};
 pub use process::{ClientCfg, Proc, RunFlags};
 pub use rng::SimRng;

@@ -69,12 +69,19 @@ pub struct RunFlags {
     pub client_stream_resets: u64,
     /// Sessions the server closed after a malformed request stream.
     pub malformed_closes: u64,
+    /// Durable-server respawns whose WAL recovery was refused (replay
+    /// divergence or I/O failure) — the respawn stays down.
+    pub recovery_refused: u64,
 }
 
 /// Any simulated process.
 pub enum Proc {
     /// The store's network front-end.
     Server(ServerProc),
+    /// A server owning its *own* durable store over a machine's
+    /// [`SimDisk`](crate::disk::SimDisk) — killing it drops the store,
+    /// and the respawn recovers from the surviving bytes.
+    DurableServer(DurableServerProc),
     /// A wire-protocol transaction generator.
     Client(ClientProc),
     /// A split-phase combining publisher.
@@ -88,9 +95,24 @@ impl Proc {
     pub fn id(&self) -> ProcId {
         match self {
             Proc::Server(p) => p.id,
+            Proc::DurableServer(p) => p.id,
             Proc::Client(p) => p.id,
             Proc::Worker(p) => p.id,
             Proc::Combiner(p) => p.id,
+        }
+    }
+
+    /// The process just got killed: release anything that must not
+    /// survive a crash. For a durable server that is its whole store —
+    /// sessions, the combining layer, and crucially the WAL's in-memory
+    /// group-commit buffer all vanish; only the [`SimDisk`]'s bytes
+    /// remain for the respawn to recover from.
+    ///
+    /// [`SimDisk`]: crate::disk::SimDisk
+    pub fn crashed(&mut self) {
+        if let Proc::DurableServer(p) = self {
+            p.server = None;
+            p.store = None;
         }
     }
 }
@@ -179,6 +201,51 @@ impl ServerProc {
             if let Some(d) = net.close(now, ConnId(cid), self.id) {
                 outbox.deliveries.push(d);
             }
+        }
+    }
+}
+
+// ------------------------------------------------------- durable server
+
+/// A server that owns its own durable [`Store`] recovered from a
+/// machine's [`SimDisk`](crate::disk::SimDisk). The protocol face is a
+/// plain [`ServerProc`] (same sessions, same merged-run execution); the
+/// difference is ownership — the store dies with the process, and the
+/// next incarnation rebuilds it from the disk via
+/// [`Store::recover_with_media`](ff_store::Store::recover_with_media).
+pub struct DurableServerProc {
+    /// Own process id.
+    pub id: ProcId,
+    /// The protocol face; `None` after a crash (the corpse never acts).
+    pub server: Option<ServerProc>,
+    /// The recovered store this incarnation owns; `None` after a crash.
+    pub store: Option<std::sync::Arc<ff_store::Store>>,
+    /// What recovery found when this incarnation booted (zeros on the
+    /// first boot over an empty disk).
+    pub recovery: ff_store::RecoveryReport,
+}
+
+impl DurableServerProc {
+    /// Delegate to the inner protocol face (no-op on a corpse).
+    pub fn on_deliver(&mut self, now: u64, conn: ConnId, payload: Payload, outbox: &mut Outbox) {
+        if let Some(s) = &mut self.server {
+            s.on_deliver(now, conn, payload, outbox);
+        }
+    }
+
+    /// Delegate to the inner protocol face (no-op on a corpse).
+    #[allow(clippy::too_many_arguments)]
+    pub fn wake(
+        &mut self,
+        now: u64,
+        net: &mut SimNet,
+        topo: &Topology,
+        trace: &mut Trace,
+        flags: &mut RunFlags,
+        outbox: &mut Outbox,
+    ) {
+        if let Some(s) = &mut self.server {
+            s.wake(now, net, topo, trace, flags, outbox);
         }
     }
 }

@@ -24,14 +24,16 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
-use ff_store::Store;
+use ff_store::{Store, StoreConfig};
 
 use crate::clock::SimClock;
+use crate::disk::SimDisk;
 use crate::net::{ConnId, FaultRates, NetConfig, Payload, ScriptMode, SimNet};
 use crate::process::{
-    ClientCfg, ClientProc, CombinerProc, Outbox, Proc, RunFlags, ServerProc, WorkerProc,
-    HANDLE_DELAY,
+    ClientCfg, ClientProc, CombinerProc, DurableServerProc, Outbox, Proc, RunFlags, ServerProc,
+    WorkerProc, HANDLE_DELAY,
 };
 use crate::rng::{splitmix64, SimRng};
 use crate::topology::{MachineId, ProcId, Topology};
@@ -46,6 +48,22 @@ pub enum ProcSpec {
         machine: MachineId,
         /// Role name clients connect to.
         role: String,
+    },
+    /// A server owning its own durable store, recovered from the host
+    /// machine's [`SimDisk`] at every (re)spawn. Killing it drops the
+    /// store; the machine's disk bytes survive for the next
+    /// incarnation. If recovery is refused (replay divergence under a
+    /// faulty backend), the respawn stays down and the refusal is
+    /// flagged — never served as data.
+    DurableServer {
+        /// Host machine — also names the surviving disk.
+        machine: MachineId,
+        /// Role name clients connect to.
+        role: String,
+        /// The store configuration every incarnation recovers under
+        /// (durability knobs apply to the simulated disk; no data dir
+        /// is needed).
+        config: StoreConfig,
     },
     /// A wire-protocol transaction generator.
     Client {
@@ -90,6 +108,7 @@ impl ProcSpec {
     fn role(&self) -> &str {
         match self {
             ProcSpec::Server { role, .. }
+            | ProcSpec::DurableServer { role, .. }
             | ProcSpec::Client { role, .. }
             | ProcSpec::Worker { role, .. }
             | ProcSpec::Combiner { role, .. } => role,
@@ -113,6 +132,11 @@ pub enum EvKind {
     },
     /// Kill whichever process currently holds `role`.
     Kill(String),
+    /// Power-fail the machine hosting `role`: kill the process *and*
+    /// apply [`SimDisk::crash`] semantics to the machine's disk — the
+    /// group-commit batch whose fsync was in flight survives only as a
+    /// seeded torn prefix.
+    PowerFail(String),
     /// (Re)spawn a process.
     Spawn(ProcSpec),
     /// Change the fabric's fault probabilities.
@@ -189,6 +213,15 @@ pub struct RunReport {
     pub violations: Vec<String>,
     /// Total transactions/units completed across all workload procs.
     pub completed: u64,
+    /// Durable-server respawns whose WAL recovery was refused (replay
+    /// divergence under a faulty backend) — always flagged.
+    pub recovery_refused: u64,
+    /// Checkpoint snapshots loaded at the live durable server's boot.
+    pub recovered_checkpoints: u64,
+    /// Slot records replayed at the live durable server's boot.
+    pub recovered_records: u64,
+    /// Shards whose WAL ended in a torn/corrupt tail at that boot.
+    pub recovered_torn: u64,
     /// The fault script (recorded, or the one replayed).
     pub script: FaultScript,
 }
@@ -207,6 +240,9 @@ pub struct Sim {
     pub store: Store,
     /// Cross-cutting observations.
     pub flags: RunFlags,
+    /// Per-machine durable bytes — they survive kills by construction
+    /// (the map belongs to the world, not to any process).
+    disks: BTreeMap<MachineId, Arc<SimDisk>>,
     procs: Vec<Option<Proc>>,
     graveyard: Vec<Proc>,
     roles: BTreeMap<String, ProcId>,
@@ -217,6 +253,9 @@ pub struct Sim {
     event_cap: u64,
     horizon: u64,
     workload_rng: SimRng,
+    /// Seeds the torn-write cut on a power-fail (own fork: crash draws
+    /// never shift fault, jitter or workload streams).
+    crash_rng: SimRng,
 }
 
 impl Sim {
@@ -235,6 +274,7 @@ impl Sim {
         let fault = root.fork(1);
         let jitter = root.fork(2);
         let workload = root.fork(3);
+        let crash = root.fork(4);
         Sim {
             clock: SimClock::new(),
             topo: Topology::new(),
@@ -242,6 +282,7 @@ impl Sim {
             trace: Trace::new(),
             store,
             flags: RunFlags::default(),
+            disks: BTreeMap::new(),
             procs: Vec::new(),
             graveyard: Vec::new(),
             roles: BTreeMap::new(),
@@ -252,7 +293,14 @@ impl Sim {
             event_cap: 4_000_000,
             horizon,
             workload_rng: workload,
+            crash_rng: crash,
         }
+    }
+
+    /// The durable disk of `machine`, created empty on first use. The
+    /// disk outlives every process on the machine.
+    pub fn disk(&mut self, machine: MachineId) -> Arc<SimDisk> {
+        Arc::clone(self.disks.entry(machine).or_default())
     }
 
     /// Schedule `kind` at absolute simulated time `at`.
@@ -291,6 +339,20 @@ impl Sim {
         let label = format!("{role}#{inc}");
         let rng_label = splitmix64(fnv(&role)).wrapping_add(*inc);
         let rng = self.workload_rng.fork(rng_label);
+        if let ProcSpec::DurableServer {
+            machine,
+            role: _,
+            mut config,
+        } = spec
+        {
+            // A restarted process does not re-experience the previous
+            // incarnation's fault randomness: key the store's fault
+            // streams on (role, incarnation). This is what gives the
+            // recovery digest cross-check teeth — a naive backend's
+            // replay diverges instead of faithfully re-corrupting.
+            config.seed = splitmix64(config.seed ^ rng_label);
+            return self.spawn_durable(now, machine, role, label, config);
+        }
         let (machine, proc_ctor): (MachineId, Box<dyn FnOnce(ProcId, SimRng) -> Proc>) = match spec
         {
             ProcSpec::Server { machine, role: _ } => {
@@ -357,6 +419,7 @@ impl Sim {
                     }),
                 )
             }
+            ProcSpec::DurableServer { .. } => unreachable!("handled above"),
         };
         let pid = self.topo.process(machine, label.clone());
         debug_assert_eq!(pid.0 as usize, self.procs.len());
@@ -367,6 +430,67 @@ impl Sim {
         pid
     }
 
+    /// (Re)boot a durable server: recover its store from the machine's
+    /// surviving disk bytes. First boot over an empty disk recovers to
+    /// a fresh store (zero report). A refused recovery — replay
+    /// divergence under a faulty backend, the discriminator the
+    /// kill-recover scenario pins — leaves the role down and is
+    /// counted in [`RunFlags::recovery_refused`]: the store never
+    /// serves state it cannot vouch for.
+    fn spawn_durable(
+        &mut self,
+        now: u64,
+        machine: MachineId,
+        role: String,
+        label: String,
+        config: StoreConfig,
+    ) -> ProcId {
+        let disk = self.disk(machine);
+        match Store::recover_with_media(config, disk) {
+            Ok((store, recovery)) => {
+                self.trace.log(
+                    now,
+                    format!(
+                        "recover {label}: {} checkpoint(s), {} record(s) replayed, {} torn tail(s)",
+                        recovery.checkpoints_loaded(),
+                        recovery.records_replayed(),
+                        recovery.torn_tails()
+                    ),
+                );
+                let store = Arc::new(store);
+                let client = store.client();
+                let shards = store.shards() as u32;
+                let pid = self.topo.process(machine, label.clone());
+                debug_assert_eq!(pid.0 as usize, self.procs.len());
+                self.procs.push(Some(Proc::DurableServer(DurableServerProc {
+                    id: pid,
+                    server: Some(ServerProc {
+                        id: pid,
+                        client,
+                        sessions: BTreeMap::new(),
+                        shards,
+                    }),
+                    store: Some(store),
+                    recovery,
+                })));
+                self.roles.insert(role, pid);
+                self.trace.log(now, format!("spawn {label} as {pid}"));
+                self.at(now + HANDLE_DELAY, EvKind::Wake(pid));
+                pid
+            }
+            Err(e) => {
+                self.flags.recovery_refused += 1;
+                self.trace.log(now, format!("recover {label} REFUSED: {e}"));
+                // The pid stays registered (dense ids) but the slot is
+                // empty and the role vacant: clients keep retrying.
+                let pid = self.topo.process(machine, label);
+                debug_assert_eq!(pid.0 as usize, self.procs.len());
+                self.procs.push(None);
+                pid
+            }
+        }
+    }
+
     fn kill(&mut self, role: &str) {
         let now = self.clock.now();
         let Some(pid) = self.roles.remove(role) else {
@@ -374,9 +498,14 @@ impl Sim {
                 .log(now, format!("kill {role}: no such role (already dead)"));
             return;
         };
-        let corpse = self.procs[pid.0 as usize]
+        let mut corpse = self.procs[pid.0 as usize]
             .take()
             .expect("role table pointed at an empty slot");
+        // Volatile state dies with the process — for a durable server
+        // that drops its store (and the WAL's unsynced group-commit
+        // buffer with it); the machine's disk bytes survive in
+        // `self.disks`.
+        corpse.crashed();
         self.trace.log(
             now,
             format!("kill {role} ({pid} on {})", self.topo.machine_of(pid)),
@@ -394,6 +523,27 @@ impl Sim {
             }
         }
         self.graveyard.push(corpse);
+    }
+
+    /// Power-fail the machine hosting `role`: the kill plus
+    /// [`SimDisk::crash`] on its disk — the last in-flight group
+    /// commit survives only as a seeded torn prefix.
+    fn power_fail(&mut self, role: &str) {
+        let machine = self.roles.get(role).map(|&pid| self.topo.machine_of(pid));
+        self.kill(role);
+        let now = self.clock.now();
+        let Some(disk) = machine.and_then(|m| self.disks.get(&m)).map(Arc::clone) else {
+            return; // no durable state on that machine: plain kill
+        };
+        for torn in disk.crash(&mut self.crash_rng) {
+            self.trace.log(
+                now,
+                format!(
+                    "power-fail {role}: {} torn ({} of {} in-flight bytes survive)",
+                    torn.name, torn.kept, torn.in_flight
+                ),
+            );
+        }
     }
 
     fn drain(&mut self, outbox: Outbox) {
@@ -427,6 +577,14 @@ impl Sim {
                 &mut self.flags,
                 &mut outbox,
             ),
+            Proc::DurableServer(p) => p.wake(
+                now,
+                &mut self.net,
+                &self.topo,
+                &mut self.trace,
+                &mut self.flags,
+                &mut outbox,
+            ),
             Proc::Client(p) => p.wake(
                 now,
                 &mut self.net,
@@ -452,6 +610,7 @@ impl Sim {
         let mut outbox = Outbox::default();
         match &mut proc {
             Proc::Server(p) => p.on_deliver(now, conn, payload, &mut outbox),
+            Proc::DurableServer(p) => p.on_deliver(now, conn, payload, &mut outbox),
             Proc::Client(p) => p.on_deliver(
                 now,
                 conn,
@@ -485,6 +644,7 @@ impl Sim {
                 EvKind::Wake(pid) => self.dispatch_wake(pid),
                 EvKind::Deliver { conn, to, payload } => self.dispatch_deliver(conn, to, payload),
                 EvKind::Kill(role) => self.kill(&role),
+                EvKind::PowerFail(role) => self.power_fail(&role),
                 EvKind::Spawn(spec) => {
                     self.spawn(spec);
                 }

@@ -33,8 +33,9 @@ pub const MS: u64 = 1_000_000;
 pub struct ScenarioDef {
     /// Registry name (`run_scenario` key).
     pub name: &'static str,
-    /// Its two arms: `(well-behaved, must-be-caught)`.
-    pub arms: [&'static str; 2],
+    /// Its arms, well-behaved first; `naive`/`nolease` arms must be
+    /// caught.
+    pub arms: &'static [&'static str],
     /// One-line description.
     pub about: &'static str,
 }
@@ -43,28 +44,35 @@ pub struct ScenarioDef {
 pub const CORPUS: &[ScenarioDef] = &[
     ScenarioDef {
         name: "partition-ramp",
-        arms: ["robust", "naive"],
+        arms: &["robust", "naive"],
         about: "bidirectional rack partition while the store fault rate ramps 0.1 -> 0.4",
     },
     ScenarioDef {
         name: "kill-checkpoint",
-        arms: ["robust", "naive"],
+        arms: &["robust", "naive"],
         about: "kill and restart the server while checkpoint truncation is hot",
     },
     ScenarioDef {
         name: "restart-drain",
-        arms: ["robust", "naive"],
+        arms: &["robust", "naive"],
         about: "kill a client with responses in flight on a slow, duplicating fabric",
     },
     ScenarioDef {
         name: "kill-combiner",
-        arms: ["lease", "nolease"],
+        arms: &["lease", "nolease"],
         about: "kill the combiner between claim and execute; lease must recover the parked ops",
+    },
+    ScenarioDef {
+        name: "kill-recover",
+        arms: &["robust", "torn", "naive"],
+        about: "kill a durable server mid-serve; the respawn must recover its store from the \
+                machine's surviving WAL bytes (torn: power loss tears the in-flight group commit; \
+                naive: recovery replay diverges and must be refused)",
     },
 ];
 
-/// Arms of `scenario`, well-behaved arm first.
-pub fn arms(scenario: &str) -> [&'static str; 2] {
+/// Arms of `scenario`, well-behaved arm(s) first.
+pub fn arms(scenario: &str) -> &'static [&'static str] {
     CORPUS
         .iter()
         .find(|d| d.name == scenario)
@@ -91,9 +99,28 @@ struct Floor {
 }
 
 fn finish(sim: &Sim, scenario: &str, arm: &str, seed: u64, floors: &[Floor]) -> RunReport {
-    let report = sim.store.verify(&mut []);
-    let consistent = report.all_consistent();
-    let shard_flag = report.per_shard.iter().any(|s| s.divergence_flag);
+    // Every store in the world must verify: the shared one plus any
+    // live durable server's recovered store.
+    let mut verify_reports = vec![sim.store.verify(&mut [])];
+    let mut recovered = (0u64, 0u64, 0u64);
+    let mut wal_failed = false;
+    for p in sim.all_procs() {
+        if let Proc::DurableServer(d) = p {
+            if let Some(store) = &d.store {
+                verify_reports.push(store.verify(&mut []));
+                wal_failed |= store.durability_error().is_some();
+                recovered = (
+                    d.recovery.checkpoints_loaded(),
+                    d.recovery.records_replayed(),
+                    d.recovery.torn_tails(),
+                );
+            }
+        }
+    }
+    let consistent = verify_reports.iter().all(|r| r.all_consistent());
+    let shard_flag = verify_reports
+        .iter()
+        .any(|r| r.per_shard.iter().any(|s| s.divergence_flag));
     let mut divergence_seen = 0u64;
     let mut completed = 0u64;
     for p in sim.all_procs() {
@@ -106,16 +133,30 @@ fn finish(sim: &Sim, scenario: &str, arm: &str, seed: u64, floors: &[Floor]) -> 
                 divergence_seen += w.divergence_seen;
                 completed += w.completed;
             }
-            Proc::Server(_) | Proc::Combiner(_) => {}
+            Proc::Server(_) | Proc::DurableServer(_) | Proc::Combiner(_) => {}
         }
     }
-    let flagged =
-        !consistent || shard_flag || sim.flags.server_divergence > 0 || divergence_seen > 0;
+    let flagged = !consistent
+        || shard_flag
+        || sim.flags.server_divergence > 0
+        || divergence_seen > 0
+        || sim.flags.recovery_refused > 0
+        || wal_failed;
     let mut violations = Vec::new();
     if !consistent {
+        let diverged: Vec<usize> = verify_reports
+            .iter()
+            .flat_map(|r| r.diverged_shards())
+            .collect();
+        violations.push(format!("verify-inconsistent shards={diverged:?}"));
+    }
+    if wal_failed {
+        violations.push("write-ahead log failed mid-serve".to_string());
+    }
+    if sim.flags.recovery_refused > 0 {
         violations.push(format!(
-            "verify-inconsistent shards={:?}",
-            report.diverged_shards()
+            "recovery refused {} time(s): WAL replay diverged, role left down",
+            sim.flags.recovery_refused
         ));
     }
     for floor in floors {
@@ -147,6 +188,10 @@ fn finish(sim: &Sim, scenario: &str, arm: &str, seed: u64, floors: &[Floor]) -> 
         flagged,
         violations,
         completed,
+        recovery_refused: sim.flags.recovery_refused,
+        recovered_checkpoints: recovered.0,
+        recovered_records: recovered.1,
+        recovered_torn: recovered.2,
         script: match sim.net.recorded().is_empty() {
             true => FaultScript::new(),
             false => sim.net.recorded().clone(),
@@ -459,6 +504,134 @@ fn kill_combiner(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
     )
 }
 
+fn kill_recover(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
+    let (backend, rate) = match arm {
+        // The durable store logs consensus-decided history; robust
+        // cells re-decide it faithfully on replay.
+        "robust" | "torn" => (Backend::Robust, 0.05),
+        // Naive cells under faults mutate re-ingested decisions, so
+        // recovery's digest cross-check must refuse the respawn.
+        "naive" => (Backend::Naive, 0.3),
+        other => panic!("unknown kill-recover arm {other:?}"),
+    };
+    // The durable server's own config: no data dir — the machine's
+    // SimDisk is the medium. Small group commit keeps fsync boundaries
+    // hot; rotate_cost 0 makes checkpoint rotation deterministic.
+    // Three shards so the kind rotation reaches *arbitrary* faults:
+    // overriding and silent cells cannot corrupt a single-proposer
+    // replay (a fresh cell at BOTTOM just accepts the sole proposal),
+    // so the naive arm's refused-recovery discriminator lives on the
+    // arbitrary-kind shard, where junk swapped into the cell trips the
+    // replay's double-decide read-back.
+    let config = StoreConfig::builder()
+        .shards(3)
+        .backend(backend)
+        .fault(FaultConfig {
+            rate,
+            ..FaultConfig::default()
+        })
+        .rotate_kinds(true)
+        .checkpoint_interval(16)
+        .combining(true)
+        .combiner_lease(true)
+        .reclaim_after(8)
+        .seed(seed)
+        .group_commit(4)
+        .rotate_cost(0)
+        .build()
+        .expect("kill-recover store config");
+    // The sim's shared store frames the world but carries no workload
+    // here — every transaction flows through the durable server's own.
+    let frame = Store::new(
+        StoreConfig::builder()
+            .shards(1)
+            .backend(Backend::Reliable)
+            .seed(seed)
+            .build()
+            .expect("kill-recover frame store config"),
+    );
+    let mut sim = Sim::new(frame, NetConfig::default(), seed, 300 * MS, mode);
+    let rack_a = sim.topo.machine("rack-a");
+    let rack_b = sim.topo.machine("rack-b");
+    sim.spawn(ProcSpec::DurableServer {
+        machine: rack_a,
+        role: "server".into(),
+        config: config.clone(),
+    });
+    for i in 0..3 {
+        sim.spawn(ProcSpec::Client {
+            machine: rack_b,
+            role: format!("client-{i}"),
+            server_role: "server".into(),
+            cfg: client_cfg(),
+        });
+    }
+    sim.at(
+        0,
+        EvKind::SetNetRates(FaultRates {
+            drop: 0.005,
+            duplicate: 0.005,
+            delay: 0.0,
+            reorder: 0.0,
+        }),
+    );
+    // The kill lands mid-serve with the WAL hot. The torn arm is a
+    // power failure: the in-flight group commit survives only as a
+    // torn prefix, which recovery must truncate — landing exactly on
+    // the last completed fsync. The respawn recovers from the disk.
+    let fault = if arm == "torn" {
+        EvKind::PowerFail("server".into())
+    } else {
+        EvKind::Kill("server".into())
+    };
+    sim.at(120 * MS, fault);
+    sim.at(
+        140 * MS,
+        EvKind::Spawn(ProcSpec::DurableServer {
+            machine: rack_a,
+            role: "server".into(),
+            config,
+        }),
+    );
+    sim.run();
+    let mut report = finish(
+        &sim,
+        "kill-recover",
+        arm,
+        seed,
+        &[
+            Floor {
+                role: "client-0",
+                min: 20,
+            },
+            Floor {
+                role: "client-1",
+                min: 20,
+            },
+            Floor {
+                role: "client-2",
+                min: 20,
+            },
+        ],
+    );
+    // Arm contracts beyond the generic ones: the respawn must actually
+    // have recovered state (an empty WAL at the kill would prove
+    // nothing), and the torn arm's tear must have been detected.
+    if matches!(arm, "robust" | "torn") {
+        if report.recovered_checkpoints + report.recovered_records == 0 {
+            report
+                .violations
+                .push("recovery replayed nothing (WAL empty at the kill)".to_string());
+        }
+        if arm == "torn" && report.recovered_torn == 0 {
+            report
+                .violations
+                .push("torn tail not detected by recovery".to_string());
+        }
+    }
+    report
+}
+
 /// Run one `(scenario, arm)` at `seed`. `mode` selects recording fresh
 /// fault decisions or replaying a (possibly minimized) script.
 pub fn run_scenario(name: &str, arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
@@ -467,19 +640,23 @@ pub fn run_scenario(name: &str, arm: &str, seed: u64, mode: ScriptMode) -> RunRe
         "kill-checkpoint" => kill_checkpoint(arm, seed, mode),
         "restart-drain" => restart_drain(arm, seed, mode),
         "kill-combiner" => kill_combiner(arm, seed, mode),
+        "kill-recover" => kill_recover(arm, seed, mode),
         other => panic!("unknown scenario {other:?}"),
     }
 }
 
 /// Did this arm behave as its contract demands?
 ///
-/// * Well-behaved arms (`robust`, `lease`): no violations and nothing
-///   flagged.
-/// * Must-be-caught arms (`naive`): divergence was flagged somewhere.
+/// * Well-behaved arms (`robust`, `lease`, `torn`): no violations and
+///   nothing flagged — for `torn` that includes the kill-recover
+///   scenario's extra checks (recovery replayed real state and
+///   detected the torn tail).
+/// * Must-be-caught arms (`naive`): divergence was flagged somewhere —
+///   in kill-recover, the refused recovery of the respawn.
 /// * `nolease`: the parked operations showed up as a stall.
 pub fn arm_ok(report: &RunReport) -> bool {
     match report.arm.as_str() {
-        "robust" | "lease" => report.violations.is_empty() && !report.flagged,
+        "robust" | "lease" | "torn" => report.violations.is_empty() && !report.flagged,
         "naive" => report.flagged,
         "nolease" => report.violations.iter().any(|v| v.starts_with("stall:")),
         _ => false,

@@ -126,6 +126,12 @@ pub enum ShutdownError {
         /// Which loop died.
         index: usize,
     },
+    /// The store's write-ahead log latched an I/O failure at some point
+    /// — what this server served after that moment was never durable.
+    Durability {
+        /// The latched first failure.
+        error: ff_store::WalIoError,
+    },
 }
 
 impl std::fmt::Display for ShutdownError {
@@ -133,6 +139,9 @@ impl std::fmt::Display for ShutdownError {
         match self {
             ShutdownError::AcceptorPanicked => write!(f, "accept thread panicked"),
             ShutdownError::LoopPanicked { index } => write!(f, "event loop {index} panicked"),
+            ShutdownError::Durability { error } => {
+                write!(f, "write-ahead log failed mid-serve: {error}")
+            }
         }
     }
 }
@@ -267,6 +276,14 @@ impl NetServer {
         for l in &self.shared.loops {
             l.inbox.lock().clear();
         }
+        // With every worker joined no more slots will be decided: push
+        // the group-commit remainder to disk, and refuse to call the
+        // shutdown clean if the WAL latched an I/O failure — what was
+        // served after that moment was never durable.
+        self.shared.store.flush_wal();
+        if let Some(error) = self.shared.store.durability_error() {
+            shutdown_errors.push(ShutdownError::Durability { error });
+        }
         let clients = std::mem::take(&mut *self.shared.retired.lock());
         ServerReport {
             clients,
@@ -388,6 +405,7 @@ fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str
 pub(crate) fn stats(shared: &Shared) -> StatsReply {
     let store = &shared.store;
     let combine = store.combine_snapshot();
+    let durability = store.durability_snapshot();
     StatsReply {
         shards: store.shards() as u32,
         active_connections: shared.active.load(Ordering::SeqCst),
@@ -399,5 +417,9 @@ pub(crate) fn stats(shared: &Shared) -> StatsReply {
         frames_staged: shared.frames_staged.load(Ordering::Relaxed),
         combine_passes: combine.as_ref().map_or(0, |c| c.passes),
         combine_ops: combine.as_ref().map_or(0, |c| c.combined_ops),
+        wal_records: durability.as_ref().map_or(0, |d| d.records_logged),
+        wal_fsyncs: durability.as_ref().map_or(0, |d| d.fsyncs),
+        recovered_records: durability.as_ref().map_or(0, |d| d.records_replayed),
+        recovered_checkpoints: durability.as_ref().map_or(0, |d| d.checkpoints_loaded),
     }
 }

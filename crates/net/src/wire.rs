@@ -158,6 +158,16 @@ pub struct StatsReply {
     pub combine_passes: u64,
     /// Operations those combining passes batched.
     pub combine_ops: u64,
+    /// Slot records the store's write-ahead log persisted (0 unless the
+    /// server runs with a data dir).
+    pub wal_records: u64,
+    /// Group commits plus checkpoint rotations the WAL fsynced.
+    pub wal_fsyncs: u64,
+    /// Slot records replayed through consensus when this server
+    /// recovered its store at startup.
+    pub recovered_records: u64,
+    /// Checkpoint snapshots loaded at startup recovery.
+    pub recovered_checkpoints: u64,
 }
 
 /// A server → client message.
@@ -427,6 +437,10 @@ pub fn encode_response(out: &mut Vec<u8>, id: u32, resp: &Response) {
             p.extend_from_slice(&s.frames_staged.to_le_bytes());
             p.extend_from_slice(&s.combine_passes.to_le_bytes());
             p.extend_from_slice(&s.combine_ops.to_le_bytes());
+            p.extend_from_slice(&s.wal_records.to_le_bytes());
+            p.extend_from_slice(&s.wal_fsyncs.to_le_bytes());
+            p.extend_from_slice(&s.recovered_records.to_le_bytes());
+            p.extend_from_slice(&s.recovered_checkpoints.to_le_bytes());
             T_STATS_RESP
         }
         Response::Pong => T_PONG,
@@ -651,6 +665,10 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<ResponseFrame>, DecodeError
             frames_staged: c.u64()?,
             combine_passes: c.u64()?,
             combine_ops: c.u64()?,
+            wal_records: c.u64()?,
+            wal_fsyncs: c.u64()?,
+            recovered_records: c.u64()?,
+            recovered_checkpoints: c.u64()?,
         }),
         T_PONG => Response::Pong,
         T_ERROR => {
@@ -812,6 +830,10 @@ mod tests {
                 frames_staged: 8192,
                 combine_passes: 77,
                 combine_ops: 616,
+                wal_records: 123_456,
+                wal_fsyncs: 789,
+                recovered_records: 4242,
+                recovered_checkpoints: 6,
             }),
             Response::Stats(StatsReply::default()),
             Response::Pong,

@@ -73,6 +73,71 @@ fn kv_over_tcp_matches_in_process_semantics() {
     assert!(store.verify(&mut report.clients).all_consistent());
 }
 
+/// A durable server killed (dropped without flushing everything it
+/// could) and restarted over the same data dir serves the history it
+/// fsynced — and both generations expose their WAL/recovery counters
+/// over the STATS frame.
+#[test]
+fn durable_server_recovers_over_same_data_dir() {
+    let dir = std::env::temp_dir().join(format!(
+        "ff-net-durable-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig::builder()
+        .shards(2)
+        .backend(Backend::Robust)
+        .fault_rate(0.2)
+        .checkpoint_interval(8)
+        .data_dir(&dir)
+        .group_commit(4)
+        .rotate_cost(0)
+        .build()
+        .unwrap();
+
+    let (store, server) = serve(config.clone(), ServerConfig::default());
+    let mut c = NetClient::connect(server.addr()).unwrap();
+    for k in 0..60u32 {
+        c.put(k % 16, k + 500).unwrap();
+    }
+    let stats = c.stats().unwrap();
+    assert!(stats.wal_records > 0, "durable server logged nothing");
+    assert!(stats.wal_fsyncs > 0, "durable server never fsynced");
+    assert_eq!(stats.recovered_records + stats.recovered_checkpoints, 0);
+    drop(c);
+    let report = server.shutdown();
+    assert!(
+        report.shutdown_errors.is_empty(),
+        "{:?}",
+        report.shutdown_errors
+    );
+    drop(store); // the kill: volatile state gone, the dir survives
+
+    let (recovered, report) = Store::recover(config).expect("recovery");
+    assert!(report.records_replayed() + report.checkpoints_loaded() > 0);
+    let store = Arc::new(recovered);
+    let server = NetServer::start(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind ephemeral port");
+    let mut c = NetClient::connect(server.addr()).unwrap();
+    for k in 0..16u32 {
+        let want = (0..60u32).rfind(|i| i % 16 == k);
+        assert_eq!(c.get(k).unwrap(), want.map(|v| v + 500), "key {k}");
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.recovered_records,
+        report.records_replayed(),
+        "STATS must echo the recovery replay count"
+    );
+    assert_eq!(stats.recovered_checkpoints, report.checkpoints_loaded());
+    drop(c);
+    let mut server_report = server.shutdown();
+    assert!(server_report.shutdown_errors.is_empty());
+    assert!(store.verify(&mut server_report.clients).all_consistent());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn batch_and_pipeline_answer_in_request_order() {
     let (_store, server) = serve(reliable_config(), ServerConfig::default());
@@ -130,6 +195,7 @@ fn naive_backend_surfaces_divergence_error_not_wrong_data() {
                 f: 1,
                 t: ff_spec::Bound::Unbounded,
                 rate: 1.0,
+                ..FaultConfig::default()
             })
             .checkpoint_interval(8)
             .seed(0xD1E ^ seed)

@@ -200,7 +200,27 @@ impl Backend {
     }
 }
 
-/// Fault environment of one shard: kind, `(f, t)` budget, live rate.
+/// Process-level faults, orthogonal to the paper's *object*-level
+/// taxonomy. The paper's cells lie; its processes are immortal. The
+/// recoverable-consensus line of work (Golab; Lundström–Raynal–Schiller
+/// in PAPERS.md) asks what survives when processes crash too — this is
+/// that axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProcessFault {
+    /// Processes never crash (the paper's base model).
+    #[default]
+    None,
+    /// Processes may be killed and restarted at any point: **volatile
+    /// state is lost, cells survive**, and durable storage survives
+    /// possibly with a torn tail at the last unsynced write. Requires
+    /// durability in the [`StoreConfig`](crate::StoreConfig) — a
+    /// crashed process rejoins by replaying its write-ahead log
+    /// ([`Store::recover`](crate::Store::recover)).
+    CrashRecover,
+}
+
+/// Fault environment of one shard: kind, `(f, t)` budget, live rate,
+/// and the process-level crash model.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
     /// The functional-fault kind to inject.
@@ -212,6 +232,9 @@ pub struct FaultConfig {
     pub t: Bound,
     /// Initial fault probability per CAS operation.
     pub rate: f64,
+    /// Whether processes themselves may crash and recover (orthogonal
+    /// to the object-fault kind above).
+    pub process: ProcessFault,
 }
 
 impl Default for FaultConfig {
@@ -221,6 +244,7 @@ impl Default for FaultConfig {
             f: 1,
             t: Bound::Unbounded,
             rate: 0.2,
+            process: ProcessFault::default(),
         }
     }
 }
@@ -359,6 +383,7 @@ mod tests {
             f: 1,
             t: Bound::Unbounded,
             rate: 0.8,
+            ..FaultConfig::default()
         };
         let cells = ShardCells::new(Backend::Robust, fault, 42);
         for _ in 0..100 {
@@ -380,6 +405,7 @@ mod tests {
             f: 1,
             t: Bound::Finite(4),
             rate: 0.5,
+            ..FaultConfig::default()
         };
         let cells = ShardCells::new(Backend::Robust, fault, 7);
         for _ in 0..100 {
@@ -397,6 +423,7 @@ mod tests {
             f: 1,
             t: Bound::Unbounded,
             rate: 1.0,
+            ..FaultConfig::default()
         };
         let cells = ShardCells::new(Backend::Naive, fault, 3);
         for _ in 0..100 {

@@ -42,21 +42,27 @@ pub mod combine;
 pub mod kv;
 pub mod map;
 pub mod metrics;
+pub mod recover;
 pub mod soak;
+pub mod wal;
 
 mod experiment;
 
-pub use cells::{Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ShardCells};
+pub use cells::{
+    Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ProcessFault, ShardCells,
+};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use combine::{CombineSnapshot, CombineStats};
 pub use experiment::E15StoreSoak;
 pub use kv::{Kv, KvOp, StoreError};
 pub use map::{KvMap, KV_BITS, KV_MAX};
-pub use metrics::{MetricsSnapshot, ShardFaults, StoreMetrics};
+pub use metrics::{DurabilitySnapshot, MetricsSnapshot, ShardFaults, StoreMetrics};
+pub use recover::{RecoverError, RecoveryReport, ShardRecovery};
 pub use soak::{
-    drive_clients, drive_clients_with_clock, run_soak, DriveOutcome, SoakConfig, SoakReport,
-    WorkloadMix,
+    drive_clients, drive_clients_with_clock, run_soak, try_run_soak, DriveOutcome, SoakConfig,
+    SoakReport, WorkloadMix,
 };
+pub use wal::{DurabilityConfig, FsMedia, WalIoError, WalMedia};
 
 use ff_cas::{splitmix64, EnsembleStats};
 use ff_universal::{digests_consistent, Handle, UniversalLog};
@@ -100,6 +106,9 @@ pub struct StoreConfig {
     pub reclaim_after: u32,
     /// Seed for all deterministic fault streams and routing salts.
     pub seed: u64,
+    /// Durability: per-shard write-ahead logging and crash recovery
+    /// (see [`wal`]). Off by default — the pre-WAL in-memory store.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for StoreConfig {
@@ -114,6 +123,7 @@ impl Default for StoreConfig {
             combiner_lease: true,
             reclaim_after: 4096,
             seed: 0x5eed,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -141,6 +151,12 @@ impl StoreConfig {
         }
         if !(0.0..=1.0).contains(&self.fault.rate) {
             return Err(ConfigError::FaultRateNotProbability(self.fault.rate));
+        }
+        if self.durability.enabled() && self.durability.group_commit == 0 {
+            return Err(ConfigError::ZeroGroupCommit);
+        }
+        if self.fault.process == ProcessFault::CrashRecover && !self.durability.enabled() {
+            return Err(ConfigError::CrashRecoverNeedsDurability);
         }
         if self.backend == Backend::Robust {
             if self.fault.f == 0 {
@@ -186,6 +202,13 @@ pub enum ConfigError {
     /// Silent faults need a finite per-object budget `t` (unbounded
     /// silent faults admit nontermination — experiment E8).
     SilentNeedsFiniteBudget,
+    /// Durability is on but `group_commit` is 0 — fsync batches hold at
+    /// least one record.
+    ZeroGroupCommit,
+    /// The crash/recover process-fault model requires durability: a
+    /// process that loses volatile state can only rejoin by replaying a
+    /// write-ahead log.
+    CrashRecoverNeedsDurability,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -207,6 +230,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::SilentNeedsFiniteBudget => write!(
                 f,
                 "silent faults need a finite per-object budget t (see experiment E8)"
+            ),
+            ConfigError::ZeroGroupCommit => {
+                write!(f, "group commit must cover at least one record per fsync")
+            }
+            ConfigError::CrashRecoverNeedsDurability => write!(
+                f,
+                "the crash/recover fault model needs durability (a data dir) to recover from"
             ),
         }
     }
@@ -289,6 +319,34 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// The full durability configuration (data dir + group commit);
+    /// see [`DurabilityConfig`].
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
+    /// Turn durability on: write-ahead log every shard into `dir`
+    /// (keeps the configured group commit).
+    pub fn data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.durability.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Decided records per fsync; see [`DurabilityConfig::group_commit`].
+    pub fn group_commit(mut self, records: usize) -> Self {
+        self.config.durability.group_commit = records;
+        self
+    }
+
+    /// Extra reclaimable WAL bytes required before a checkpoint
+    /// rotation ([`DurabilityConfig::rotate_cost`]); 0 makes rotation
+    /// deterministic at every worthwhile boundary, which tests want.
+    pub fn rotate_cost(mut self, bytes: usize) -> Self {
+        self.config.durability.rotate_cost = bytes;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<StoreConfig, ConfigError> {
         self.config.validate()?;
@@ -311,12 +369,20 @@ struct CombineLayer {
     stats: Arc<CombineStats>,
 }
 
+/// The durability layer: the shared media, one WAL writer per shard,
+/// and the store-wide WAL counters.
+struct WalLayer {
+    wals: Vec<Arc<wal::ShardWal>>,
+    stats: Arc<wal::WalStats>,
+}
+
 /// The sharded store. Create one [`StoreClient`] per worker thread.
 pub struct Store {
     shards: Vec<Shard>,
     config: StoreConfig,
     next_pid: AtomicU64,
     combine: Option<Arc<CombineLayer>>,
+    wal: Option<WalLayer>,
 }
 
 /// Fault kinds [`Backend::Robust`] can actually tolerate, in rotation
@@ -338,13 +404,60 @@ fn kind_label(kind: ff_spec::FaultKind) -> &'static str {
 }
 
 impl Store {
-    /// Build a store per `config`. Panics on an invalid configuration —
-    /// build configs through [`StoreConfig::builder`] to get a
-    /// [`ConfigError`] instead.
+    /// Build a **fresh** store per `config`. With durability on, the
+    /// data dir is created and any stale WAL files in it are truncated
+    /// (start from a dir you want replayed via [`Store::recover`]
+    /// instead). Panics on an invalid configuration or a WAL I/O
+    /// failure — build configs through [`StoreConfig::builder`] to get
+    /// a [`ConfigError`], and use [`Store::recover`] for a `Result`.
     pub fn new(config: StoreConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid StoreConfig: {e}"));
+        Self::open(config, None, false)
+            .map(|(store, _)| store)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Store::new`] but over an injected [`WalMedia`] (the DST's
+    /// simulated disk), returning errors instead of panicking. The
+    /// media's existing files are truncated.
+    pub fn new_with_media(
+        config: StoreConfig,
+        media: Arc<dyn WalMedia>,
+    ) -> Result<Self, RecoverError> {
+        Self::open(config, Some(media), false).map(|(store, _)| store)
+    }
+
+    /// Recover a store from the WAL files in `config`'s data dir: per
+    /// shard, load the newest valid checkpoint snapshot, replay the log
+    /// tail op-by-op through real consensus cells, truncate any torn or
+    /// corrupt tail, and rewrite the compacted image. See [`recover`].
+    pub fn recover(config: StoreConfig) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::open(config, None, true).map(|(store, report)| (store, report.expect("recovering")))
+    }
+
+    /// [`Store::recover`] over an injected [`WalMedia`] (the DST's
+    /// simulated disk).
+    pub fn recover_with_media(
+        config: StoreConfig,
+        media: Arc<dyn WalMedia>,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::open(config, Some(media), true)
+            .map(|(store, report)| (store, report.expect("recovering")))
+    }
+
+    /// The one construction path: build the shards, then (durability
+    /// on) either truncate the WAL files fresh or replay them, attach
+    /// the per-shard WAL sinks, and only then build the combining layer
+    /// — recovery must finish before any replica handle exists, because
+    /// the recovered snapshot installs into an untouched log.
+    fn open(
+        config: StoreConfig,
+        media: Option<Arc<dyn WalMedia>>,
+        recovering: bool,
+    ) -> Result<(Self, Option<RecoveryReport>), RecoverError> {
+        config.validate().map_err(RecoverError::Config)?;
+        if recovering && !config.durability.enabled() && media.is_none() {
+            return Err(RecoverError::DurabilityDisabled);
+        }
         let shards: Vec<Shard> = (0..config.shards)
             .map(|s| {
                 let mut fault = config.fault.clone();
@@ -377,6 +490,65 @@ impl Store {
                 }
             })
             .collect();
+        // Durability: open (or accept) the media, replay or truncate
+        // each shard's WAL, and attach the writers as slot sinks. This
+        // happens before the combining layer below because recovery
+        // installs snapshots into logs that must not have replica
+        // handles yet.
+        let mut report = None;
+        let wal_layer = if media.is_some() || config.durability.enabled() {
+            let media: Arc<dyn WalMedia> = match media {
+                Some(m) => m,
+                None => {
+                    let dir = config
+                        .durability
+                        .data_dir
+                        .as_ref()
+                        .expect("durability enabled without media requires a data dir");
+                    Arc::new(FsMedia::open(dir)?)
+                }
+            };
+            let stats = Arc::new(wal::WalStats::default());
+            let wals: Vec<Arc<wal::ShardWal>> = (0..shards.len())
+                .map(|s| {
+                    Arc::new(wal::ShardWal::new(
+                        Arc::clone(&media),
+                        s,
+                        config.durability.group_commit,
+                        config.durability.rotate_cost,
+                        Arc::clone(&stats),
+                    ))
+                })
+                .collect();
+            if recovering {
+                let mut outcomes = Vec::with_capacity(shards.len());
+                for (s, (sh, w)) in shards.iter().zip(&wals).enumerate() {
+                    let recovered = recover::recover_shard(
+                        &sh.log,
+                        s,
+                        &media,
+                        &stats,
+                        config.checkpoint_interval,
+                    )?;
+                    w.reset_from_recovery(recovered.ckpt_frame, recovered.tail_frames)?;
+                    outcomes.push(recovered.outcome);
+                }
+                report = Some(RecoveryReport { shards: outcomes });
+            } else {
+                // Fresh store: truncate whatever a previous run left in
+                // the dir, so stale records cannot trail new ones.
+                for w in &wals {
+                    w.reset_from_recovery(None, Vec::new())?;
+                }
+            }
+            for (sh, w) in shards.iter().zip(&wals) {
+                sh.log
+                    .set_slot_sink(Arc::clone(w) as Arc<dyn ff_universal::SlotSink>);
+            }
+            Some(WalLayer { wals, stats })
+        } else {
+            None
+        };
         // The combining cores replay like one more client: every log
         // record the store appends in combining mode is announced under
         // this single shared pid, so it is minted first, ahead of any
@@ -401,12 +573,42 @@ impl Store {
                 stats,
             })
         });
-        Store {
-            shards,
-            config,
-            next_pid: AtomicU64::new(if combine.is_some() { 1 } else { 0 }),
-            combine,
+        Ok((
+            Store {
+                shards,
+                config,
+                next_pid: AtomicU64::new(if combine.is_some() { 1 } else { 0 }),
+                combine,
+                wal: wal_layer,
+            },
+            report,
+        ))
+    }
+
+    /// Force-fsync every shard's pending WAL records (call at shutdown
+    /// or before inspecting the on-disk image; group commit otherwise
+    /// defers the sync).
+    pub fn flush_wal(&self) {
+        if let Some(layer) = &self.wal {
+            for w in &layer.wals {
+                w.flush();
+            }
         }
+    }
+
+    /// The first WAL I/O failure any shard hit, if durability is on.
+    /// A store returning `Some` here has **stopped logging** — callers
+    /// must refuse to continue rather than silently run volatile.
+    pub fn durability_error(&self) -> Option<WalIoError> {
+        self.wal
+            .as_ref()
+            .and_then(|layer| layer.wals.iter().find_map(|w| w.error()))
+    }
+
+    /// WAL counters for metrics export, or `None` when durability is
+    /// off.
+    pub fn durability_snapshot(&self) -> Option<DurabilitySnapshot> {
+        self.wal.as_ref().map(|layer| layer.stats.snapshot())
     }
 
     /// The configuration this store was built with.

@@ -159,6 +159,48 @@ pub struct MetricsSnapshot {
     /// Flat-combining counters, when the store ran with combining on
     /// (see [`Store::combine_snapshot`](crate::Store::combine_snapshot)).
     pub combining: Option<CombineSnapshot>,
+    /// Durability counters, when the store ran with a write-ahead log
+    /// (see [`Store::durability_snapshot`](crate::Store::durability_snapshot)).
+    pub durability: Option<DurabilitySnapshot>,
+}
+
+/// Write-ahead-log and recovery counters of a durable store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DurabilitySnapshot {
+    /// Decided slot records appended to the WAL.
+    pub records_logged: u64,
+    /// fsyncs issued (group commits plus checkpoint rotations).
+    pub fsyncs: u64,
+    /// Checkpoint rotations written.
+    pub checkpoints: u64,
+    /// Median records per fsync (group-commit batch size, log₂-bucket
+    /// upper bound).
+    pub batch_p50: u64,
+    /// 95th-percentile records per fsync.
+    pub batch_p95: u64,
+    /// Slot records recovery replayed through consensus.
+    pub records_replayed: u64,
+    /// Checkpoint snapshots recovery loaded.
+    pub checkpoints_loaded: u64,
+    /// Shard WALs recovery found torn or corrupt (and truncated).
+    pub torn_tails: u64,
+}
+
+impl DurabilitySnapshot {
+    /// Serialize to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Number(v as f64);
+        JsonValue::Object(vec![
+            ("records_logged".into(), n(self.records_logged)),
+            ("fsyncs".into(), n(self.fsyncs)),
+            ("checkpoints".into(), n(self.checkpoints)),
+            ("batch_p50".into(), n(self.batch_p50)),
+            ("batch_p95".into(), n(self.batch_p95)),
+            ("records_replayed".into(), n(self.records_replayed)),
+            ("checkpoints_loaded".into(), n(self.checkpoints_loaded)),
+            ("torn_tails".into(), n(self.torn_tails)),
+        ])
+    }
 }
 
 impl StoreMetrics {
@@ -188,6 +230,7 @@ impl StoreMetrics {
             batches: Self::summarize(&self.batches, elapsed_secs),
             faults,
             combining: None,
+            durability: None,
         }
     }
 }
@@ -198,6 +241,14 @@ impl MetricsSnapshot {
     /// result; `None` leaves the snapshot unchanged).
     pub fn with_combining(mut self, combining: Option<CombineSnapshot>) -> Self {
         self.combining = combining;
+        self
+    }
+
+    /// Attach durability counters (pass
+    /// [`Store::durability_snapshot`](crate::Store::durability_snapshot)'s
+    /// result; `None` leaves the snapshot unchanged).
+    pub fn with_durability(mut self, durability: Option<DurabilitySnapshot>) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -290,6 +341,20 @@ impl MetricsSnapshot {
                 c.hit_rate() * 100.0,
             ));
         }
+        if let Some(d) = &self.durability {
+            out.push_str(&format!(
+                "\ndurability: {} records logged, {} fsyncs (batch p50 {}, p95 {}), \
+                 {} checkpoint rotations | recovery: {} replayed, {} checkpoints, {} torn tails\n",
+                d.records_logged,
+                d.fsyncs,
+                d.batch_p50,
+                d.batch_p95,
+                d.checkpoints,
+                d.records_replayed,
+                d.checkpoints_loaded,
+                d.torn_tails,
+            ));
+        }
         out
     }
 
@@ -352,6 +417,9 @@ impl MetricsSnapshot {
         ];
         if let Some(c) = &self.combining {
             fields.push(("combining".into(), c.to_json()));
+        }
+        if let Some(d) = &self.durability {
+            fields.push(("durability".into(), d.to_json()));
         }
         JsonValue::Object(fields)
     }

@@ -12,6 +12,8 @@ use crate::cells::Backend;
 use crate::clock::{Clock, WallClock};
 use crate::kv::{Kv, KvOp, StoreError};
 use crate::metrics::{MetricsSnapshot, StoreMetrics};
+use crate::recover::{RecoverError, RecoveryReport};
+use crate::wal::DurabilityConfig;
 use crate::{ConsistencyReport, Store, StoreClient, StoreConfig, KV_MAX};
 use ff_cas::splitmix64;
 use ff_workload::JsonValue;
@@ -41,6 +43,12 @@ pub struct SoakConfig {
     /// Route operations through the flat-combining cores
     /// ([`StoreConfig::combining`]).
     pub combining: bool,
+    /// Per-shard write-ahead logging ([`StoreConfig::durability`]);
+    /// `data_dir: None` runs the store purely in memory.
+    pub durability: DurabilityConfig,
+    /// Recover from the WAL files already in the data dir instead of
+    /// starting fresh (requires durability to be enabled).
+    pub recover: bool,
     /// Seed for workload and fault streams.
     pub seed: u64,
 }
@@ -57,6 +65,8 @@ impl Default for SoakConfig {
             keyspace: 4096,
             checkpoint_interval: 64,
             combining: false,
+            durability: DurabilityConfig::default(),
+            recover: false,
             seed: 0x50a6_b65e,
         }
     }
@@ -71,6 +81,9 @@ pub struct SoakReport {
     pub metrics: MetricsSnapshot,
     /// Post-quiescence consistency verdicts.
     pub consistency: Vec<ShardVerdict>,
+    /// What recovery found when the run started from existing WAL files
+    /// (`None` for fresh or non-durable runs).
+    pub recovery: Option<RecoveryReport>,
     /// Largest retained log length sampled *during* the run.
     pub max_retained_during_run: usize,
     /// Largest retained log length after verification settled.
@@ -100,6 +113,10 @@ pub struct SoakConfigEcho {
     pub checkpoint_interval: usize,
     /// Whether the flat-combining path was on.
     pub combining: bool,
+    /// Whether the per-shard WAL was on.
+    pub durable: bool,
+    /// Group-commit batch size (meaningful only when `durable`).
+    pub group_commit: usize,
     /// Seed the workload and fault streams ran under — echoed so any
     /// archived `BENCH_store.json` names the exact run to reproduce.
     pub seed: u64,
@@ -142,7 +159,7 @@ impl SoakReport {
                 ])
             })
             .collect();
-        JsonValue::Object(vec![
+        let mut json = JsonValue::Object(vec![
             (
                 "config".into(),
                 JsonValue::Object(vec![
@@ -168,6 +185,11 @@ impl SoakReport {
                         JsonValue::Number(self.config.checkpoint_interval as f64),
                     ),
                     ("combining".into(), JsonValue::Bool(self.config.combining)),
+                    ("durable".into(), JsonValue::Bool(self.config.durable)),
+                    (
+                        "group_commit".into(),
+                        JsonValue::Number(self.config.group_commit as f64),
+                    ),
                     ("seed".into(), JsonValue::Number(self.config.seed as f64)),
                 ]),
             ),
@@ -191,7 +213,27 @@ impl SoakReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if let (Some(r), JsonValue::Object(fields)) = (&self.recovery, &mut json) {
+            fields.push((
+                "recovery".into(),
+                JsonValue::Object(vec![
+                    (
+                        "checkpoints_loaded".into(),
+                        JsonValue::Number(r.checkpoints_loaded() as f64),
+                    ),
+                    (
+                        "records_replayed".into(),
+                        JsonValue::Number(r.records_replayed() as f64),
+                    ),
+                    (
+                        "torn_tails".into(),
+                        JsonValue::Number(r.torn_tails() as f64),
+                    ),
+                ]),
+            ));
+        }
+        json
     }
 
     /// Human-readable run summary (metrics tables + verdict line).
@@ -208,6 +250,9 @@ impl SoakReport {
             self.retained_after_verify,
             self.config.checkpoint_interval,
         ));
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!("{}\n", r.render()));
+        }
         for e in &self.client_errors {
             out.push_str(&format!("client error: {e}\n"));
         }
@@ -383,6 +428,14 @@ fn random_op(rng: &mut u64, keyspace: u32, read_pct: u32) -> KvOp {
 /// report can show the checkpoint protocol holding memory bounded
 /// while writers are live.
 pub fn run_soak(config: &SoakConfig) -> SoakReport {
+    try_run_soak(config).unwrap_or_else(|e| panic!("soak could not build its store: {e}"))
+}
+
+/// [`run_soak`], but recovery and configuration failures come back as
+/// a typed [`RecoverError`] instead of a panic — the `soak` binary
+/// turns a [`RecoverError::ReplayDivergence`] into a non-zero exit so
+/// CI's kill-recover smoke can assert on it.
+pub fn try_run_soak(config: &SoakConfig) -> Result<SoakReport, RecoverError> {
     assert!(config.threads >= 1, "need at least one worker");
     let store_config = StoreConfig::builder()
         .shards(config.shards)
@@ -391,10 +444,16 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
         .rotate_kinds(config.backend != Backend::Reliable)
         .checkpoint_interval(config.checkpoint_interval)
         .combining(config.combining)
+        .durability(config.durability.clone())
         .seed(config.seed)
         .build()
-        .unwrap_or_else(|e| panic!("invalid soak configuration: {e}"));
-    let store = Arc::new(Store::new(store_config));
+        .map_err(RecoverError::Config)?;
+    let (store, recovery) = if config.recover {
+        let (store, report) = Store::recover(store_config)?;
+        (Arc::new(store), Some(report))
+    } else {
+        (Arc::new(Store::new(store_config)), None)
+    };
     let metrics = Arc::new(StoreMetrics::default());
     let deadline = Instant::now() + Duration::from_secs_f64(config.secs);
     let mut max_retained = 0usize;
@@ -418,6 +477,10 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
 
     let elapsed = config.secs;
     max_retained = max_retained.max(store.max_retained_len());
+    // Push any group-commit remainder to disk before judging the run:
+    // the report's WAL counters must describe a log a crash right now
+    // would recover from.
+    store.flush_wal();
     let report: ConsistencyReport = store.verify(&mut clients);
     let consistency: Vec<ShardVerdict> = report
         .per_shard
@@ -433,8 +496,21 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
         .collect();
     let snapshot = metrics
         .snapshot(elapsed, store.shard_faults())
-        .with_combining(store.combine_snapshot());
-    SoakReport {
+        .with_combining(store.combine_snapshot())
+        .with_durability(store.durability_snapshot());
+    let mut client_errors: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+    // A latched WAL I/O failure means the on-disk log stopped tracking
+    // the in-memory state mid-run: the run is *not* durable, whatever
+    // the replicas say, so it fails the report the same way divergence
+    // does.
+    let durable_ok = match store.durability_error() {
+        Some(e) => {
+            client_errors.push(format!("durability failure: {e}"));
+            false
+        }
+        None => true,
+    };
+    Ok(SoakReport {
         config: SoakConfigEcho {
             threads: config.threads,
             shards: config.shards,
@@ -443,15 +519,18 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             backend: config.backend.label(),
             checkpoint_interval: config.checkpoint_interval,
             combining: config.combining,
+            durable: config.durability.enabled(),
+            group_commit: config.durability.group_commit,
             seed: config.seed,
         },
         metrics: snapshot,
         consistency,
+        recovery,
         max_retained_during_run: max_retained,
         retained_after_verify: store.max_retained_len(),
-        consistent: report.all_consistent() && errors.is_empty(),
-        client_errors: errors.iter().map(|e| e.to_string()).collect(),
-    }
+        consistent: report.all_consistent() && errors.is_empty() && durable_ok,
+        client_errors,
+    })
 }
 
 #[cfg(test)]
@@ -544,6 +623,52 @@ mod tests {
         let json = report.to_json().render();
         assert!(json.contains("\"combining\": true"), "{json}");
         assert!(json.contains("fastpath_hit_rate"), "{json}");
+    }
+
+    #[test]
+    fn durable_soak_then_recover_soak_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "ff-soak-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = SoakConfig {
+            threads: 2,
+            shards: 2,
+            secs: 0.2,
+            checkpoint_interval: 16,
+            durability: DurabilityConfig::in_dir(&dir),
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&durable);
+        assert!(report.consistent, "durable soak diverged");
+        let d = report
+            .metrics
+            .durability
+            .as_ref()
+            .expect("durability counters missing from snapshot");
+        assert!(d.records_logged > 0, "WAL recorded nothing");
+        assert!(d.fsyncs > 0, "WAL never fsynced");
+        let json = report.to_json().render();
+        assert!(json.contains("\"durable\": true"), "{json}");
+
+        let recovered = run_soak(&SoakConfig {
+            recover: true,
+            ..durable.clone()
+        });
+        assert!(recovered.consistent, "recovered soak diverged");
+        let r = recovered
+            .recovery
+            .as_ref()
+            .expect("recovery report missing");
+        assert!(
+            r.records_replayed() + r.checkpoints_loaded() > 0,
+            "recovery found nothing despite a durable first run"
+        );
+        let json = recovered.to_json().render();
+        assert!(json.contains("\"recovery\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

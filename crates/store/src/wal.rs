@@ -1,0 +1,886 @@
+//! Per-shard write-ahead log: the store's durability layer.
+//!
+//! Every shard appends its consensus-decided slots to one append-only
+//! file (`shard-{s}.wal`), records first, fsync in **group commit**
+//! batches ([`DurabilityConfig::group_commit`] decided records per
+//! fsync), so the combining hot path keeps its throughput. Checkpoint
+//! installs rotate the file: the new file starts with the checkpoint
+//! record and keeps only the slot records the snapshot does not cover,
+//! written tmp-file-then-rename so a crash mid-rotation leaves either
+//! the old file or the new one, never a hybrid.
+//!
+//! # Record format
+//!
+//! Mirrors `wire.rs` discipline: length-prefixed, checksummed frames
+//! with a **total** decoder — no input, torn, mutated, or malicious,
+//! makes [`scan`] panic. Each frame is
+//!
+//! ```text
+//! [len: u32 LE][checksum: u64 LE][body: len bytes]
+//! ```
+//!
+//! where `checksum` is FNV-1a 64 over `body` and `body` starts with a
+//! tag byte:
+//!
+//! ```text
+//! 0x01 slot/single:  [tag][slot u64][opid u32][digest u64][word u64]
+//! 0x02 slot/batch:   [tag][slot u64][opid u32][digest u64][count u32][count × word u64]
+//! 0x03 checkpoint:   [tag][slot u64][digest u64][count u32][count × word u64]
+//! ```
+//!
+//! `digest` is the log's rolling decided-opid digest *after* the slot
+//! (or over the checkpoint's covered prefix) — recovery cross-checks it
+//! record by record, so a consensus cell that mutates a re-ingested
+//! decision is caught immediately. [`scan`] stops at the first bad
+//! length, checksum, or malformed body and reports the valid prefix:
+//! a torn tail (the expected crash artifact) simply truncates.
+//!
+//! # Media
+//!
+//! File I/O goes through the [`WalMedia`] trait so the deterministic
+//! simulator can model a disk that survives `kill -9` (with seeded torn
+//! writes at fsync boundaries) while production uses [`FsMedia`]. I/O
+//! failures are **never swallowed**: the writer latches the first
+//! [`WalIoError`], stops logging, and surfaces it through
+//! [`Store::durability_error`](crate::Store::durability_error) — a
+//! store that cannot persist refuses loudly instead of pretending.
+
+use crate::metrics::Histogram;
+use ff_universal::{SlotRecord, SlotSink};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Frame tag: a single-op decided slot.
+const TAG_SLOT_SINGLE: u8 = 0x01;
+/// Frame tag: a batch decided slot (one slot, many ops).
+const TAG_SLOT_BATCH: u8 = 0x02;
+/// Frame tag: an installed checkpoint snapshot.
+const TAG_CHECKPOINT: u8 = 0x03;
+
+/// Frame header: `[len u32][checksum u64]`.
+const HEADER_LEN: usize = 12;
+
+/// Upper bound on one record body — rejects absurd lengths from
+/// corrupt headers before any allocation.
+pub const MAX_RECORD_LEN: usize = 1 << 22;
+
+/// FNV-1a 64 over a byte slice (the frame checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        d = (d ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    d
+}
+
+/// Durability knobs, part of [`StoreConfig`](crate::StoreConfig).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding one `shard-{s}.wal` per shard. `None` disables
+    /// durability entirely (the pre-WAL in-memory store).
+    pub data_dir: Option<PathBuf>,
+    /// Decided records per write+fsync batch (group commit). 1 syncs
+    /// every record; larger values amortize the syscalls over a batch
+    /// at the cost of a longer unsynced tail lost on crash. Records are
+    /// tens of bytes, so the default batches hundreds of them into one
+    /// modest write.
+    pub group_commit: usize,
+    /// Extra reclaimable log bytes required — beyond the snapshot's own
+    /// size — before a checkpoint boundary triggers a rotation. A
+    /// rotation rewrites the whole file and costs two fsyncs however
+    /// small the file is, so this models that fixed cost in byte units:
+    /// 0 rotates at every boundary where the snapshot is no larger than
+    /// the records it drops (deterministic, for tests); the default
+    /// keeps rotations rare enough that replaying the longer tail on
+    /// recovery is the cheaper side of the trade.
+    pub rotate_cost: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            data_dir: None,
+            group_commit: 512,
+            rotate_cost: 256 * 1024,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability on: log to `dir` with the default group commit.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: Some(dir.into()),
+            ..DurabilityConfig::default()
+        }
+    }
+
+    /// Is durability enabled?
+    pub fn enabled(&self) -> bool {
+        self.data_dir.is_some()
+    }
+}
+
+/// A typed I/O failure on the WAL path: which operation, on which
+/// file, and the OS error. Continue of PR 6's `ShutdownError` pattern —
+/// fsync/open/rename failures become values, never `let _ =`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalIoError {
+    /// The failed operation (`"open"`, `"append"`, `"fsync"`,
+    /// `"rename"`, …).
+    pub op: &'static str,
+    /// The file (or directory) the operation targeted.
+    pub path: String,
+    /// The underlying error, stringified.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WalIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal {} on {}: {}", self.op, self.path, self.detail)
+    }
+}
+
+impl std::error::Error for WalIoError {}
+
+/// The WAL's storage backend: a flat namespace of append-only files.
+/// Production is [`FsMedia`]; the DST substitutes an in-memory disk
+/// with crash semantics (unsynced suffixes are lost, the last write may
+/// tear).
+pub trait WalMedia: Send + Sync {
+    /// The full current contents of `name`, or `None` if it does not
+    /// exist.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, WalIoError>;
+
+    /// Append `bytes` to `name` (creating it if absent). Not durable
+    /// until [`WalMedia::sync`].
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), WalIoError>;
+
+    /// Make every append to `name` durable (fsync).
+    fn sync(&self, name: &str) -> Result<(), WalIoError>;
+
+    /// Atomically and durably replace `name`'s contents (write to a
+    /// temp file, fsync, rename): after a crash, readers see either the
+    /// old contents or the new — never a mix.
+    fn replace(&self, name: &str, contents: &[u8]) -> Result<(), WalIoError>;
+}
+
+/// [`WalMedia`] over a real directory: one file per name, fsync via
+/// `sync_data`, replace via tmp-file + rename + directory fsync.
+pub struct FsMedia {
+    dir: PathBuf,
+    /// Cached append handles (reopened after a replace so appends go to
+    /// the renamed-in file, not the unlinked old one).
+    files: Mutex<std::collections::HashMap<String, std::fs::File>>,
+}
+
+impl FsMedia {
+    /// Open (creating if needed) `dir` as a WAL directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WalIoError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| WalIoError {
+            op: "create-dir",
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(FsMedia {
+            dir,
+            files: Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// The directory this media writes into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn with_handle<R>(
+        &self,
+        name: &str,
+        op: &'static str,
+        f: impl FnOnce(&std::fs::File) -> std::io::Result<R>,
+    ) -> Result<R, WalIoError> {
+        let mut files = self.files.lock();
+        if !files.contains_key(name) {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))
+                .map_err(|e| WalIoError {
+                    op: "open",
+                    path: self.path(name).display().to_string(),
+                    detail: e.to_string(),
+                })?;
+            files.insert(name.to_string(), file);
+        }
+        f(&files[name]).map_err(|e| WalIoError {
+            op,
+            path: self.path(name).display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+impl WalMedia for FsMedia {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, WalIoError> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(WalIoError {
+                op: "read",
+                path: self.path(name).display().to_string(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), WalIoError> {
+        use std::io::Write;
+        self.with_handle(name, "append", |mut f| f.write_all(bytes))
+    }
+
+    fn sync(&self, name: &str) -> Result<(), WalIoError> {
+        self.with_handle(name, "fsync", |f| f.sync_data())
+    }
+
+    fn replace(&self, name: &str, contents: &[u8]) -> Result<(), WalIoError> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        let io = |op: &'static str, path: &std::path::Path, e: std::io::Error| WalIoError {
+            op,
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        };
+        std::fs::write(&tmp, contents).map_err(|e| io("write-tmp", &tmp, e))?;
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_data())
+            .map_err(|e| io("fsync-tmp", &tmp, e))?;
+        let dst = self.path(name);
+        std::fs::rename(&tmp, &dst).map_err(|e| io("rename", &dst, e))?;
+        // Make the rename itself durable (directory entry update).
+        std::fs::File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io("fsync-dir", &self.dir, e))?;
+        // Drop the cached append handle: it points at the unlinked old
+        // inode.
+        self.files.lock().remove(name);
+        Ok(())
+    }
+}
+
+/// One decoded WAL entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalEntry {
+    /// A decided slot and its record.
+    Slot {
+        /// The log slot index.
+        slot: usize,
+        /// The decided operation id.
+        opid: u32,
+        /// The rolling decided-opid digest after applying this slot.
+        digest_after: u64,
+        /// The announced record the slot decided.
+        record: SlotRecord,
+    },
+    /// An installed checkpoint snapshot covering slots `[0, slot)`.
+    Checkpoint {
+        /// First slot not covered by the snapshot.
+        slot: usize,
+        /// The rolling digest over the covered prefix.
+        digest: u64,
+        /// The `Replicated::encode_snapshot` words.
+        words: Vec<u64>,
+    },
+}
+
+/// What [`scan`] found: the decodable prefix plus how the file ends.
+#[derive(Clone, Debug, Default)]
+pub struct WalScan {
+    /// Every entry of the valid prefix, in file order.
+    pub entries: Vec<WalEntry>,
+    /// Bytes of the valid prefix (recovery truncates here).
+    pub valid_len: usize,
+    /// Bytes past the valid prefix (the torn or corrupt tail).
+    pub torn_bytes: usize,
+    /// Why the scan stopped early (`None` on a clean end-of-file).
+    pub corrupt: Option<String>,
+}
+
+/// Decode as much of `bytes` as checksums allow. **Total**: returns for
+/// every input, never panics — a bad length, checksum, or body ends the
+/// valid prefix and the rest is reported as the torn tail.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut out = WalScan::default();
+    let mut off = 0usize;
+    let stop = |mut out: WalScan, off: usize, why: &str, total: usize| {
+        out.valid_len = off;
+        out.torn_bytes = total - off;
+        out.corrupt = Some(why.to_string());
+        out
+    };
+    loop {
+        if off == bytes.len() {
+            out.valid_len = off;
+            return out;
+        }
+        if bytes.len() - off < HEADER_LEN {
+            return stop(out, off, "truncated header", bytes.len());
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_RECORD_LEN {
+            return stop(out, off, "bad record length", bytes.len());
+        }
+        if bytes.len() - off - HEADER_LEN < len {
+            return stop(out, off, "truncated body", bytes.len());
+        }
+        let checksum = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
+        let body = &bytes[off + HEADER_LEN..off + HEADER_LEN + len];
+        if fnv1a(body) != checksum {
+            return stop(out, off, "checksum mismatch", bytes.len());
+        }
+        match decode_body(body) {
+            Some(entry) => out.entries.push(entry),
+            None => return stop(out, off, "malformed record body", bytes.len()),
+        }
+        off += HEADER_LEN + len;
+    }
+}
+
+/// Decode one checksum-verified body; `None` on any malformation.
+fn decode_body(body: &[u8]) -> Option<WalEntry> {
+    let u64_at = |i: usize| -> Option<u64> {
+        Some(u64::from_le_bytes(body.get(i..i + 8)?.try_into().ok()?))
+    };
+    let u32_at = |i: usize| -> Option<u32> {
+        Some(u32::from_le_bytes(body.get(i..i + 4)?.try_into().ok()?))
+    };
+    match *body.first()? {
+        TAG_SLOT_SINGLE => {
+            // [tag][slot 8][opid 4][digest 8][word 8] = 29 bytes.
+            if body.len() != 29 {
+                return None;
+            }
+            Some(WalEntry::Slot {
+                slot: usize::try_from(u64_at(1)?).ok()?,
+                opid: u32_at(9)?,
+                digest_after: u64_at(13)?,
+                record: SlotRecord::Single(u64_at(21)?),
+            })
+        }
+        TAG_SLOT_BATCH => {
+            // [tag][slot 8][opid 4][digest 8][count 4][count × 8].
+            let count = u32_at(21)? as usize;
+            if count == 0 || body.len() != 25 + 8 * count {
+                return None;
+            }
+            let words: Vec<u64> = (0..count)
+                .map(|i| u64_at(25 + 8 * i))
+                .collect::<Option<_>>()?;
+            Some(WalEntry::Slot {
+                slot: usize::try_from(u64_at(1)?).ok()?,
+                opid: u32_at(9)?,
+                digest_after: u64_at(13)?,
+                record: SlotRecord::Batch(Arc::from(words)),
+            })
+        }
+        TAG_CHECKPOINT => {
+            // [tag][slot 8][digest 8][count 4][count × 8].
+            let count = u32_at(17)? as usize;
+            if body.len() != 21 + 8 * count {
+                return None;
+            }
+            Some(WalEntry::Checkpoint {
+                slot: usize::try_from(u64_at(1)?).ok()?,
+                digest: u64_at(9)?,
+                words: (0..count)
+                    .map(|i| u64_at(21 + 8 * i))
+                    .collect::<Option<_>>()?,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Wrap a body in the `[len][checksum]` frame.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encode one decided slot as a framed record.
+pub fn encode_slot(slot: usize, opid: u32, digest_after: u64, record: &SlotRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match record {
+        SlotRecord::Single(w) => {
+            body.push(TAG_SLOT_SINGLE);
+            body.extend_from_slice(&(slot as u64).to_le_bytes());
+            body.extend_from_slice(&opid.to_le_bytes());
+            body.extend_from_slice(&digest_after.to_le_bytes());
+            body.extend_from_slice(&w.to_le_bytes());
+        }
+        SlotRecord::Batch(ws) => {
+            body.push(TAG_SLOT_BATCH);
+            body.extend_from_slice(&(slot as u64).to_le_bytes());
+            body.extend_from_slice(&opid.to_le_bytes());
+            body.extend_from_slice(&digest_after.to_le_bytes());
+            body.extend_from_slice(&(ws.len() as u32).to_le_bytes());
+            for w in ws.iter() {
+                body.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    frame(body)
+}
+
+/// Encode one installed checkpoint as a framed record.
+pub fn encode_checkpoint(slot: usize, digest: u64, words: &[u64]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.push(TAG_CHECKPOINT);
+    body.extend_from_slice(&(slot as u64).to_le_bytes());
+    body.extend_from_slice(&digest.to_le_bytes());
+    body.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for w in words {
+        body.extend_from_slice(&w.to_le_bytes());
+    }
+    frame(body)
+}
+
+/// The WAL file name of shard `s`.
+pub fn shard_file(s: usize) -> String {
+    format!("shard-{s}.wal")
+}
+
+/// Live WAL counters (one set per store, summed over shards).
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Decided records appended.
+    pub records: AtomicU64,
+    /// fsyncs issued (group commits + rotations).
+    pub fsyncs: AtomicU64,
+    /// Checkpoint rotations written.
+    pub checkpoints: AtomicU64,
+    /// Records made durable per fsync (the group-commit batch size).
+    pub batch: Histogram,
+    /// Slot records replayed by recovery.
+    pub replayed: AtomicU64,
+    /// Checkpoint snapshots loaded by recovery.
+    pub loaded_checkpoints: AtomicU64,
+    /// Shard files recovery found torn or corrupt (and truncated).
+    pub torn_tails: AtomicU64,
+}
+
+impl WalStats {
+    /// The counters as a [`DurabilitySnapshot`] for metrics export.
+    pub fn snapshot(&self) -> crate::metrics::DurabilitySnapshot {
+        crate::metrics::DurabilitySnapshot {
+            records_logged: self.records.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            batch_p50: self.batch.quantile(0.50),
+            batch_p95: self.batch.quantile(0.95),
+            records_replayed: self.replayed.load(Ordering::Relaxed),
+            checkpoints_loaded: self.loaded_checkpoints.load(Ordering::Relaxed),
+            torn_tails: self.torn_tails.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Mutable writer state of one shard's WAL, under one lock.
+struct WalInner {
+    /// Encoded-but-not-yet-written frames: group commit batches the
+    /// `write` syscalls too, not just the fsyncs — one record per
+    /// `append` would cost more than the sync it amortizes.
+    buf: Vec<u8>,
+    /// Logged-but-not-fsynced records (buffered or written).
+    pending: usize,
+    /// Encoded slot records since the last rotation, kept for the next
+    /// rotation's tail (slot, frame bytes).
+    tail: VecDeque<(usize, Vec<u8>)>,
+    /// The slot of the last rotated-in checkpoint (0 = none yet).
+    ckpt_slot: usize,
+    /// The first I/O error, if any: the WAL refuses further writes.
+    error: Option<WalIoError>,
+}
+
+/// One shard's write-ahead log writer; also the [`SlotSink`] attached
+/// to the shard's `UniversalLog`.
+pub struct ShardWal {
+    media: Arc<dyn WalMedia>,
+    name: String,
+    group_commit: usize,
+    rotate_cost: usize,
+    inner: Mutex<WalInner>,
+    stats: Arc<WalStats>,
+}
+
+impl ShardWal {
+    /// A writer for shard `s` over `media`, sharing `stats` with its
+    /// siblings.
+    pub fn new(
+        media: Arc<dyn WalMedia>,
+        s: usize,
+        group_commit: usize,
+        rotate_cost: usize,
+        stats: Arc<WalStats>,
+    ) -> Self {
+        ShardWal {
+            media,
+            name: shard_file(s),
+            group_commit: group_commit.max(1),
+            rotate_cost,
+            inner: Mutex::new(WalInner {
+                buf: Vec::new(),
+                pending: 0,
+                tail: VecDeque::new(),
+                ckpt_slot: 0,
+                error: None,
+            }),
+            stats,
+        }
+    }
+
+    /// The first I/O error this writer hit, if any (it stopped logging
+    /// at that point).
+    pub fn error(&self) -> Option<WalIoError> {
+        self.inner.lock().error.clone()
+    }
+
+    /// Rewrite the file from recovered state: the (optional) checkpoint
+    /// frame followed by the replayed tail frames — the compacted,
+    /// torn-tail-free image recovery continues from. Seeds the writer's
+    /// rotation cache with the same tail.
+    pub fn reset_from_recovery(
+        &self,
+        ckpt: Option<(usize, Vec<u8>)>,
+        tail: Vec<(usize, Vec<u8>)>,
+    ) -> Result<(), WalIoError> {
+        let mut contents = Vec::new();
+        let ckpt_slot = ckpt.as_ref().map_or(0, |(s, _)| *s);
+        if let Some((_, frame)) = &ckpt {
+            contents.extend_from_slice(frame);
+        }
+        for (_, frame) in &tail {
+            contents.extend_from_slice(frame);
+        }
+        self.media.replace(&self.name, &contents)?;
+        let mut inner = self.inner.lock();
+        inner.buf.clear();
+        inner.tail = tail.into();
+        inner.ckpt_slot = ckpt_slot;
+        inner.pending = 0;
+        Ok(())
+    }
+
+    /// Latch `e` as this writer's fatal error (first one wins).
+    fn fail(&self, inner: &mut WalInner, e: WalIoError) {
+        if inner.error.is_none() {
+            eprintln!("ff-store wal: shard log {} failed: {e}", self.name);
+            inner.error = Some(e);
+        }
+    }
+
+    fn sync_locked(&self, inner: &mut WalInner) {
+        if inner.pending == 0 || inner.error.is_some() {
+            return;
+        }
+        if !inner.buf.is_empty() {
+            let buf = std::mem::take(&mut inner.buf);
+            if let Err(e) = self.media.append(&self.name, &buf) {
+                self.fail(inner, e);
+                return;
+            }
+        }
+        match self.media.sync(&self.name) {
+            Ok(()) => {
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.stats.batch.record(inner.pending as u64);
+                inner.pending = 0;
+            }
+            Err(e) => self.fail(inner, e),
+        }
+    }
+
+    /// Force-fsync any pending records (shutdown / verification edge).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        self.sync_locked(&mut inner);
+    }
+}
+
+impl SlotSink for ShardWal {
+    fn slot_decided(&self, slot: usize, opid: u32, record: &SlotRecord, digest_after: u64) {
+        let frame = encode_slot(slot, opid, digest_after, record);
+        let mut inner = self.inner.lock();
+        if inner.error.is_some() {
+            return;
+        }
+        inner.buf.extend_from_slice(&frame);
+        inner.tail.push_back((slot, frame));
+        inner.pending += 1;
+        self.stats.records.fetch_add(1, Ordering::Relaxed);
+        if inner.pending >= self.group_commit {
+            self.sync_locked(&mut inner);
+        }
+    }
+
+    fn checkpoint_installed(&self, slot: usize, digest: u64, words: &[u64]) {
+        let mut inner = self.inner.lock();
+        if inner.error.is_some() {
+            return;
+        }
+        // Concurrent handles can emit checkpoints out of order (the
+        // installer of boundary S+k may report before S's); rotating
+        // back to an older checkpoint would lose records, so only ever
+        // roll forward.
+        if slot <= inner.ckpt_slot {
+            return;
+        }
+        let mut contents = encode_checkpoint(slot, digest, words);
+        // Rotation is compaction, and it costs a full-file rewrite plus
+        // two fsyncs. Only pay that when the record frames it drops
+        // outweigh the snapshot it writes; skipped boundaries cost
+        // nothing — recovery replays the longer tail from the last
+        // checkpoint that *did* reach the file.
+        let reclaimed: usize = inner
+            .tail
+            .iter()
+            .take_while(|(s, _)| *s < slot)
+            .map(|(_, frame)| frame.len())
+            .sum();
+        if reclaimed < contents.len().saturating_add(self.rotate_cost) {
+            return;
+        }
+        inner.tail.retain(|(s, _)| *s >= slot);
+        for (_, frame) in &inner.tail {
+            contents.extend_from_slice(frame);
+        }
+        match self.media.replace(&self.name, &contents) {
+            Ok(()) => {
+                inner.ckpt_slot = slot;
+                // The replace made the pending records durable too:
+                // buffered frames at slots >= S are in the tail it
+                // wrote, and earlier ones are covered by the snapshot.
+                inner.buf.clear();
+                if inner.pending > 0 {
+                    self.stats.batch.record(inner.pending as u64);
+                    inner.pending = 0;
+                }
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.fail(&mut inner, e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_slot(0, 7, 0x1111, &SlotRecord::Single(42)));
+        bytes.extend_from_slice(&encode_slot(
+            1,
+            8,
+            0x2222,
+            &SlotRecord::Batch(Arc::from(vec![1u64, 2, 3])),
+        ));
+        bytes.extend_from_slice(&encode_checkpoint(2, 0x3333, &[9, 9, 9]));
+        bytes
+    }
+
+    #[test]
+    fn scan_round_trips_all_record_kinds() {
+        let bytes = sample_frames();
+        let scan = scan(&bytes);
+        assert!(scan.corrupt.is_none(), "{:?}", scan.corrupt);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.entries.len(), 3);
+        assert_eq!(
+            scan.entries[0],
+            WalEntry::Slot {
+                slot: 0,
+                opid: 7,
+                digest_after: 0x1111,
+                record: SlotRecord::Single(42)
+            }
+        );
+        assert_eq!(
+            scan.entries[2],
+            WalEntry::Checkpoint {
+                slot: 2,
+                digest: 0x3333,
+                words: vec![9, 9, 9]
+            }
+        );
+    }
+
+    #[test]
+    fn scan_truncates_at_torn_tail() {
+        let bytes = sample_frames();
+        let first = encode_slot(0, 7, 0x1111, &SlotRecord::Single(42)).len();
+        // Cut mid-second-record: the valid prefix is exactly one record.
+        let torn = &bytes[..first + 5];
+        let scan = scan(torn);
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.valid_len, first);
+        assert_eq!(scan.torn_bytes, 5);
+        assert!(scan.corrupt.is_some());
+    }
+
+    #[test]
+    fn scan_stops_at_flipped_byte() {
+        let mut bytes = sample_frames();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let scan = scan(&bytes);
+        // Whatever record the flip landed in, everything before decodes
+        // and nothing panics.
+        assert!(scan.corrupt.is_some());
+        assert!(scan.valid_len <= mid);
+    }
+
+    #[test]
+    fn scan_rejects_absurd_length_without_allocating() {
+        let mut bytes = vec![0u8; HEADER_LEN];
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let scan = scan(&bytes);
+        assert!(scan.entries.is_empty());
+        assert_eq!(scan.corrupt.as_deref(), Some("bad record length"));
+    }
+
+    #[test]
+    fn writer_group_commits_and_rotates() {
+        let dir = std::env::temp_dir().join(format!("ff-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let media: Arc<dyn WalMedia> = Arc::new(FsMedia::open(&dir).unwrap());
+        let stats = Arc::new(WalStats::default());
+        let wal = ShardWal::new(Arc::clone(&media), 0, 4, 0, Arc::clone(&stats));
+        for slot in 0..6usize {
+            wal.slot_decided(
+                slot,
+                slot as u32,
+                &SlotRecord::Single(slot as u64),
+                slot as u64,
+            );
+        }
+        // 6 records, group commit 4: one fsync so far, 2 pending.
+        assert_eq!(stats.fsyncs.load(Ordering::Relaxed), 1);
+        wal.checkpoint_installed(4, 0xabc, &[1, 2]);
+        let scanned = scan(&media.read(&shard_file(0)).unwrap().unwrap());
+        assert!(scanned.corrupt.is_none());
+        // Rotation: checkpoint first, then only slots >= 4.
+        assert!(matches!(
+            scanned.entries[0],
+            WalEntry::Checkpoint { slot: 4, .. }
+        ));
+        let slots: Vec<usize> = scanned.entries[1..]
+            .iter()
+            .map(|e| match e {
+                WalEntry::Slot { slot, .. } => *slot,
+                _ => panic!("unexpected checkpoint"),
+            })
+            .collect();
+        assert_eq!(slots, vec![4, 5]);
+        // A stale (older) checkpoint must not roll the file back.
+        wal.checkpoint_installed(2, 0xdef, &[3]);
+        let scanned = scan(&media.read(&shard_file(0)).unwrap().unwrap());
+        assert!(matches!(
+            scanned.entries[0],
+            WalEntry::Checkpoint { slot: 4, .. }
+        ));
+        assert!(wal.error().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A valid WAL image derived deterministically from draw seeds:
+    /// each seed picks a record kind and its payload.
+    fn frames_from_seeds(seeds: &[u64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, &x) in seeds.iter().enumerate() {
+            match x % 3 {
+                0 => out.extend_from_slice(&encode_slot(
+                    i,
+                    x as u32,
+                    x ^ 0x1111,
+                    &SlotRecord::Single(x >> 3),
+                )),
+                1 => {
+                    let ws: Vec<u64> = (0..1 + (x % 4)).map(|j| x.wrapping_mul(j + 1)).collect();
+                    out.extend_from_slice(&encode_slot(
+                        i,
+                        x as u32,
+                        x >> 7,
+                        &SlotRecord::Batch(Arc::from(ws)),
+                    ));
+                }
+                _ => {
+                    let ws: Vec<u64> = (0..(x % 4)).map(|j| x ^ j).collect();
+                    out.extend_from_slice(&encode_checkpoint(i + 1, x >> 11, &ws));
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // The decoder is total: any byte soup, any truncation point,
+        // any single-byte mutation — scan returns, never panics, and
+        // the valid prefix re-scans identically.
+        #[test]
+        fn scan_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let s = scan(&bytes);
+            prop_assert!(s.valid_len + s.torn_bytes == bytes.len());
+            let again = scan(&bytes[..s.valid_len]);
+            prop_assert!(again.corrupt.is_none());
+            prop_assert_eq!(again.entries.len(), s.entries.len());
+        }
+
+        #[test]
+        fn scan_survives_truncation_of_valid_logs(
+            seeds in proptest::collection::vec(any::<u64>(), 0..8),
+            cut in any::<u16>(),
+        ) {
+            let wal = frames_from_seeds(&seeds);
+            let cut = cut as usize % (wal.len() + 1);
+            let s = scan(&wal[..cut]);
+            // Truncation only ever shortens the entry list; the valid
+            // prefix always re-decodes cleanly.
+            prop_assert!(s.valid_len <= cut);
+            prop_assert!(scan(&wal[..s.valid_len]).corrupt.is_none());
+        }
+
+        #[test]
+        fn scan_survives_single_byte_mutation(
+            seeds in proptest::collection::vec(any::<u64>(), 1..8),
+            at in any::<u16>(),
+            xor in any::<u8>(),
+        ) {
+            let mut mutated = frames_from_seeds(&seeds);
+            let at = at as usize % mutated.len();
+            mutated[at] ^= xor | 1;
+            let s = scan(&mutated);
+            // Never panics; whatever survives is a decodable prefix.
+            prop_assert!(scan(&mutated[..s.valid_len]).corrupt.is_none());
+        }
+    }
+}

@@ -190,7 +190,13 @@ fn store_stress_every_tolerated_fault_kind() {
                 StoreConfig::builder()
                     .shards(3)
                     .backend(Backend::Robust)
-                    .fault(FaultConfig { kind, f, t, rate })
+                    .fault(FaultConfig {
+                        kind,
+                        f,
+                        t,
+                        rate,
+                        ..FaultConfig::default()
+                    })
                     .rotate_kinds(false)
                     .checkpoint_interval(16)
                     .seed(0xBEEF + seed)
