@@ -93,6 +93,7 @@ impl Baseline {
 const SWEEP_POINTS: [usize; 3] = [100, 1_000, 10_000];
 
 struct BenchConfig {
+    backend: Backend,
     connections: usize,
     shards: usize,
     secs: f64,
@@ -117,6 +118,7 @@ struct BenchConfig {
 impl Default for BenchConfig {
     fn default() -> Self {
         BenchConfig {
+            backend: Backend::robust(),
             connections: 4,
             shards: 4,
             secs: 3.0,
@@ -166,7 +168,7 @@ impl ArmReport {
         JsonValue::Object(vec![
             (
                 "backend".into(),
-                JsonValue::String(self.backend.label().into()),
+                JsonValue::String(self.backend.name().into()),
             ),
             (
                 "connections".into(),
@@ -489,13 +491,13 @@ fn run_arm(
 ) -> ArmReport {
     let mut builder = StoreConfig::builder()
         .shards(cfg.shards)
-        .backend(backend)
-        .fault_rate(if backend == Backend::Reliable {
-            0.0
-        } else {
+        .backend(backend.clone())
+        .fault_rate(if backend.injects_faults() {
             fault_rate
+        } else {
+            0.0
         })
-        .rotate_kinds(backend != Backend::Reliable)
+        .rotate_kinds(backend.injects_faults())
         .checkpoint_interval(cfg.checkpoint_interval)
         .combining(cfg.combining)
         .seed(seed);
@@ -504,7 +506,7 @@ fn run_arm(
         // every (backend, connections) arm gets its own directory, so a
         // later --recover run finds exactly its own history.
         builder = builder
-            .data_dir(format!("{base}/{}-c{}", backend.label(), connections))
+            .data_dir(format!("{base}/{}-c{}", backend.name(), connections))
             .group_commit(cfg.group_commit);
     }
     let store_config = builder.build().unwrap_or_else(|e| {
@@ -607,7 +609,7 @@ fn usage() -> ! {
          \x20              [--read-pct P] [--keyspace N] [--fault-rate R]\n\
          \x20              [--checkpoint-interval N] [--seed N] [--loops N]\n\
          \x20              [--replica-budget N] [--drivers N] [--combining]\n\
-         \x20              [--sweep] [--skip-naive] [--json-out PATH]\n\
+         \x20              [--backend NAME] [--sweep] [--skip-naive] [--json-out PATH]\n\
          \x20              [--data-dir DIR] [--group-commit N] [--recover]"
     );
     std::process::exit(2);
@@ -634,6 +636,12 @@ fn main() {
             })
         };
         match arg.as_str() {
+            "--backend" => {
+                cfg.backend = value("--backend").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                })
+            }
             "--connections" => {
                 cfg.connections = value("--connections").parse().unwrap_or_else(|_| usage())
             }
@@ -685,13 +693,13 @@ fn main() {
     let mut robust_arms: Vec<ArmReport> = Vec::new();
     for &p in &points {
         eprintln!(
-            "netbench: robust arm, {} connection(s) x {} shard(s) over localhost TCP, \
+            "netbench: {} arm, {} connection(s) x {} shard(s) over localhost TCP, \
              {}s, batch {}, fault rate {} …",
-            p, cfg.shards, cfg.secs, cfg.batch, cfg.fault_rate
+            cfg.backend, p, cfg.shards, cfg.secs, cfg.batch, cfg.fault_rate
         );
         let arm = run_arm(
             &cfg,
-            Backend::Robust,
+            cfg.backend.clone(),
             cfg.fault_rate,
             cfg.secs,
             cfg.seed ^ (p as u64) << 8,
@@ -699,12 +707,18 @@ fn main() {
             true,
         );
         println!("{}", arm.snapshot.render_tables());
-        arm.print_summary("robust arm");
+        arm.print_summary(&format!("{} arm", cfg.backend));
         robust_arms.push(arm);
     }
-    let robust_ok = robust_arms
-        .iter()
-        .all(|a| a.verify_consistent && a.client_errors.is_empty() && a.shutdown_errors.is_empty());
+    // A measured arm on a substrate that is *expected* to corrupt state
+    // (the naive witness) cannot be held to verify-consistency.
+    let expect_consistent = cfg.backend.expected_consistent();
+    let robust_ok = robust_arms.iter().all(|a| {
+        (a.verify_consistent || !expect_consistent)
+            && (a.client_errors.is_empty()
+                || (!expect_consistent && a.client_errors.len() == a.divergence_errors))
+            && a.shutdown_errors.is_empty()
+    });
 
     // The witness arm: short bursts at a meaningful fault rate until
     // the naive backend is caught — the violation is existential, so
@@ -720,7 +734,7 @@ fn main() {
             naive_attempts += 1;
             let arm = run_arm(
                 &cfg,
-                Backend::Naive,
+                Backend::naive(),
                 naive_rate,
                 (cfg.secs / 4.0).clamp(0.2, 1.0),
                 cfg.seed ^ (attempt.wrapping_add(1) << 32),

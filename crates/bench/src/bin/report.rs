@@ -21,10 +21,11 @@ use std::time::Instant;
 
 /// All experiments: the workload registry (E1–E14) plus the store-level
 /// soak (E15, in `ff-store`), the network soaks (E16/E17, in `ff-net`),
-/// the flat-combining study (E18, in this crate's lib) and the
+/// the flat-combining study (E18, in this crate's lib), the
 /// deterministic whole-system simulation corpus and its durability
-/// study (E19/E20, in `ff-dst`) — they depend on `ff-workload`, so the
-/// registry itself cannot name them without a cycle.
+/// study (E19/E20, in `ff-dst`) and the consensus-substrate hierarchy
+/// sweep (E21, in this crate's lib) — they depend on `ff-workload`, so
+/// the registry itself cannot name them without a cycle.
 fn full_registry() -> Vec<Box<dyn Experiment>> {
     let mut all = registry();
     all.push(Box::new(ff_store::E15StoreSoak));
@@ -33,6 +34,7 @@ fn full_registry() -> Vec<Box<dyn Experiment>> {
     all.push(Box::new(ff_bench::E18Combining));
     all.push(Box::new(ff_dst::E19Dst));
     all.push(Box::new(ff_dst::E20Recovery));
+    all.push(Box::new(ff_bench::E21Substrates));
     all
 }
 
@@ -61,6 +63,10 @@ fn find_any(id: &str) -> Option<Box<dyn Experiment>> {
         .or_else(|| {
             id.eq_ignore_ascii_case("e20")
                 .then(|| Box::new(ff_dst::E20Recovery) as Box<dyn Experiment>)
+        })
+        .or_else(|| {
+            id.eq_ignore_ascii_case("e21")
+                .then(|| Box::new(ff_bench::E21Substrates) as Box<dyn Experiment>)
         })
 }
 

@@ -26,13 +26,15 @@
 //! one process and exits nonzero if the durable arm drops below 0.7×
 //! the in-memory throughput — the group-commit cost budget.
 
-use ff_store::{try_run_soak, Backend, DurabilityConfig, SoakConfig, SoakReport};
+use ff_bench::{run_substrate_sweep, substrate_sweep_json, substrate_table, SubstrateArm};
+use ff_store::{try_run_soak, DurabilityConfig, SoakConfig, SoakReport};
 use ff_workload::JsonValue;
 
 fn usage() -> ! {
     eprintln!(
         "usage: soak [--threads N] [--shards N] [--secs S] [--fault-rate R]\n\
-         \x20           [--backend reliable|robust|naive] [--read-pct P]\n\
+         \x20           [--backend NAME] [--read-pct P]\n\
+         \x20           [--substrates] (hierarchy sweep over every registered substrate)\n\
          \x20           [--keyspace N] [--checkpoint-interval N] [--seed N]\n\
          \x20           [--combining] [--ab] [--json-out PATH]\n\
          \x20           [--data-dir DIR] [--group-commit N] [--recover]\n\
@@ -52,9 +54,10 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 fn main() {
     let mut config = SoakConfig::default();
-    let mut json_out = "BENCH_store.json".to_string();
+    let mut json_out: Option<String> = None;
     let mut ab = false;
     let mut durability_ab = false;
+    let mut substrates = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
@@ -73,15 +76,10 @@ fn main() {
                 config.fault_rate = value("--fault-rate").parse().unwrap_or_else(|_| usage())
             }
             "--backend" => {
-                config.backend = match value("--backend").as_str() {
-                    "reliable" => Backend::Reliable,
-                    "robust" => Backend::Robust,
-                    "naive" => Backend::Naive,
-                    other => {
-                        eprintln!("unknown backend: {other}");
-                        usage();
-                    }
-                }
+                config.backend = value("--backend").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                })
             }
             "--read-pct" => {
                 config.read_pct = value("--read-pct").parse().unwrap_or_else(|_| usage())
@@ -97,6 +95,7 @@ fn main() {
             "--seed" => config.seed = parse_seed(&value("--seed")).unwrap_or_else(|| usage()),
             "--combining" => config.combining = true,
             "--ab" => ab = true,
+            "--substrates" => substrates = true,
             "--data-dir" => {
                 config.durability.data_dir = Some(value("--data-dir").into());
             }
@@ -106,7 +105,7 @@ fn main() {
             }
             "--recover" => config.recover = true,
             "--durability-ab" => durability_ab = true,
-            "--json-out" => json_out = value("--json-out"),
+            "--json-out" => json_out = Some(value("--json-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -119,6 +118,18 @@ fn main() {
         eprintln!("--recover needs --data-dir: there is nothing to recover from");
         usage();
     }
+    if substrates {
+        if ab || durability_ab || config.durability.enabled() {
+            eprintln!("--substrates is its own mode; drop --ab/--durability-ab/--data-dir");
+            usage();
+        }
+        run_substrates(
+            config.secs,
+            &json_out.unwrap_or_else(|| "BENCH_substrates.json".into()),
+        );
+        return;
+    }
+    let json_out = json_out.unwrap_or_else(|| "BENCH_store.json".into());
     if durability_ab {
         if ab {
             eprintln!("--ab and --durability-ab are separate modes; pick one");
@@ -141,13 +152,34 @@ fn main() {
     check_consistent(&report);
 }
 
+/// The hierarchy sweep: the same soak once per registered substrate,
+/// one comparison table, one JSON document — and exit nonzero if any
+/// substrate that promises consistency diverged (the CI backend-matrix
+/// gate).
+fn run_substrates(secs: f64, json_out: &str) {
+    eprintln!(
+        "substrate sweep: {} registered substrate(s), {secs}s each …",
+        ff_store::substrate_names().len()
+    );
+    let arms = run_substrate_sweep(secs);
+    println!("{}", substrate_table(&arms).render());
+    for arm in &arms {
+        println!("  {}: {}", arm.backend.name(), arm.backend.describe());
+    }
+    write_json(json_out, substrate_sweep_json(&arms));
+    if !arms.iter().all(SubstrateArm::ok) {
+        eprintln!("DIVERGENCE: a substrate that promises consistency did not verify");
+        std::process::exit(1);
+    }
+}
+
 fn soak_arm(config: &SoakConfig) -> SoakReport {
     eprintln!(
         "soaking: {} worker(s) x {} shard(s), {}s, backend {}, fault rate {}, combining {}, durable {}{} …",
         config.threads,
         config.shards,
         config.secs,
-        config.backend.label(),
+        config.backend.name(),
         config.fault_rate,
         config.combining,
         config.durability.enabled(),

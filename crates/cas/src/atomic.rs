@@ -61,6 +61,16 @@ impl CasCell for AtomicCas {
     }
 }
 
+impl crate::raw::RawCas for AtomicCas {
+    fn load(&self) -> Word {
+        AtomicCas::load(self)
+    }
+
+    fn swap(&self, new: Word) -> Word {
+        AtomicCas::swap(self, new)
+    }
+}
+
 /// A fault-free ensemble of CAS objects, all initialized with `⊥`.
 #[derive(Debug)]
 pub struct AtomicCasArray {

@@ -22,6 +22,7 @@ use crate::atomic::AtomicCas;
 use crate::budget::NativeBudget;
 use crate::cell::CasEnsemble;
 use crate::policy::{splitmix64, FaultPolicy, NeverPolicy};
+use crate::raw::RawCas;
 use crate::stats::EnsembleStats;
 use ff_spec::{
     classify_cas, Bound, CasClassification, CasRecord, FaultKind, History, ObjectId, OpEvent,
@@ -49,8 +50,13 @@ pub fn thread_process_id() -> ProcessId {
 
 /// A CAS ensemble whose designated faulty objects inject functional
 /// faults, within an `(f, t)` budget.
+///
+/// The inner objects default to [`AtomicCas`] words, but any
+/// [`RawCas`] implementation can be wrapped instead
+/// ([`FaultyCasArrayBuilder::over_cells`]) — that is how the robust
+/// constructions are composed over the weaker-primitive substrates.
 pub struct FaultyCasArray {
-    cells: Vec<AtomicCas>,
+    cells: Vec<Arc<dyn RawCas>>,
     kind: FaultKind,
     budget: NativeBudget,
     policy: Box<dyn FaultPolicy>,
@@ -146,7 +152,6 @@ impl CasEnsemble for FaultyCasArray {
                     }
                 }
                 FaultKind::Invisible => {
-                    use crate::cell::CasCell as _;
                     let old = cell.cas(exp, new);
                     let post = if old == exp { new } else { old };
                     CasRecord {
@@ -179,7 +184,6 @@ impl CasEnsemble for FaultyCasArray {
                 }
             }
         } else {
-            use crate::cell::CasCell as _;
             let old = cell.cas(exp, new);
             let post = if old == exp { new } else { old };
             CasRecord {
@@ -215,6 +219,7 @@ pub struct FaultyCasArrayBuilder {
     policy: Box<dyn FaultPolicy>,
     record_history: bool,
     shared_stats: Option<Arc<EnsembleStats>>,
+    inner_cells: Option<Vec<Arc<dyn RawCas>>>,
 }
 
 impl FaultyCasArrayBuilder {
@@ -229,6 +234,7 @@ impl FaultyCasArrayBuilder {
             policy: Box::new(NeverPolicy),
             record_history: true,
             shared_stats: None,
+            inner_cells: None,
         }
     }
 
@@ -291,11 +297,38 @@ impl FaultyCasArrayBuilder {
         self
     }
 
+    /// Inject faults over these inner objects instead of fresh
+    /// [`AtomicCas`] words — the seam that lets the robust
+    /// constructions compose over any consensus substrate. The vector
+    /// must hold exactly `count` cells.
+    ///
+    /// Not every fault kind is realizable over every inner object: an
+    /// *arbitrary* fault swaps a full-width junk word in, which an
+    /// inner object with a narrower value domain (e.g.
+    /// [`KwCas`](crate::KwCas), whose packed encoding holds inputs and
+    /// `⊥` only) will refuse by panicking. Substrates declare which
+    /// kinds they tolerate; configuration layers enforce it.
+    pub fn over_cells(mut self, cells: Vec<Arc<dyn RawCas>>) -> Self {
+        assert_eq!(
+            cells.len(),
+            self.count,
+            "inner cells ({}) must match the ensemble size ({})",
+            cells.len(),
+            self.count
+        );
+        self.inner_cells = Some(cells);
+        self
+    }
+
     /// Build the ensemble.
     pub fn build(self) -> FaultyCasArray {
         let budget = NativeBudget::new(self.count, &self.faulty_set, self.per_object);
         FaultyCasArray {
-            cells: (0..self.count).map(|_| AtomicCas::new()).collect(),
+            cells: self.inner_cells.unwrap_or_else(|| {
+                (0..self.count)
+                    .map(|_| Arc::new(AtomicCas::new()) as Arc<dyn RawCas>)
+                    .collect()
+            }),
             kind: self.kind,
             budget,
             policy: self.policy,

@@ -34,15 +34,21 @@ pub mod atomic;
 pub mod budget;
 pub mod cell;
 pub mod faulty;
+pub mod kw;
 pub mod policy;
+pub mod raw;
 pub mod stats;
+pub mod wfa;
 
 pub use atomic::{AtomicCas, AtomicCasArray};
 pub use budget::NativeBudget;
 pub use cell::{CasCell, CasEnsemble, EnsembleCell};
 pub use faulty::{set_thread_process_id, thread_process_id, FaultyCasArray, FaultyCasArrayBuilder};
+pub use kw::{KwCas, KwCasArray};
 pub use policy::{
     splitmix64, AlwaysPolicy, EveryNthPolicy, FaultPolicy, FirstKPolicy, NeverPolicy,
     ProbabilisticPolicy, ScriptedPolicy,
 };
+pub use raw::RawCas;
 pub use stats::{EnsembleStats, ObjectStats};
+pub use wfa::WriteAndFArray;

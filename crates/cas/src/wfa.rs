@@ -1,0 +1,290 @@
+//! The write-and-f-array shared object, after Obryk ("Write-and-f-array:
+//! implementation and an application", arXiv 1407.6153).
+//!
+//! A write-and-f-array generalizes a max-array: it holds an array of
+//! single-writer cells and supports `write_and_f(i, v)` — atomically
+//! write `v` into cell `i` and return `f` applied to the whole array —
+//! in one linearizable step. Only the paper's abstract is available
+//! offline, so this module is an independent construction of the
+//! *object* (not a transcription of Obryk's polylogarithmic algorithm):
+//! we choose the aggregate `f(A) = (count of written cells, min of
+//! written values)`, which is exactly the summary a consensus
+//! arbitration stage needs, and implement it from `fetch_min` slots
+//! plus a CAS-merged aggregation root. The root merge is a retry loop,
+//! so this implementation is lock-free rather than wait-free — the
+//! hierarchy sweep measures the construction, it does not claim Obryk's
+//! step complexity.
+//!
+//! Consensus-wise the object is *weak*: `write_and_f` operations
+//! commute in Herlihy's sense once two distinct cells are written
+//! (both writers see both writes or a symmetric disagreement), so a
+//! write-and-f-array alone has bounded consensus number and cannot
+//! arbitrate among `n` processes. The substrate layer therefore pairs
+//! it with a separate arbitration stage (see `WafConsensus` in
+//! `ff-consensus`): the array aggregates candidate inputs — validity
+//! comes from `min` being some process's input — and a single
+//! downstream consensus object picks the decided aggregate.
+//!
+//! Packing: the root word is `[count:31 | min_enc:33]` with
+//! `min_enc = 0` for "nothing written yet" and `v + 1` otherwise;
+//! values are 32-bit inputs (the store's `Input` domain), wider words
+//! are refused loudly.
+
+use ff_spec::Word;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for an unwritten slot (`fetch_min` identity).
+const EMPTY: u64 = u64::MAX;
+/// Bits of the packed min field in the root word.
+const ENC_BITS: u32 = 33;
+const ENC_MASK: u64 = (1 << ENC_BITS) - 1;
+const MAX_COUNT: u64 = (1 << 31) - 1;
+
+fn enc(v: Word) -> u64 {
+    assert!(
+        v <= u32::MAX as u64,
+        "write-and-f-array cannot hold word {v:#x}: values are 32-bit inputs"
+    );
+    v + 1
+}
+
+fn pack_root(count: u64, min_enc: u64) -> u64 {
+    debug_assert!(count <= MAX_COUNT && min_enc <= ENC_MASK);
+    (count << ENC_BITS) | min_enc
+}
+
+fn unpack_root(word: u64) -> (u64, u64) {
+    (word >> ENC_BITS, word & ENC_MASK)
+}
+
+/// The aggregate a [`WriteAndFArray::write_and_f`] returns: `f(A)` over
+/// the written cells at the operation's linearization point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WafView {
+    /// Number of distinct cells written so far (including this write).
+    pub count: u64,
+    /// Minimum value written so far, `None` before any write.
+    pub min: Option<Word>,
+}
+
+/// A write-and-f-array over `m` cells with
+/// `f(A) = (count written, min value)`.
+pub struct WriteAndFArray {
+    slots: Vec<AtomicU64>,
+    /// Packed `(count, min_enc)` aggregate, merged monotonically.
+    root: AtomicU64,
+    /// Slot-naming oracle for callers without stable ids.
+    ticket: AtomicU64,
+}
+
+impl WriteAndFArray {
+    /// An array of `m` unwritten cells.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "need at least one cell");
+        WriteAndFArray {
+            slots: (0..m).map(|_| AtomicU64::new(EMPTY)).collect(),
+            root: AtomicU64::new(pack_root(0, 0)),
+            ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the array has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Write `v` into cell `slot` and return the aggregate over the
+    /// whole array, atomically at the root merge.
+    ///
+    /// Cells are single-value-monotone rather than single-writer: a
+    /// second write to the same slot keeps the smaller value
+    /// (`fetch_min`), which preserves the aggregate's meaning — `min`
+    /// is still the min of all values ever written, `count` still the
+    /// number of distinct cells touched.
+    pub fn write_and_f(&self, slot: usize, v: Word) -> WafView {
+        let venc = enc(v);
+        let old = self.slots[slot].fetch_min(v, Ordering::SeqCst);
+        let first_write = old == EMPTY;
+        // Merge into the root: count grows by one on a slot's first
+        // write, min shrinks monotonically. The CAS loop is the
+        // linearization point; both components only move one way, so a
+        // lost race means someone else's merge already advanced the
+        // aggregate and we retry against the newer view.
+        let mut cur = self.root.load(Ordering::SeqCst);
+        loop {
+            let (count, min_enc) = unpack_root(cur);
+            let new_count = count + u64::from(first_write);
+            assert!(new_count <= MAX_COUNT, "write-and-f-array count overflow");
+            let new_min = if min_enc == 0 {
+                venc
+            } else {
+                min_enc.min(venc)
+            };
+            let next = pack_root(new_count, new_min);
+            match self
+                .root
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    return WafView {
+                        count: new_count,
+                        min: Some(if new_min == 0 {
+                            unreachable!()
+                        } else {
+                            new_min - 1
+                        }),
+                    }
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Write `v` into a ticket-chosen cell (round-robin naming for
+    /// callers without stable slot ids) and return the aggregate.
+    pub fn write_and_f_auto(&self, v: Word) -> WafView {
+        let slot = (self.ticket.fetch_add(1, Ordering::SeqCst) as usize) % self.slots.len();
+        self.write_and_f(slot, v)
+    }
+
+    /// Read the current aggregate without writing.
+    pub fn read_f(&self) -> WafView {
+        let (count, min_enc) = unpack_root(self.root.load(Ordering::SeqCst));
+        WafView {
+            count,
+            min: if min_enc == 0 {
+                None
+            } else {
+                Some(min_enc - 1)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregate_tracks_count_and_min() {
+        let a = WriteAndFArray::new(4);
+        assert_eq!(
+            a.read_f(),
+            WafView {
+                count: 0,
+                min: None
+            }
+        );
+        assert_eq!(
+            a.write_and_f(0, 7),
+            WafView {
+                count: 1,
+                min: Some(7)
+            }
+        );
+        assert_eq!(
+            a.write_and_f(1, 3),
+            WafView {
+                count: 2,
+                min: Some(3)
+            }
+        );
+        assert_eq!(
+            a.write_and_f(2, 9),
+            WafView {
+                count: 3,
+                min: Some(3)
+            }
+        );
+        assert_eq!(
+            a.read_f(),
+            WafView {
+                count: 3,
+                min: Some(3)
+            }
+        );
+    }
+
+    #[test]
+    fn rewriting_a_slot_keeps_count_and_min_semantics() {
+        let a = WriteAndFArray::new(2);
+        a.write_and_f(0, 7);
+        let v = a.write_and_f(0, 4);
+        assert_eq!(
+            v,
+            WafView {
+                count: 1,
+                min: Some(4)
+            },
+            "same slot: count stays"
+        );
+        let v = a.write_and_f(0, 9);
+        assert_eq!(v.min, Some(4), "slots are min-monotone");
+    }
+
+    #[test]
+    fn auto_slots_rotate() {
+        let a = WriteAndFArray::new(2);
+        a.write_and_f_auto(5);
+        a.write_and_f_auto(6);
+        let v = a.read_f();
+        assert_eq!(v.count, 2, "two tickets land in two distinct slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold word")]
+    fn junk_words_are_refused() {
+        let a = WriteAndFArray::new(1);
+        a.write_and_f(0, 0xDEAD_BEEF_0000_0001);
+    }
+
+    #[test]
+    fn concurrent_writes_aggregate_exactly() {
+        // n threads each write a distinct slot; the final aggregate
+        // must count all n and hold the global min, and every returned
+        // view must be consistent (count ≥ 1, min ≤ own value).
+        for _ in 0..50 {
+            let n = 8usize;
+            let a = Arc::new(WriteAndFArray::new(n));
+            let views: Vec<(u64, WafView)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let a = Arc::clone(&a);
+                        s.spawn(move || {
+                            let v = (i as u64) * 3 + 10;
+                            (v, a.write_and_f(i, v))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let fin = a.read_f();
+            assert_eq!(fin.count, n as u64);
+            assert_eq!(fin.min, Some(10));
+            for (own, view) in views {
+                assert!(view.count >= 1 && view.count <= n as u64);
+                assert!(view.min.unwrap() <= own, "aggregate min bounds own write");
+            }
+            // Views with the full count must report the global min: the
+            // root merge is atomic, so the last merge sees everything.
+            for (_, view) in views_with_full_count(&a, n) {
+                assert_eq!(view.min, Some(10));
+            }
+        }
+    }
+
+    fn views_with_full_count(a: &WriteAndFArray, n: usize) -> Vec<((), WafView)> {
+        let v = a.read_f();
+        if v.count == n as u64 {
+            vec![((), v)]
+        } else {
+            vec![]
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Consensus through a write-and-f-array aggregation stage (Obryk,
+//! arXiv 1407.6153).
+//!
+//! A write-and-f-array alone cannot solve `n`-process consensus: once
+//! two processes write distinct cells the operations commute in
+//! Herlihy's sense, so the object's consensus number is bounded (2).
+//! What it *does* give wait-free is a one-step linearizable **aggregate
+//! of all inputs announced so far** — here `f(A) = (count, min)`. This
+//! protocol uses that aggregate as a candidate-selection stage in front
+//! of a single pluggable arbitration consensus:
+//!
+//! 1. `write_and_f(input)` — announce the input and atomically receive
+//!    the min over all inputs announced up to this instant;
+//! 2. `arb.decide(min)` — one downstream consensus object arbitrates
+//!    among the (already input-valid) candidates.
+//!
+//! **Validity** holds end to end: the min over announced inputs is some
+//! process's input, and the arbitration stage only ever decides one of
+//! its proposals. **Agreement** and wait-freedom are inherited from the
+//! arbitration object. The point, for the hierarchy sweep, is that the
+//! expensive all-process data funnel runs on an object *weaker than
+//! CAS*, shrinking the arbitration stage to one decision over
+//! pre-aggregated candidates — the shape of Obryk's `f`-array
+//! application, measured here over both reliable and functionally
+//! faulty arbitration objects.
+
+use crate::protocol::Consensus;
+use ff_cas::WriteAndFArray;
+use ff_spec::{Input, Tolerance};
+use std::sync::Arc;
+
+/// Consensus = write-and-f-array aggregation + pluggable arbitration.
+pub struct WafConsensus {
+    waf: WriteAndFArray,
+    arb: Arc<dyn Consensus>,
+}
+
+impl WafConsensus {
+    /// Aggregate through a `slots`-cell write-and-f-array, arbitrate
+    /// with `arb`.
+    pub fn new(slots: usize, arb: Arc<dyn Consensus>) -> Self {
+        WafConsensus {
+            waf: WriteAndFArray::new(slots),
+            arb,
+        }
+    }
+
+    /// The arbitration stage (exposed for accounting and tests).
+    pub fn arbitration(&self) -> &dyn Consensus {
+        self.arb.as_ref()
+    }
+}
+
+impl Consensus for WafConsensus {
+    fn decide(&self, val: Input) -> Input {
+        let view = self.waf.write_and_f_auto(val.to_word());
+        let candidate = Input::from_word(view.min.expect("own write is visible"))
+            .expect("aggregate min is a written input");
+        self.arb.decide(candidate)
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        // The aggregation stage is fault-free (plain atomics); faults
+        // live in the arbitration stage's ensemble.
+        self.arb.tolerance()
+    }
+
+    fn objects_used(&self) -> usize {
+        // The write-and-f-array counts as one shared object alongside
+        // whatever the arbitration stage consumes.
+        1 + self.arb.objects_used()
+    }
+
+    fn name(&self) -> &'static str {
+        "write-and-f-array"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::herlihy::HerlihyConsensus;
+    use ff_cas::AtomicCasArray;
+
+    fn waf_over_reliable(n: usize) -> WafConsensus {
+        let ensemble = Arc::new(AtomicCasArray::new(1));
+        WafConsensus::new(n, Arc::new(HerlihyConsensus::new(ensemble)))
+    }
+
+    #[test]
+    fn decides_an_input_and_sticks() {
+        let c = waf_over_reliable(4);
+        let first = c.decide(Input(9));
+        assert_eq!(first, Input(9), "solo run decides own input");
+        assert_eq!(c.decide(Input(3)), first, "later calls agree");
+    }
+
+    #[test]
+    fn accounting_includes_the_array() {
+        let c = waf_over_reliable(4);
+        assert_eq!(c.objects_used(), 2, "waf + one arbitration object");
+        assert_eq!(c.name(), "write-and-f-array");
+    }
+
+    #[test]
+    fn concurrent_agreement_and_validity() {
+        for _ in 0..50 {
+            let n = 8usize;
+            let c = Arc::new(waf_over_reliable(n));
+            let decisions: Vec<Input> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || c.decide(Input(10 + i as u32)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let first = decisions[0];
+            assert!(decisions.iter().all(|&d| d == first), "agreement");
+            assert!(
+                (10..10 + n as u32).contains(&first.0),
+                "validity: decided {first:?} is some input"
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@ use ff_dst::net::ScriptMode;
 use ff_dst::scenario::{arm_ok, arms, run_scenario, CORPUS};
 use ff_dst::trace::{minimize, GoldenTrace};
 use ff_dst::RunReport;
+use ff_store::Backend;
 
 fn usage() -> ! {
     eprintln!(
@@ -274,10 +275,26 @@ fn main() {
     let opts = parse(rest);
     if let Some(s) = &opts.scenario {
         // Fail fast on typos (also validates the arm when present).
+        // Scenarios whose declared arms are substrate names accept
+        // *any* registered substrate — `--arm kw-robust` on
+        // partition-ramp resolves through the registry exactly like
+        // `--backend` on the soak CLIs. Arms like `lease`/`nolease`
+        // stay closed: those scenarios don't vary the backend.
         let known = arms(s);
+        let takes_substrates = known.iter().any(|k| k.parse::<Backend>().is_ok());
         if let Some(a) = &opts.arm {
-            if !known.contains(&a.as_str()) {
-                eprintln!("dst: scenario {s} has arms {known:?}, not {a:?}");
+            let ok =
+                known.contains(&a.as_str()) || (takes_substrates && a.parse::<Backend>().is_ok());
+            if !ok {
+                if takes_substrates {
+                    eprintln!(
+                        "dst: scenario {s} has arms {known:?} (or any registered \
+                         substrate: {}), not {a:?}",
+                        ff_store::substrate_names().join(", ")
+                    );
+                } else {
+                    eprintln!("dst: scenario {s} has arms {known:?}, not {a:?}");
+                }
                 std::process::exit(2);
             }
         }

@@ -240,7 +240,7 @@ fn timed_recovery(n: u32) -> Result<(u64, u64, u64, f64, bool), String> {
     let dir = std::env::temp_dir().join(format!("ff-e20-{}-{n}", std::process::id(),));
     let config = StoreConfig::builder()
         .shards(2)
-        .backend(Backend::Robust)
+        .backend(Backend::robust())
         .fault(FaultConfig {
             rate: 0.05,
             ..FaultConfig::default()

@@ -80,15 +80,22 @@ pub fn arms(scenario: &str) -> &'static [&'static str] {
         .arms
 }
 
+/// Resolve a backend-named arm through the substrate registry: any
+/// registered substrate is a valid arm. The fault rate follows the
+/// substrate's declared expectation — substrates expected to survive
+/// their faults run at a modest 0.05 so the scenario's own chaos stays
+/// the protagonist; the broken witness runs hot at 0.3 so its
+/// divergence is caught within the scenario's horizon.
 fn backend_for(arm: &str) -> (Backend, f64) {
-    match arm {
-        // The paper's construction: tolerates the ramp by design.
-        "robust" => (Backend::Robust, 0.05),
-        // Herlihy's protocol straight over faulty objects: must diverge
-        // and must be *flagged* doing so.
-        "naive" => (Backend::Naive, 0.3),
-        other => panic!("unknown backend arm {other:?}"),
-    }
+    let backend: Backend = arm
+        .parse()
+        .unwrap_or_else(|e| panic!("unknown backend arm: {e}"));
+    let rate = if backend.expected_consistent() {
+        0.05
+    } else {
+        0.3
+    };
+    (backend, rate)
 }
 
 /// Per-role completion floor (a stalled process is a violation even
@@ -440,7 +447,7 @@ fn kill_combiner(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
     let store = Store::new(
         StoreConfig::builder()
             .shards(1)
-            .backend(Backend::Reliable)
+            .backend(Backend::reliable())
             .checkpoint_interval(64)
             .combining(true)
             .combiner_lease(lease)
@@ -505,14 +512,15 @@ fn kill_combiner(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
 }
 
 fn kill_recover(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
-    let (backend, rate) = match arm {
-        // The durable store logs consensus-decided history; robust
-        // cells re-decide it faithfully on replay.
-        "robust" | "torn" => (Backend::Robust, 0.05),
-        // Naive cells under faults mutate re-ingested decisions, so
-        // recovery's digest cross-check must refuse the respawn.
-        "naive" => (Backend::Naive, 0.3),
-        other => panic!("unknown kill-recover arm {other:?}"),
+    // "torn" is the robust substrate under a power-loss kill; every
+    // other arm resolves through the substrate registry (robust cells
+    // re-decide logged history faithfully on replay; naive cells under
+    // faults mutate re-ingested decisions, so recovery's digest
+    // cross-check must refuse the respawn).
+    let (backend, rate) = if arm == "torn" {
+        (Backend::robust(), 0.05)
+    } else {
+        backend_for(arm)
     };
     // The durable server's own config: no data dir — the machine's
     // SimDisk is the medium. Small group commit keeps fsync boundaries
@@ -545,7 +553,7 @@ fn kill_recover(arm: &str, seed: u64, mode: ScriptMode) -> RunReport {
     let frame = Store::new(
         StoreConfig::builder()
             .shards(1)
-            .backend(Backend::Reliable)
+            .backend(Backend::reliable())
             .seed(seed)
             .build()
             .expect("kill-recover frame store config"),
@@ -647,18 +655,25 @@ pub fn run_scenario(name: &str, arm: &str, seed: u64, mode: ScriptMode) -> RunRe
 
 /// Did this arm behave as its contract demands?
 ///
-/// * Well-behaved arms (`robust`, `lease`, `torn`): no violations and
-///   nothing flagged — for `torn` that includes the kill-recover
-///   scenario's extra checks (recovery replayed real state and
-///   detected the torn tail).
-/// * Must-be-caught arms (`naive`): divergence was flagged somewhere —
-///   in kill-recover, the refused recovery of the respawn.
-/// * `nolease`: the parked operations showed up as a stall.
+/// * The scenario-specific arms: `lease`/`torn` are well-behaved (no
+///   violations, nothing flagged — for `torn` that includes the
+///   kill-recover scenario's extra checks); `nolease`'s parked
+///   operations must show up as a stall.
+/// * Substrate arms resolve through the registry and inherit the
+///   substrate's contract: consistency-promising substrates (`robust`,
+///   `kw-robust`, …) must end clean, broken witnesses (`naive`) must
+///   have divergence flagged somewhere — in kill-recover, the refused
+///   recovery of the respawn.
 pub fn arm_ok(report: &RunReport) -> bool {
     match report.arm.as_str() {
-        "robust" | "lease" | "torn" => report.violations.is_empty() && !report.flagged,
-        "naive" => report.flagged,
+        "lease" | "torn" => report.violations.is_empty() && !report.flagged,
         "nolease" => report.violations.iter().any(|v| v.starts_with("stall:")),
-        _ => false,
+        arm => match arm.parse::<Backend>() {
+            Ok(backend) if backend.expected_consistent() => {
+                report.violations.is_empty() && !report.flagged
+            }
+            Ok(_) => report.flagged,
+            Err(_) => false,
+        },
     }
 }

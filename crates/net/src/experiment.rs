@@ -120,7 +120,7 @@ impl Experiment for E16NetSoak {
         );
         let mut notes = Vec::new();
 
-        let robust = run_arm(Backend::Robust, 0.5, 0xE16, 3, ServerConfig::default());
+        let robust = run_arm(Backend::robust(), 0.5, 0xE16, 3, ServerConfig::default());
         table.push_row(&[
             "robust".to_string(),
             robust.ops.to_string(),
@@ -140,7 +140,7 @@ impl Experiment for E16NetSoak {
         let mut naive_ops = 0;
         for attempt in 0..12u64 {
             let naive = run_arm(
-                Backend::Naive,
+                Backend::naive(),
                 0.2,
                 0x16E ^ (attempt << 8),
                 3,
@@ -234,7 +234,7 @@ impl Experiment for E17ReactorSoak {
         let mut notes = Vec::new();
 
         let robust = run_arm(
-            Backend::Robust,
+            Backend::robust(),
             0.5,
             0xE17,
             E17_CONNECTIONS,
@@ -259,7 +259,7 @@ impl Experiment for E17ReactorSoak {
         let mut naive_ops = 0;
         for attempt in 0..12u64 {
             let naive = run_arm(
-                Backend::Naive,
+                Backend::naive(),
                 0.2,
                 0x17E ^ (attempt << 8),
                 E17_CONNECTIONS,

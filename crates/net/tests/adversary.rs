@@ -20,7 +20,7 @@ fn one_loop_server() -> (Arc<Store>, NetServer) {
     let store = Arc::new(Store::new(
         StoreConfig::builder()
             .shards(2)
-            .backend(Backend::Reliable)
+            .backend(Backend::reliable())
             .build()
             .unwrap(),
     ));

@@ -23,7 +23,7 @@ fn serve(config: StoreConfig, server_config: ServerConfig) -> (Arc<Store>, NetSe
 fn reliable_config() -> StoreConfig {
     StoreConfig::builder()
         .shards(2)
-        .backend(Backend::Reliable)
+        .backend(Backend::reliable())
         .build()
         .unwrap()
 }
@@ -87,7 +87,7 @@ fn durable_server_recovers_over_same_data_dir() {
     let _ = std::fs::remove_dir_all(&dir);
     let config = StoreConfig::builder()
         .shards(2)
-        .backend(Backend::Robust)
+        .backend(Backend::robust())
         .fault_rate(0.2)
         .checkpoint_interval(8)
         .data_dir(&dir)
@@ -189,7 +189,7 @@ fn naive_backend_surfaces_divergence_error_not_wrong_data() {
     for seed in 0..20u64 {
         let config = StoreConfig::builder()
             .shards(2)
-            .backend(Backend::Naive)
+            .backend(Backend::naive())
             .fault(FaultConfig {
                 kind: ff_spec::FaultKind::Arbitrary,
                 f: 1,
@@ -335,7 +335,7 @@ fn combining_store_serves_and_reports_combiner_counters() {
     let (store, server) = serve(
         StoreConfig::builder()
             .shards(2)
-            .backend(Backend::Robust)
+            .backend(Backend::robust())
             .fault_rate(0.2)
             .rotate_kinds(true)
             .checkpoint_interval(16)
@@ -387,7 +387,7 @@ fn graceful_shutdown_retires_every_replica_for_verification() {
     let (store, server) = serve(
         StoreConfig::builder()
             .shards(3)
-            .backend(Backend::Robust)
+            .backend(Backend::robust())
             .fault_rate(0.3)
             .rotate_kinds(true)
             .checkpoint_interval(16)

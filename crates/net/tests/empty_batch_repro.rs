@@ -7,7 +7,7 @@ fn empty_batch_frame_gets_empty_response() {
     let store = Arc::new(Store::new(
         StoreConfig::builder()
             .shards(2)
-            .backend(Backend::Reliable)
+            .backend(Backend::reliable())
             .build()
             .unwrap(),
     ));

@@ -1,11 +1,12 @@
-//! Per-shard consensus-cell factories: the store's pluggable backends.
+//! Per-shard fault plumbing shared by every consensus substrate.
 //!
-//! Each shard owns one [`ShardCells`] factory. It reuses the `ff-cas`
-//! fault-injection substrate — the same policies and `(f, t)` budgets
-//! the experiments use — but adds what a long-running store needs:
+//! The substrate API itself — the [`Substrate`](crate::substrate::Substrate)
+//! trait, the registry, and the [`Backend`](crate::Backend) handle —
+//! lives in [`crate::substrate`]. This module keeps the pieces every
+//! substrate builds from:
 //!
 //! * **Aggregated live stats.** All cells of a shard share one
-//!   [`EnsembleStats`], so fault counts can be read while the shard
+//!   `EnsembleStats`, so fault counts can be read while the shard
 //!   serves traffic (individual cells are created and dropped as the
 //!   log advances and truncates).
 //! * **Runtime knobs.** The fault rate is an atomic the operator can
@@ -21,19 +22,20 @@
 //!   word colliding with a valid input encoding goes undetected with
 //!   probability 2⁻³² per fault; acceptable for a soak harness.
 //!
-//! Tolerable fault kinds per backend, following the paper's results:
+//! Tolerable fault kinds per substrate follow the paper's results:
 //! overriding and arbitrary kinds get the `f`-tolerant cascade
 //! (Theorem 5) over `f` faulty + 1 reliable objects; silent faults get
 //! the bounded-retry protocol (Section 3.4), which requires a finite
 //! total budget `t` (unbounded silent faults admit nontermination —
 //! experiment E8). Invisible faults are rejected: no construction in
 //! the paper tolerates them (Theorem 4 territory), so a store
-//! configured for them would be built on nothing.
+//! configured for them would be built on nothing. Each substrate
+//! declares its own envelope via
+//! [`Substrate::tolerated_kinds`](crate::substrate::Substrate::tolerated_kinds).
 
-use ff_cas::{splitmix64, AtomicCasArray, CasEnsemble, EnsembleStats, FaultPolicy, FaultyCasArray};
-use ff_consensus::{Consensus, HerlihyConsensus, SilentRetryConsensus};
+use ff_cas::{splitmix64, CasEnsemble, FaultPolicy};
+use ff_consensus::Consensus;
 use ff_spec::{Bound, FaultKind, Input, ObjectId, Tolerance, BOTTOM};
-use ff_universal::CellFactory;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -74,11 +76,11 @@ impl FaultKnob {
 
 /// The policy face of a [`FaultKnob`]: probabilistic, counter-based
 /// (no shared RNG state), reading the rate live.
-struct KnobPolicy {
-    knob: Arc<FaultKnob>,
+pub(crate) struct KnobPolicy {
+    pub(crate) knob: Arc<FaultKnob>,
     /// Distinguishes cells sharing one knob, so they don't fault in
     /// lockstep.
-    salt: u64,
+    pub(crate) salt: u64,
 }
 
 impl FaultPolicy for KnobPolicy {
@@ -144,11 +146,17 @@ impl<E: CasEnsemble + ?Sized> Consensus for GuardedCascadeConsensus<E> {
 }
 
 /// Herlihy's protocol straight over one faulty object — the naive
-/// backend the paper proves broken (E10's negative arm), here with junk
-/// words degraded deterministically instead of panicking so a soak can
-/// *observe* the divergence rather than crash on it.
-struct NaiveConsensus<E: CasEnsemble + ?Sized> {
+/// substrate the paper proves broken (E10's negative arm), here with
+/// junk words degraded deterministically instead of panicking so a soak
+/// can *observe* the divergence rather than crash on it.
+pub(crate) struct NaiveConsensus<E: CasEnsemble + ?Sized> {
     ensemble: Arc<E>,
+}
+
+impl<E: CasEnsemble + ?Sized> NaiveConsensus<E> {
+    pub(crate) fn new(ensemble: Arc<E>) -> Self {
+        NaiveConsensus { ensemble }
+    }
 }
 
 impl<E: CasEnsemble + ?Sized> Consensus for NaiveConsensus<E> {
@@ -173,30 +181,6 @@ impl<E: CasEnsemble + ?Sized> Consensus for NaiveConsensus<E> {
 
     fn name(&self) -> &'static str {
         "naive-direct"
-    }
-}
-
-/// Which construction a shard runs its cells on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Backend {
-    /// Reliable CAS (no injection) — the fault-free baseline.
-    Reliable,
-    /// The paper's fault-tolerant constructions over injected faults:
-    /// cascade for overriding/arbitrary kinds, bounded retry for silent.
-    Robust,
-    /// Herlihy's protocol straight over an injected-faulty object — the
-    /// broken construction, kept for divergence demonstrations.
-    Naive,
-}
-
-impl Backend {
-    /// A short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Backend::Reliable => "reliable",
-            Backend::Robust => "robust",
-            Backend::Naive => "naive",
-        }
     }
 }
 
@@ -249,119 +233,11 @@ impl Default for FaultConfig {
     }
 }
 
-/// The per-shard cell factory: owns the shard's fault knob and the
-/// shared stats every cell aggregates into.
-pub struct ShardCells {
-    backend: Backend,
-    fault: FaultConfig,
-    knob: Arc<FaultKnob>,
-    stats: Arc<EnsembleStats>,
-    next_salt: AtomicU64,
-}
-
-impl ShardCells {
-    /// A factory for one shard. `seed` derives every cell's fault
-    /// stream deterministically.
-    pub fn new(backend: Backend, fault: FaultConfig, seed: u64) -> Self {
-        if backend == Backend::Robust {
-            assert!(fault.f >= 1, "robust backend needs f >= 1");
-            assert!(
-                !matches!(fault.kind, FaultKind::Invisible | FaultKind::Nonresponsive),
-                "no construction in the paper tolerates {:?} faults; \
-                 refusing to build a store on one",
-                fault.kind
-            );
-            if fault.kind == FaultKind::Silent {
-                assert!(
-                    matches!(fault.t, Bound::Finite(_)),
-                    "silent faults need a finite per-object budget t \
-                     (unbounded silent faults admit nontermination — experiment E8)"
-                );
-            }
-        }
-        let objects = match backend {
-            Backend::Robust if fault.kind != FaultKind::Silent => fault.f + 1,
-            _ => 1,
-        };
-        ShardCells {
-            backend,
-            knob: FaultKnob::new(fault.rate, seed),
-            stats: Arc::new(EnsembleStats::new(objects)),
-            fault,
-            next_salt: AtomicU64::new(0),
-        }
-    }
-
-    /// The live fault-rate knob for this shard.
-    pub fn knob(&self) -> Arc<FaultKnob> {
-        Arc::clone(&self.knob)
-    }
-
-    /// The shard-wide aggregated operation/fault counters.
-    pub fn stats(&self) -> Arc<EnsembleStats> {
-        Arc::clone(&self.stats)
-    }
-
-    /// The injected fault kind.
-    pub fn fault_kind(&self) -> FaultKind {
-        self.fault.kind
-    }
-
-    /// The backend this shard runs on.
-    pub fn backend(&self) -> Backend {
-        self.backend
-    }
-
-    fn faulty_ensemble(&self, objects: usize, faulty: usize) -> Arc<FaultyCasArray> {
-        let salt = self.next_salt.fetch_add(1, Ordering::Relaxed);
-        Arc::new(
-            FaultyCasArray::builder(objects)
-                .kind(self.fault.kind)
-                .faulty_first(faulty)
-                .per_object(self.fault.t)
-                .policy(KnobPolicy {
-                    knob: Arc::clone(&self.knob),
-                    salt: splitmix64(salt),
-                })
-                .record_history(false)
-                .shared_stats(Arc::clone(&self.stats))
-                .build(),
-        )
-    }
-}
-
-impl CellFactory for ShardCells {
-    fn make(&self) -> Arc<dyn Consensus> {
-        match self.backend {
-            Backend::Reliable => Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1)))),
-            Backend::Robust => match self.fault.kind {
-                FaultKind::Silent => {
-                    let t = match self.fault.t {
-                        Bound::Finite(t) => t,
-                        Bound::Unbounded => unreachable!("checked in ShardCells::new"),
-                    };
-                    let ensemble = self.faulty_ensemble(1, 1);
-                    Arc::new(SilentRetryConsensus::new(ensemble, t))
-                }
-                _ => {
-                    let ensemble = self.faulty_ensemble(self.fault.f + 1, self.fault.f);
-                    Arc::new(GuardedCascadeConsensus::new(ensemble, self.fault.f))
-                }
-            },
-            Backend::Naive => Arc::new(NaiveConsensus {
-                ensemble: self.faulty_ensemble(1, 1),
-            }),
-        }
-    }
-
-    fn label(&self) -> &'static str {
-        self.backend.label()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::substrate::{Backend, ShardCells};
+    use ff_universal::CellFactory;
 
     #[test]
     fn knob_changes_rate_live() {
@@ -385,7 +261,7 @@ mod tests {
             rate: 0.8,
             ..FaultConfig::default()
         };
-        let cells = ShardCells::new(Backend::Robust, fault, 42);
+        let cells = ShardCells::new(Backend::robust(), fault, 42);
         for _ in 0..100 {
             let cell = cells.make();
             let a = cell.decide(Input(1));
@@ -407,7 +283,7 @@ mod tests {
             rate: 0.5,
             ..FaultConfig::default()
         };
-        let cells = ShardCells::new(Backend::Robust, fault, 7);
+        let cells = ShardCells::new(Backend::robust(), fault, 7);
         for _ in 0..100 {
             let cell = cells.make();
             let a = cell.decide(Input(1));
@@ -425,7 +301,7 @@ mod tests {
             rate: 1.0,
             ..FaultConfig::default()
         };
-        let cells = ShardCells::new(Backend::Naive, fault, 3);
+        let cells = ShardCells::new(Backend::naive(), fault, 3);
         for _ in 0..100 {
             let cell = cells.make();
             let _ = cell.decide(Input(1));
@@ -436,7 +312,7 @@ mod tests {
     #[test]
     fn stats_aggregate_across_cells() {
         let cells = ShardCells::new(
-            Backend::Robust,
+            Backend::robust(),
             FaultConfig {
                 rate: 1.0,
                 ..FaultConfig::default()
@@ -456,7 +332,7 @@ mod tests {
     #[should_panic(expected = "finite per-object budget")]
     fn unbounded_silent_rejected() {
         let _ = ShardCells::new(
-            Backend::Robust,
+            Backend::robust(),
             FaultConfig {
                 kind: FaultKind::Silent,
                 t: Bound::Unbounded,
@@ -470,9 +346,24 @@ mod tests {
     #[should_panic(expected = "no construction")]
     fn invisible_rejected() {
         let _ = ShardCells::new(
-            Backend::Robust,
+            Backend::robust(),
             FaultConfig {
                 kind: FaultKind::Invisible,
+                ..FaultConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no construction")]
+    fn kw_robust_refuses_arbitrary() {
+        // Arbitrary junk is unrepresentable in a KW word — the
+        // substrate refuses the environment instead of truncating it.
+        let _ = ShardCells::new(
+            Backend::kw_robust(),
+            FaultConfig {
+                kind: FaultKind::Arbitrary,
                 ..FaultConfig::default()
             },
             0,

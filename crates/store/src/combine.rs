@@ -655,7 +655,7 @@ mod tests {
 
     #[test]
     fn combined_round_trip_and_verify() {
-        let store = combining_store(Backend::Reliable, 4);
+        let store = combining_store(Backend::reliable(), 4);
         let mut c = store.client();
         assert_eq!(c.put(1, 10).unwrap(), None);
         assert_eq!(c.put(1, 20).unwrap(), Some(10));
@@ -669,7 +669,7 @@ mod tests {
 
     #[test]
     fn read_fast_path_hits_when_replica_is_fresh() {
-        let store = combining_store(Backend::Reliable, 1);
+        let store = combining_store(Backend::reliable(), 1);
         let mut c = store.client();
         c.put(7, 70).unwrap();
         // The put's own combine pass advanced the core replica to the
@@ -690,7 +690,7 @@ mod tests {
         let store = std::sync::Arc::new(Store::new(
             StoreConfig::builder()
                 .shards(4)
-                .backend(Backend::Robust)
+                .backend(Backend::robust())
                 .rotate_kinds(true)
                 .combining(true)
                 .checkpoint_interval(16)
@@ -741,7 +741,7 @@ mod tests {
         // claim and execute). Client B must take over — B's op was not
         // claimed — complete, and when A resumes, A's claimed op must
         // complete too: nothing dropped, nothing duplicated.
-        let store = std::sync::Arc::new(combining_store(Backend::Reliable, 1));
+        let store = std::sync::Arc::new(combining_store(Backend::reliable(), 1));
         let gate = std::sync::Arc::new(Barrier::new(2));
         let parked = std::sync::Arc::new(AtomicUsize::new(0));
         {
@@ -796,7 +796,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(1)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .combining(true)
                 .reclaim_after(4)
                 .build()
@@ -842,7 +842,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(1)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .combining(true)
                 .combiner_lease(false)
                 .reclaim_after(4)
@@ -881,7 +881,7 @@ mod tests {
             let store = Store::new(
                 StoreConfig::builder()
                     .shards(4)
-                    .backend(Backend::Reliable)
+                    .backend(Backend::reliable())
                     .combining(combining)
                     .build()
                     .unwrap(),
@@ -908,7 +908,7 @@ mod tests {
             let store = std::sync::Arc::new(Store::new(
                 StoreConfig::builder()
                     .shards(2)
-                    .backend(Backend::Robust)
+                    .backend(Backend::robust())
                     .fault(crate::FaultConfig {
                         kind,
                         rate: 0.3,
@@ -973,7 +973,7 @@ mod tests {
             let store = std::sync::Arc::new(Store::new(
                 StoreConfig::builder()
                     .shards(1)
-                    .backend(Backend::Naive)
+                    .backend(Backend::naive())
                     .fault(crate::FaultConfig {
                         kind: ff_spec::FaultKind::Arbitrary,
                         rate: 1.0,

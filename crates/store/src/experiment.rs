@@ -42,7 +42,7 @@ impl Experiment for E15StoreSoak {
             shards: 3,
             secs: 0.5,
             fault_rate: 0.25,
-            backend: Backend::Robust,
+            backend: Backend::robust(),
             checkpoint_interval: 16,
             ..SoakConfig::default()
         });
@@ -73,7 +73,7 @@ impl Experiment for E15StoreSoak {
                 shards: 3,
                 secs: 0.2,
                 fault_rate: 1.0,
-                backend: Backend::Naive,
+                backend: Backend::naive(),
                 checkpoint_interval: 16,
                 seed: 0xE15 + seed,
                 ..SoakConfig::default()

@@ -6,9 +6,11 @@
 //! that step at system scale: a key-value store whose shards are
 //! replicated [`KvMap`]s, each driven by its own
 //! [`UniversalLog`](ff_universal::UniversalLog) over pluggable
-//! consensus backends ([`Backend::Reliable`] / [`Backend::Robust`]
-//! under live fault injection / the deliberately broken
-//! [`Backend::Naive`]). Keys route to shards by hash, so throughput
+//! consensus substrates resolved through the open [`substrate`]
+//! registry ([`Backend::reliable`] / [`Backend::robust`] under live
+//! fault injection / the deliberately broken [`Backend::naive`] /
+//! CAS-from-weaker-primitives entries like [`Backend::kw_robust`]).
+//! Keys route to shards by hash, so throughput
 //! scales with cores instead of serializing on one log; shard logs are
 //! bounded by consensus-decided checkpoints
 //! ([`UniversalLog::checkpoint_every`](ff_universal::UniversalLog::checkpoint_every));
@@ -22,7 +24,7 @@
 //!
 //! let config = StoreConfig::builder()
 //!     .shards(4)
-//!     .backend(Backend::Robust)
+//!     .backend(Backend::robust())
 //!     .build()
 //!     .expect("valid configuration");
 //! let store = Store::new(config);
@@ -44,13 +46,12 @@ pub mod map;
 pub mod metrics;
 pub mod recover;
 pub mod soak;
+pub mod substrate;
 pub mod wal;
 
 mod experiment;
 
-pub use cells::{
-    Backend, FaultConfig, FaultKnob, GuardedCascadeConsensus, ProcessFault, ShardCells,
-};
+pub use cells::{FaultConfig, FaultKnob, GuardedCascadeConsensus, ProcessFault};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use combine::{CombineSnapshot, CombineStats};
 pub use experiment::E15StoreSoak;
@@ -61,6 +62,10 @@ pub use recover::{RecoverError, RecoveryReport, ShardRecovery};
 pub use soak::{
     drive_clients, drive_clients_with_clock, run_soak, try_run_soak, DriveOutcome, SoakConfig,
     SoakReport, WorkloadMix,
+};
+pub use substrate::{
+    all_backends, register, substrate_names, Backend, CellCtx, DuplicateSubstrate, ShardCells,
+    Substrate, UnknownSubstrate,
 };
 pub use wal::{DurabilityConfig, FsMedia, WalIoError, WalMedia};
 
@@ -76,7 +81,7 @@ pub struct StoreConfig {
     pub shards: usize,
     /// The consensus backend every shard runs on.
     pub backend: Backend,
-    /// Fault environment (ignored by [`Backend::Reliable`], which never
+    /// Fault environment (ignored by [`Backend::reliable`], which never
     /// injects). With `rotate_kinds`, the configured kind applies to
     /// shard 0 and subsequent shards rotate through the tolerable kinds.
     pub fault: FaultConfig,
@@ -115,7 +120,7 @@ impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
             shards: 8,
-            backend: Backend::Robust,
+            backend: Backend::robust(),
             fault: FaultConfig::default(),
             rotate_kinds: false,
             checkpoint_interval: 64,
@@ -158,27 +163,16 @@ impl StoreConfig {
         if self.fault.process == ProcessFault::CrashRecover && !self.durability.enabled() {
             return Err(ConfigError::CrashRecoverNeedsDurability);
         }
-        if self.backend == Backend::Robust {
-            if self.fault.f == 0 {
-                return Err(ConfigError::RobustNeedsFaultyObjects);
+        // With rotation, the configured kind is replaced per shard by
+        // the substrate's own injected rotation (and silent gets a
+        // finite default budget), so validate exactly what each shard
+        // will actually be built with.
+        if self.rotate_kinds && !self.backend.injected_kinds().is_empty() {
+            for &kind in self.backend.injected_kinds() {
+                self.backend.validate(&rotated_fault(&self.fault, kind))?;
             }
-            // With rotation, the configured kind is replaced per shard
-            // by the tolerable rotation (and silent gets a finite
-            // default budget), so only the non-rotated case can smuggle
-            // in an intolerable environment.
-            if !self.rotate_kinds {
-                if matches!(
-                    self.fault.kind,
-                    ff_spec::FaultKind::Invisible | ff_spec::FaultKind::Nonresponsive
-                ) {
-                    return Err(ConfigError::IntolerableKind(self.fault.kind));
-                }
-                if self.fault.kind == ff_spec::FaultKind::Silent
-                    && !matches!(self.fault.t, ff_spec::Bound::Finite(_))
-                {
-                    return Err(ConfigError::SilentNeedsFiniteBudget);
-                }
-            }
+        } else {
+            self.backend.validate(&self.fault)?;
         }
         Ok(())
     }
@@ -385,13 +379,18 @@ pub struct Store {
     wal: Option<WalLayer>,
 }
 
-/// Fault kinds [`Backend::Robust`] can actually tolerate, in rotation
-/// order (silent gets a finite default budget when rotated in).
-const ROTATION: [ff_spec::FaultKind; 3] = [
-    ff_spec::FaultKind::Overriding,
-    ff_spec::FaultKind::Silent,
-    ff_spec::FaultKind::Arbitrary,
-];
+/// The fault environment shard `kind` receives under `rotate_kinds`:
+/// the configured budget with the rotated-in kind, and a small finite
+/// default budget when silent rotates in (E8: unbounded silent faults
+/// admit nontermination).
+fn rotated_fault(fault: &FaultConfig, kind: ff_spec::FaultKind) -> FaultConfig {
+    let mut fault = fault.clone();
+    fault.kind = kind;
+    if fault.kind == ff_spec::FaultKind::Silent && !matches!(fault.t, ff_spec::Bound::Finite(_)) {
+        fault.t = ff_spec::Bound::Finite(8);
+    }
+    fault
+}
 
 fn kind_label(kind: ff_spec::FaultKind) -> &'static str {
     match kind {
@@ -460,19 +459,17 @@ impl Store {
         }
         let shards: Vec<Shard> = (0..config.shards)
             .map(|s| {
-                let mut fault = config.fault.clone();
-                if config.rotate_kinds {
-                    fault.kind = ROTATION[s % ROTATION.len()];
-                    if fault.kind == ff_spec::FaultKind::Silent
-                        && !matches!(fault.t, ff_spec::Bound::Finite(_))
-                    {
-                        // Silent needs a finite budget (E8); give the
-                        // rotated-in shard a small default.
-                        fault.t = ff_spec::Bound::Finite(8);
-                    }
-                }
+                // Rotation walks the substrate's own injected kinds —
+                // a substrate that injects nothing keeps the configured
+                // environment (which it ignores anyway).
+                let rotation = config.backend.injected_kinds();
+                let fault = if config.rotate_kinds && !rotation.is_empty() {
+                    rotated_fault(&config.fault, rotation[s % rotation.len()])
+                } else {
+                    config.fault.clone()
+                };
                 let cells = ShardCells::new(
-                    config.backend,
+                    config.backend.clone(),
                     fault,
                     splitmix64(config.seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 );
@@ -660,10 +657,10 @@ impl Store {
                 let per_object = s.stats.all();
                 ShardFaults {
                     shard: i,
-                    kind: if self.config.backend == Backend::Reliable {
-                        "none".to_string()
-                    } else {
+                    kind: if self.config.backend.injects_faults() {
                         s.kind_label.to_string()
+                    } else {
+                        "none".to_string()
                     },
                     cas_ops: per_object.iter().map(|o| o.ops).sum(),
                     attempted: per_object.iter().map(|o| o.attempted_faults).sum(),
@@ -1188,7 +1185,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(4)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .build()
                 .unwrap(),
         );
@@ -1245,7 +1242,7 @@ mod tests {
             .is_ok());
         // The naive backend skips robust-only constraints.
         assert!(StoreConfig::builder()
-            .backend(Backend::Naive)
+            .backend(Backend::naive())
             .fault(FaultConfig {
                 kind: ff_spec::FaultKind::Invisible,
                 ..FaultConfig::default()
@@ -1259,7 +1256,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(2)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .build()
                 .unwrap(),
         );
@@ -1285,7 +1282,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(4)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .build()
                 .unwrap(),
         );
@@ -1308,7 +1305,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(1)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .build()
                 .unwrap(),
         );
@@ -1333,7 +1330,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(8)
-                .backend(Backend::Reliable)
+                .backend(Backend::reliable())
                 .build()
                 .unwrap(),
         );
@@ -1349,7 +1346,7 @@ mod tests {
         let store = Arc::new(Store::new(
             StoreConfig::builder()
                 .shards(4)
-                .backend(Backend::Robust)
+                .backend(Backend::robust())
                 .rotate_kinds(true)
                 .checkpoint_interval(16)
                 .build()
@@ -1403,7 +1400,7 @@ mod tests {
             let store = Arc::new(Store::new(
                 StoreConfig::builder()
                     .shards(1)
-                    .backend(Backend::Naive)
+                    .backend(Backend::naive())
                     .fault_rate(1.0)
                     .checkpoint_interval(8)
                     .seed(seed)
@@ -1443,7 +1440,7 @@ mod tests {
         let store = Store::new(
             StoreConfig::builder()
                 .shards(1)
-                .backend(Backend::Robust)
+                .backend(Backend::robust())
                 .fault(FaultConfig {
                     // Arbitrary: observable even on matching CASes — a
                     // lone sequential client never mismatches, and an
@@ -1517,13 +1514,13 @@ mod proptests {
             ops in proptest::collection::vec(kv_op(), 1..60),
             seed in 0u64..1000,
         ) {
-            for backend in [Backend::Reliable, Backend::Robust, Backend::Naive] {
+            for backend in & [Backend::reliable(), Backend::robust(), Backend::naive()] {
                 let run = |combining: bool| -> Vec<Option<u32>> {
-                    let rate = if backend == Backend::Robust { 0.3 } else { 0.0 };
+                    let rate = if *backend == Backend::robust() { 0.3 } else { 0.0 };
                     let store = Store::new(
                         StoreConfig::builder()
                             .shards(4)
-                            .backend(backend)
+                            .backend(backend.clone())
                             .fault_rate(rate)
                             .combining(combining)
                             .checkpoint_interval(16)

@@ -8,11 +8,11 @@
 //! from those objects stay *consistent* while faults are live" — and,
 //! on the naive arm, demonstrates that it does not.
 
-use crate::cells::Backend;
 use crate::clock::{Clock, WallClock};
 use crate::kv::{Kv, KvOp, StoreError};
 use crate::metrics::{MetricsSnapshot, StoreMetrics};
 use crate::recover::{RecoverError, RecoveryReport};
+use crate::substrate::Backend;
 use crate::wal::DurabilityConfig;
 use crate::{ConsistencyReport, Store, StoreClient, StoreConfig, KV_MAX};
 use ff_cas::splitmix64;
@@ -60,7 +60,7 @@ impl Default for SoakConfig {
             shards: 8,
             secs: 10.0,
             fault_rate: 0.2,
-            backend: Backend::Robust,
+            backend: Backend::robust(),
             read_pct: 70,
             keyspace: 4096,
             checkpoint_interval: 64,
@@ -439,9 +439,9 @@ pub fn try_run_soak(config: &SoakConfig) -> Result<SoakReport, RecoverError> {
     assert!(config.threads >= 1, "need at least one worker");
     let store_config = StoreConfig::builder()
         .shards(config.shards)
-        .backend(config.backend)
+        .backend(config.backend.clone())
         .fault_rate(config.fault_rate)
-        .rotate_kinds(config.backend != Backend::Reliable)
+        .rotate_kinds(config.backend.injects_faults())
         .checkpoint_interval(config.checkpoint_interval)
         .combining(config.combining)
         .durability(config.durability.clone())
@@ -516,7 +516,7 @@ pub fn try_run_soak(config: &SoakConfig) -> Result<SoakReport, RecoverError> {
             shards: config.shards,
             secs: config.secs,
             fault_rate: config.fault_rate,
-            backend: config.backend.label(),
+            backend: config.backend.name(),
             checkpoint_interval: config.checkpoint_interval,
             combining: config.combining,
             durable: config.durability.enabled(),
@@ -677,7 +677,7 @@ mod tests {
             threads: 1,
             shards: 2,
             secs: 0.2,
-            backend: Backend::Reliable,
+            backend: Backend::reliable(),
             ..SoakConfig::default()
         });
         assert!(report.consistent);

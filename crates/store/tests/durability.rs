@@ -26,8 +26,12 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn durable_config(dir: &std::path::Path, backend: Backend) -> StoreConfig {
     StoreConfig::builder()
         .shards(2)
-        .backend(backend)
-        .fault_rate(if backend == Backend::Robust { 0.2 } else { 0.0 })
+        .backend(backend.clone())
+        .fault_rate(if backend == Backend::robust() {
+            0.2
+        } else {
+            0.0
+        })
         .checkpoint_interval(8)
         .data_dir(dir)
         .group_commit(4)
@@ -39,7 +43,7 @@ fn durable_config(dir: &std::path::Path, backend: Backend) -> StoreConfig {
 #[test]
 fn write_kill_recover_round_trip_under_faults() {
     let dir = temp_dir("round-trip");
-    let config = durable_config(&dir, Backend::Robust);
+    let config = durable_config(&dir, Backend::robust());
 
     let store = Store::new(config.clone());
     let mut c = store.client();
@@ -79,7 +83,7 @@ fn write_kill_recover_round_trip_under_faults() {
 #[test]
 fn combining_durable_store_recovers() {
     let dir = temp_dir("combining");
-    let mut config = durable_config(&dir, Backend::Robust);
+    let mut config = durable_config(&dir, Backend::robust());
     config.combining = true;
 
     let store = Store::new(config.clone());
@@ -111,7 +115,7 @@ fn crash_at_every_fsync_boundary_recovers_exact_prefix() {
     let dir = temp_dir("fsync-sweep");
     let config = StoreConfig::builder()
         .shards(1)
-        .backend(Backend::Reliable)
+        .backend(Backend::reliable())
         .checkpoint_interval(4)
         .data_dir(&dir)
         .group_commit(1) // fsync boundary after every op
@@ -157,7 +161,7 @@ fn truncation_at_every_byte_never_panics_recovery() {
     let dir = temp_dir("truncate-sweep");
     let config = StoreConfig::builder()
         .shards(1)
-        .backend(Backend::Reliable)
+        .backend(Backend::reliable())
         .checkpoint_interval(4)
         .data_dir(&dir)
         .group_commit(1)
@@ -200,7 +204,7 @@ fn byte_flips_never_panic_recovery() {
     let dir = temp_dir("flip-sweep");
     let config = StoreConfig::builder()
         .shards(1)
-        .backend(Backend::Reliable)
+        .backend(Backend::reliable())
         .checkpoint_interval(64) // no rotation: one long record run
         .data_dir(&dir)
         .group_commit(1)
@@ -254,7 +258,7 @@ fn naive_backend_replay_divergence_is_refused() {
     let dir = temp_dir("naive-replay");
     let write_config = StoreConfig::builder()
         .shards(1)
-        .backend(Backend::Naive)
+        .backend(Backend::naive())
         // Arbitrary faults return garbage words, which the naive cell
         // adopts as decisions. Rate 0 while writing a clean history...
         .fault(FaultConfig {
@@ -347,7 +351,7 @@ fn wal_io_failure_is_latched_and_surfaced() {
     let dir = temp_dir("io-failure");
     let config = StoreConfig::builder()
         .shards(1)
-        .backend(Backend::Reliable)
+        .backend(Backend::reliable())
         .data_dir(&dir)
         .group_commit(1)
         .build()

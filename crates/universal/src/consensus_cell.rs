@@ -17,8 +17,8 @@ pub trait CellFactory: Send + Sync {
     /// Make the next cell.
     fn make(&self) -> Arc<dyn Consensus>;
 
-    /// A short label for reports.
-    fn label(&self) -> &'static str;
+    /// The substrate name (the single naming source for reports).
+    fn name(&self) -> &'static str;
 }
 
 /// Cells on reliable CAS objects (Herlihy's protocol) — the fault-free
@@ -31,7 +31,7 @@ impl CellFactory for ReliableCells {
         Arc::new(HerlihyConsensus::new(Arc::new(AtomicCasArray::new(1))))
     }
 
-    fn label(&self) -> &'static str {
+    fn name(&self) -> &'static str {
         "reliable"
     }
 }
@@ -70,7 +70,7 @@ impl CellFactory for NaiveFaultyCells {
         Arc::new(HerlihyConsensus::new(ensemble))
     }
 
-    fn label(&self) -> &'static str {
+    fn name(&self) -> &'static str {
         "naive-faulty"
     }
 }
@@ -112,7 +112,7 @@ impl CellFactory for RobustCells {
         Arc::new(CascadeConsensus::new(ensemble, self.f))
     }
 
-    fn label(&self) -> &'static str {
+    fn name(&self) -> &'static str {
         "robust-cascade"
     }
 }
@@ -162,8 +162,8 @@ mod tests {
 
     #[test]
     fn factories_have_labels() {
-        assert_eq!(ReliableCells.label(), "reliable");
-        assert_eq!(NaiveFaultyCells::new(0.5, 0).label(), "naive-faulty");
-        assert_eq!(RobustCells::new(1, 0.5, 0).label(), "robust-cascade");
+        assert_eq!(ReliableCells.name(), "reliable");
+        assert_eq!(NaiveFaultyCells::new(0.5, 0).name(), "naive-faulty");
+        assert_eq!(RobustCells::new(1, 0.5, 0).name(), "robust-cascade");
     }
 }

@@ -646,7 +646,7 @@ impl UniversalLog {
 
     /// The factory's label.
     pub fn cell_label(&self) -> &'static str {
-        self.factory.label()
+        self.factory.name()
     }
 }
 

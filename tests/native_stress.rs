@@ -189,7 +189,7 @@ fn store_stress_every_tolerated_fault_kind() {
             let store = Arc::new(Store::new(
                 StoreConfig::builder()
                     .shards(3)
-                    .backend(Backend::Robust)
+                    .backend(Backend::robust())
                     .fault(FaultConfig {
                         kind,
                         f,
@@ -263,7 +263,7 @@ fn store_stress_naive_backend_eventually_diverges() {
         let store = Arc::new(Store::new(
             StoreConfig::builder()
                 .shards(2)
-                .backend(Backend::Naive)
+                .backend(Backend::naive())
                 .fault(FaultConfig {
                     rate: 1.0,
                     ..FaultConfig::default()
